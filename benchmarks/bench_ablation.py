@@ -1,0 +1,30 @@
+"""Ablations — placement, comparator noise, solver consistency."""
+
+from repro.experiments.ablation import (
+    comparator_noise_ablation,
+    placement_ablation,
+    solver_consistency_ablation,
+)
+
+
+def test_placement_ablation(once):
+    table = once(placement_ablation)
+    table.show()
+    rows = {row["layout"]: row for row in table.rows}
+    assert rows["separate"]["uniformity_std"] > rows["side_by_side"]["uniformity_std"]
+
+
+def test_comparator_noise_ablation(once):
+    table = once(comparator_noise_ablation)
+    table.show()
+    rows = {
+        (row["noise_sigma_A"], row["votes"]): row["error_rate"] for row in table.rows
+    }
+    assert rows[(0.0, 1)] == 0.0
+    assert rows[(2e-8, 7)] <= rows[(2e-8, 1)]
+
+
+def test_solver_consistency(once):
+    table = once(solver_consistency_ablation)
+    table.show()
+    assert all(row["agreement_with_dinic"] for row in table.rows)

@@ -1,0 +1,13 @@
+"""Extension — aging reliability over operating lifetime."""
+
+from repro.experiments.aging_reliability import run
+
+
+def test_aging_reliability(once):
+    table = once(run)
+    table.show()
+    drifts = table.column("mean_drift")
+    assert drifts[0] == 0.0
+    assert all(b >= a for a, b in zip(drifts, drifts[1:]))
+    # Aged silicon must remain closer to itself than to a stranger (0.5).
+    assert drifts[-1] < 0.4

@@ -1,0 +1,10 @@
+"""Extension — Section 2's solve-vs-verify asymmetry table."""
+
+from repro.experiments.verification_asymmetry import run
+
+
+def test_verification_asymmetry(once):
+    table = once(run, sizes=(10, 20, 40, 60), repeats=3, seed=2016)
+    table.show()
+    ratios = table.column("measured_ratio")
+    assert ratios[-1] > ratios[0] > 1.0

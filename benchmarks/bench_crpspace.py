@@ -1,0 +1,12 @@
+"""Section 4.2 — CRP-space lower bound (N_CRP >= 6.53e35)."""
+
+import pytest
+
+from repro.experiments import crpspace
+
+
+def test_crp_space_bounds(once):
+    table = once(crpspace.run)
+    table.show()
+    row = table.rows[0]
+    assert row["n_crp_bound"] == pytest.approx(6.53e35, rel=0.01)

@@ -1,0 +1,14 @@
+"""Ablation — execution-delay estimators (transient vs bound vs linearised)."""
+
+from repro.experiments.delay_models import run
+
+
+def test_delay_model_validation(once):
+    table = once(run, sizes=(8, 12, 16, 24), seed=2016)
+    table.show()
+    transients = table.column("transient_s")
+    bounds = table.column("lin_mead_bound_s")
+    # Both physics measurements grow with n; the analytic bound stays an
+    # upper bound on the current-settling transient at every size.
+    assert all(b > a for a, b in zip(transients, transients[1:]))
+    assert all(bound >= transient for bound, transient in zip(bounds, transients))

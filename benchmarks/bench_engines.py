@@ -1,0 +1,37 @@
+"""Ablation — response-engine cost: circuit (execution) vs maxflow
+(simulation) on the same PPUF instance.
+
+The wall-clock ratio here is the software analogue of the ESG: the
+nonlinear circuit solve stands in for the device physics and is the slow
+path *in software*, while on silicon it is the fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ppuf import Ppuf
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    rng = np.random.default_rng(2016)
+    ppuf = Ppuf.create(20, 4, rng)
+    challenge = ppuf.challenge_space().random(rng)
+    # Warm both caches so the benchmark measures per-challenge evaluation.
+    ppuf.response(challenge, engine="maxflow")
+    ppuf.response(challenge, engine="circuit")
+    return ppuf, challenge
+
+
+def test_maxflow_engine(benchmark, prepared):
+    ppuf, challenge = prepared
+    bit = benchmark(lambda: ppuf.response(challenge, engine="maxflow"))
+    assert bit in (0, 1)
+
+
+def test_circuit_engine(benchmark, prepared):
+    ppuf, challenge = prepared
+    bit = benchmark.pedantic(
+        lambda: ppuf.response(challenge, engine="circuit"), rounds=3, iterations=1
+    )
+    assert bit == ppuf.response(challenge, engine="maxflow")

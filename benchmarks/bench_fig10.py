@@ -1,0 +1,22 @@
+"""Fig. 10 — model-building attack resilience vs the arbiter PUF."""
+
+from repro.experiments import fig10
+
+
+def test_fig10_attack_resilience(once):
+    table = once(
+        fig10.run,
+        ppuf_sizes=((40, 8),),
+        train_sizes=(100, 1000, 3000, 10000),
+        test_count=600,
+        seed=2016,
+    )
+    table.show()
+    rows = {(row["target"], row["num_crps"]): row["best_error"] for row in table.rows}
+    # At the paper's 10^4 observed CRPs the PPUF holds an order-of-magnitude
+    # error margin over the learned-to-death arbiter.
+    ppuf_error = rows[("ppuf_40n", 10000)]
+    arbiter_error = rows[("arbiter", 10000)]
+    assert ppuf_error > 0.15
+    assert arbiter_error < 0.05
+    assert ppuf_error / max(arbiter_error, 1e-3) > 5.0

@@ -1,0 +1,11 @@
+"""Fig. 3 — building-block I-V curves and bias calibration."""
+
+from repro.experiments import fig3
+
+
+def test_fig3_iv_curves(once):
+    table_a, table_b = once(fig3.run, points=41)
+    table_a.show()
+    table_b.show()
+    drifts = table_a.column("relative_drift")
+    assert drifts[0] > drifts[1] > drifts[2]

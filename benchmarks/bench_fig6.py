@@ -1,0 +1,18 @@
+"""Fig. 6 — simulation-model inaccuracy (circuit vs max-flow engines)."""
+
+from repro.experiments import fig6
+
+
+def test_fig6_simulation_accuracy(once):
+    table = once(fig6.run, sizes=(10, 20, 40, 60), trials=6, seed=2016)
+    table.show()
+    for row in table.rows:
+        assert row["mean_inaccuracy"] < 0.01
+        assert row["current_rel_std"] > row["mean_inaccuracy"]
+
+
+def test_fig6_paper_scale_100_nodes(once):
+    """The paper's largest Fig. 6 size, spot-checked with fewer trials."""
+    table = once(fig6.run, sizes=(100,), trials=2, seed=2016)
+    table.show()
+    assert table.rows[0]["mean_inaccuracy"] < 0.01

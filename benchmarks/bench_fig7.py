@@ -1,0 +1,21 @@
+"""Fig. 7 — execution/simulation scaling and the ESG crossovers."""
+
+from repro.experiments import fig7
+
+
+def test_fig7_esg_scaling(once):
+    table_a, table_b = once(
+        fig7.run, sizes=(10, 20, 30, 40, 60, 80), repeats=2, seed=2016
+    )
+    table_a.show()
+    table_b.show()
+    # Execution delay is monotone ~O(n); simulation is polynomially steeper.
+    execution = table_a.column("execution_delay_s")
+    assert all(b > a for a, b in zip(execution, execution[1:]))
+    crossovers = dict(zip(table_b.column("variant"), table_b.column("crossover_nodes")))
+    no_feedback = crossovers["calibrated to paper axis, no feedback"]
+    feedback = crossovers["calibrated to paper axis, feedback k=n"]
+    # Paper: 900 and 190 nodes; same order of magnitude expected here.
+    assert 200 < no_feedback < 10_000
+    assert 50 < feedback < 2_000
+    assert feedback < no_feedback

@@ -1,0 +1,18 @@
+"""Fig. 8 — output measurability and the Section-5 power budget."""
+
+from repro.experiments import fig8
+
+
+def test_fig8_measurability(once):
+    table, summary = once(
+        fig8.run, sizes=(10, 20, 30, 40, 60), instances=4, challenges=4, seed=2016
+    )
+    table.show()
+    summary.show()
+    currents = table.column("avg_current_A")
+    assert currents == sorted(currents)  # linear growth
+    values = dict(zip(summary.column("quantity"), summary.column("value")))
+    # Same order of magnitude as the paper's 900-node estimates.
+    assert 3e-6 < values["avg current [A]"] < 3e-4
+    assert 1e-8 < values["current difference [A]"] < 1e-5
+    assert 1e-11 < values["energy per evaluation [J]"] < 1e-8

@@ -1,0 +1,21 @@
+"""Fig. 9 — output flip probability vs challenge minimum distance."""
+
+from repro.experiments import fig9
+
+
+def test_fig9_flip_probability(once):
+    table = once(
+        fig9.run,
+        n=40,
+        l=8,
+        distances=(1, 2, 4, 8, 16),
+        instances=3,
+        trials=30,
+        seed=2016,
+    )
+    table.show()
+    probabilities = dict(zip(table.column("distance"), table.column("flip_probability")))
+    assert probabilities[1] < 0.25
+    # Paper: approaches the ideal 0.5 by d = 16.
+    assert probabilities[16] > 0.3
+    assert probabilities[16] > probabilities[1]

@@ -1,0 +1,10 @@
+"""Extension — hardware-cost inventory (Section 4.2's motivation)."""
+
+from repro.experiments.hardware_cost import run
+
+
+def test_hardware_cost(once):
+    table = once(run)
+    table.show()
+    reductions = table.column("reduction")
+    assert all(b > a for a, b in zip(reductions, reductions[1:]))

@@ -1,0 +1,44 @@
+"""Extension — matching key exchange: correctness and modeled advantage."""
+
+import numpy as np
+import pytest
+
+from repro.ppuf import Ppuf
+from repro.ppuf.esg import ESGModel, PowerLawFit
+from repro.protocols import KeyExchange, KeyExchangeParameters
+
+
+@pytest.fixture(scope="module")
+def exchange():
+    device = Ppuf.create(16, 4, np.random.default_rng(2016))
+    return KeyExchange(
+        device, KeyExchangeParameters(num_challenges=24, chain_length=16), b"bench"
+    )
+
+
+def test_key_exchange_roundtrip(benchmark, exchange):
+    rng = np.random.default_rng(7)
+
+    def roundtrip():
+        index, digest = exchange.initiator_pick(rng)
+        recovered = exchange.holder_find(digest, rng)
+        assert recovered == index
+        return exchange.shared_secret(recovered)
+
+    secret = benchmark(roundtrip)
+    assert len(secret) == 32
+
+
+def test_eavesdropper_advantage(once, exchange):
+    model = ESGModel(
+        simulation=PowerLawFit(coefficient=2.4e-8, exponent=3.1),
+        execution=PowerLawFit(coefficient=6.7e-9, exponent=0.9),
+    )
+    costs = once(exchange.modeled_costs, model)
+    print(
+        f"initiator {costs.initiator_seconds:.3g}s (offline), "
+        f"holder {costs.holder_seconds:.3g}s, "
+        f"eavesdropper {costs.eavesdropper_seconds:.3g}s, "
+        f"advantage {costs.advantage_ratio:,.0f}x"
+    )
+    assert costs.advantage_ratio > 100

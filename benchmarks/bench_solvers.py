@@ -1,0 +1,31 @@
+"""Ablation — max-flow solver choice (same responses, different cost).
+
+Not a paper figure: DESIGN.md calls this ablation out because the maxflow
+engine lets the user pick the solver, and the pick must not change any
+response bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.flow import random_complete_network, solve_max_flow
+
+SIZE = 60
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(2016)
+    return random_complete_network(SIZE, rng, relative_sigma=0.4)
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["edmonds_karp", "dinic", "push_relabel", "highest_label", "capacity_scaling"],
+)
+def test_solver_cost(benchmark, instance, algorithm):
+    result = benchmark(
+        lambda: solve_max_flow(instance.copy(), 0, SIZE - 1, algorithm=algorithm)
+    )
+    reference = solve_max_flow(instance.copy(), 0, SIZE - 1, algorithm="dinic")
+    assert result.value == pytest.approx(reference.value, rel=1e-9)

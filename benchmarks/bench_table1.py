@@ -1,0 +1,13 @@
+"""Table 1 — statistical PUF metrics for 40-node PPUFs."""
+
+from repro.experiments import table1
+
+
+def test_table1_statistics(once):
+    table = once(table1.run, sizes=((40, 8),), instances=6, challenges=40, seed=2016)
+    table.show()
+    rows = {row["metric"]: row for row in table.rows}
+    assert abs(rows["inter_class_hd"]["mean"] - 0.5) < 0.15
+    assert rows["intra_class_hd"]["mean"] < 0.15
+    assert abs(rows["uniformity"]["mean"] - 0.5) < 0.2
+    assert abs(rows["randomness"]["mean"] - 0.5) < 0.2

@@ -1,0 +1,35 @@
+"""Ablation — prover/verifier asymmetry (Section 2's O(n^3) vs O(n^2)).
+
+Benchmarks the two halves of the authentication protocol on the same
+instance: producing a maximal flow (the attacker/simulation side) and
+verifying one (the verifier side).  The measured gap is the software
+incarnation of the verification asymmetry the PPUF protocol exploits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ppuf import Ppuf, PpufProver, PpufVerifier
+
+
+@pytest.fixture(scope="module")
+def protocol():
+    rng = np.random.default_rng(2016)
+    ppuf = Ppuf.create(40, 8, rng)
+    challenge = ppuf.challenge_space().random(rng)
+    prover = PpufProver(ppuf.network_a)
+    verifier = PpufVerifier(ppuf.network_a)
+    claim = prover.answer(challenge)  # warm capacity cache
+    return prover, verifier, challenge, claim
+
+
+def test_prover_solve_cost(benchmark, protocol):
+    prover, _, challenge, _ = protocol
+    claim = benchmark(lambda: prover.answer(challenge))
+    assert claim.value > 0
+
+
+def test_verifier_check_cost(benchmark, protocol):
+    _, verifier, _, claim = protocol
+    accepted = benchmark(lambda: verifier.verify(claim))
+    assert accepted

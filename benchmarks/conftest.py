@@ -1,0 +1,23 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one table/figure of the paper: it runs
+the corresponding :mod:`repro.experiments` driver once inside
+``benchmark.pedantic`` (the drivers are full experiments, not micro-kernels)
+and prints the regenerated rows so ``pytest benchmarks/ --benchmark-only -s``
+doubles as the reproduction report.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,83 @@
+"""Design-space exploration: sizing a PPUF for a target security level.
+
+Walks the design decisions of Sections 3-5 end to end:
+
+1. calibrate the bit-0/bit-1 gate biases for equal nominal currents;
+2. verify Requirement 2 (variation must dominate SCE drift) and the
+   SD-level ablation behind it;
+3. measure solver scaling, fit the ESG model, and size the node count for
+   a 1-second gap (with and without feedback loops);
+4. size the control grid for a target CRP-space and check comparator
+   requirements and the energy budget at the chosen design point.
+
+Run:  python examples/design_exploration.py
+"""
+
+import numpy as np
+
+from repro import NOMINAL_CONDITIONS, PTM32
+from repro.analysis.codes import crp_space_lower_bound
+from repro.analysis.montecarlo import requirement2_ratio, sd_level_drift
+from repro.analysis.power import estimate_power
+from repro.blocks.calibration import balance_bias, block_saturation_current
+from repro.flow import edmonds_karp, random_complete_network, time_solver
+from repro.ppuf.delay import lin_mead_delay_bound
+from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
+
+
+def main():
+    rng = np.random.default_rng(1)
+
+    # 1. bias calibration -------------------------------------------------
+    balanced = balance_bias(PTM32, NOMINAL_CONDITIONS)
+    nominal = block_saturation_current(NOMINAL_CONDITIONS.vgs_bit1, PTM32, NOMINAL_CONDITIONS)
+    print(f"1. bias calibration: bit-1 @ {NOMINAL_CONDITIONS.vgs_bit1} V pairs "
+          f"with bit-0 @ {balanced:.3f} V (equal Isat = {nominal:.3g} A)")
+
+    # 2. requirement 2 ----------------------------------------------------
+    result = requirement2_ratio(rng, samples=1500)
+    print(f"2. requirement 2: variation {result.variation_amplitude:.3g} A vs "
+          f"SCE drift {result.sce_change:.3g} A -> ratio {result.ratio:.0f}x "
+          "(paper: ~130x)")
+    for name, drift in sd_level_drift().items():
+        print(f"   {name}: relative saturation drift {drift:.2%}")
+
+    # 3. ESG sizing --------------------------------------------------------
+    sizes = (10, 20, 30, 40, 60)
+    samples = time_solver(
+        edmonds_karp,
+        lambda n: random_complete_network(n, rng, relative_sigma=0.3),
+        sizes,
+        repeats=2,
+    )
+    ops_fit = fit_power_law(sizes, [s.mean_operations for s in samples])
+    sim_fit = PowerLawFit(
+        coefficient=samples[-1].mean_seconds / sizes[-1] ** ops_fit.exponent,
+        exponent=ops_fit.exponent,
+    )
+    exe_fit = fit_power_law(sizes, [lin_mead_delay_bound(n) for n in sizes])
+    model = ESGModel(simulation=sim_fit, execution=exe_fit)
+    plain = model.crossover_nodes(1.0)
+    feedback = model.with_feedback(lambda n: n).crossover_nodes(1.0)
+    print(f"3. ESG sizing: T_sim ~ n^{sim_fit.exponent:.2f}, "
+          f"T_exe ~ n^{exe_fit.exponent:.2f}")
+    print(f"   1-second ESG at ~{plain:.0f} nodes "
+          f"(paper: 900), or ~{feedback:.0f} with feedback k=n (paper: 190)")
+
+    # 4. CRP space, comparator and energy at the design point --------------
+    n = int(round(feedback / 10) * 10)
+    l, d = 15, 30
+    bound = crp_space_lower_bound(n, l, d)
+    print(f"4. design point n={n}, l={l}, d={d}: "
+          f"N_CRP >= {float(bound):.3g}")
+    delay = lin_mead_delay_bound(n)
+    # Average current grows ~ (n-1) x the per-edge nominal current.
+    average_current = (n - 1) * nominal
+    budget = estimate_power(average_current, NOMINAL_CONDITIONS.v_supply, delay)
+    print(f"   execution delay {delay*1e6:.2f} us, "
+          f"avg current {average_current*1e6:.2f} uA, "
+          f"energy/evaluation {budget.energy_per_evaluation*1e12:.1f} pJ")
+
+
+if __name__ == "__main__":
+    main()

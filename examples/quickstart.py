@@ -1,0 +1,52 @@
+"""Quickstart: fabricate a PPUF, evaluate a challenge, check the public model.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Ppuf
+
+def main():
+    rng = np.random.default_rng(42)
+
+    # "Fabricate" a 20-node PPUF with a 4x4 control grid: two nominally
+    # identical crossbar networks that differ only through process variation.
+    ppuf = Ppuf.create(n=20, l=4, rng=rng)
+    print(f"PPUF with {ppuf.n} nodes, {ppuf.crossbar.num_edges} edge blocks, "
+          f"{ppuf.crossbar.num_control_bits} control bits")
+
+    # A challenge = type-A terminal selection + type-B control word.
+    challenge = ppuf.challenge_space().random(rng)
+    print(f"challenge: source={challenge.source} sink={challenge.sink} "
+          f"bits={challenge.bits.tolist()}")
+
+    # The *public simulation model*: max-flow on the complete graph with
+    # capacities equal to the edge saturation currents.
+    current_a, current_b = ppuf.currents(challenge, engine="maxflow")
+    print(f"simulated currents: A={current_a:.4g} A, B={current_b:.4g} A")
+
+    # The *execution*: a nonlinear DC solve of the analog crossbars (the
+    # software stand-in for applying V(s)=2V and reading the source current).
+    exec_a, exec_b = ppuf.currents(challenge, engine="circuit")
+    print(f"executed currents:  A={exec_a:.4g} A, B={exec_b:.4g} A")
+    print(f"model inaccuracy:   A={abs(current_a-exec_a)/exec_a:.3%}, "
+          f"B={abs(current_b-exec_b)/exec_b:.3%}  (paper: < 1%)")
+
+    # The response bit is the comparator's verdict on the two currents.
+    print(f"response bit: {ppuf.response(challenge)}")
+
+    # Responses are reproducible on the same silicon...
+    assert ppuf.response(challenge) == ppuf.response(challenge)
+    # ...but another die answers differently (with high probability over
+    # many challenges).
+    other = Ppuf.create(n=20, l=4, rng=rng)
+    challenges = ppuf.challenge_space().random_batch(20, rng)
+    ours = ppuf.response_bits(challenges)
+    theirs = other.response_bits(challenges)
+    print(f"inter-device response distance over 20 challenges: "
+          f"{np.mean(ours != theirs):.2f} (ideal 0.5)")
+
+
+if __name__ == "__main__":
+    main()

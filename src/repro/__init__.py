@@ -1,0 +1,58 @@
+"""repro — reproduction of "Practical Public PUF Enabled by Solving
+Max-Flow Problem on Chip" (Li, Miao, Zhong, Pan — DAC 2016).
+
+Quick start
+-----------
+
+>>> import numpy as np
+>>> from repro import Ppuf
+>>> rng = np.random.default_rng(0)
+>>> ppuf = Ppuf.create(n=20, l=4, rng=rng)
+>>> challenge = ppuf.challenge_space().random(rng)
+>>> ppuf.response(challenge) in (0, 1)
+True
+
+Subpackages
+-----------
+``repro.flow``       max-flow substrate (solvers, residual verification)
+``repro.circuit``    SPICE-lite device models and DC solver
+``repro.blocks``     PPUF building blocks (Fig. 2)
+``repro.ppuf``       the PPUF device, ESG, feedback, verification protocol
+``repro.analysis``   PUF metrics, environment corners, CRP-space counting
+``repro.attacks``    model-building attacks (LS-SVM, RFF ridge, KNN)
+``repro.baselines``  arbiter PUF baseline
+``repro.experiments`` drivers regenerating every table/figure of the paper
+"""
+
+from repro.circuit.ptm32 import (
+    NOMINAL_CONDITIONS,
+    OperatingConditions,
+    PTM32,
+    Technology,
+)
+from repro.ppuf import (
+    Challenge,
+    ChallengeSpace,
+    CurrentComparator,
+    Ppuf,
+    PpufProver,
+    PpufVerifier,
+    run_feedback_chain,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ppuf",
+    "Challenge",
+    "ChallengeSpace",
+    "CurrentComparator",
+    "PpufProver",
+    "PpufVerifier",
+    "run_feedback_chain",
+    "Technology",
+    "OperatingConditions",
+    "PTM32",
+    "NOMINAL_CONDITIONS",
+    "__version__",
+]

@@ -1,0 +1,60 @@
+"""Evaluation substrate: PUF metrics, environment corners, fits, codes."""
+
+from repro.analysis.metrics import (
+    MetricSummary,
+    inter_class_hd,
+    intra_class_hd,
+    uniformity,
+    randomness,
+    flip_probability,
+)
+from repro.analysis.environment import EnvironmentCorner, default_corners
+from repro.analysis.fitting import LinearFit, fit_linear
+from repro.analysis.power import PowerEstimate, estimate_power
+from repro.analysis.codes import (
+    hamming_ball_volume,
+    codebook_size_lower_bound,
+    crp_space_lower_bound,
+)
+from repro.analysis.montecarlo import Requirement2Result, requirement2_ratio
+from repro.analysis.bitstats import (
+    BitTestResult,
+    monobit_test,
+    response_stream,
+    runs_test,
+)
+from repro.analysis.entropy import EntropySummary, min_entropy_per_bit, response_entropy
+from repro.analysis.aging import AgingModel, aged_ppuf, aging_study
+from repro.analysis.cost import HardwareBudget, hardware_budget
+
+__all__ = [
+    "MetricSummary",
+    "inter_class_hd",
+    "intra_class_hd",
+    "uniformity",
+    "randomness",
+    "flip_probability",
+    "EnvironmentCorner",
+    "default_corners",
+    "LinearFit",
+    "fit_linear",
+    "PowerEstimate",
+    "estimate_power",
+    "hamming_ball_volume",
+    "codebook_size_lower_bound",
+    "crp_space_lower_bound",
+    "Requirement2Result",
+    "requirement2_ratio",
+    "BitTestResult",
+    "monobit_test",
+    "runs_test",
+    "response_stream",
+    "EntropySummary",
+    "min_entropy_per_bit",
+    "response_entropy",
+    "AgingModel",
+    "aged_ppuf",
+    "aging_study",
+    "HardwareBudget",
+    "hardware_budget",
+]

@@ -1,0 +1,85 @@
+"""Bit-stream randomness tests for PPUF response sequences.
+
+Beyond the aggregate Table-1 metrics, an authentication token generator
+cares whether a *stream* of response bits looks random.  This module
+implements the two classic NIST SP 800-22 screening tests in closed form:
+
+* **monobit (frequency) test** — is the number of ones consistent with a
+  fair coin?
+* **runs test** — is the number of bit alternations consistent with
+  independence?
+
+Both return p-values; a healthy PPUF response stream should pass at the
+usual 1 % significance level (asserted in the test suite on simulated
+streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BitTestResult:
+    """A randomness test outcome."""
+
+    name: str
+    statistic: float
+    p_value: float
+
+    def passes(self, significance: float = 0.01) -> bool:
+        """True when the stream is consistent with randomness."""
+        if not 0 < significance < 1:
+            raise ReproError(f"significance must be in (0, 1), got {significance}")
+        return self.p_value >= significance
+
+
+def _check_bits(bits) -> np.ndarray:
+    bits = np.asarray(bits)
+    if bits.ndim != 1 or bits.size < 16:
+        raise ReproError("need a 1-D stream of at least 16 bits")
+    if not np.all((bits == 0) | (bits == 1)):
+        raise ReproError("stream must contain only 0/1")
+    return bits.astype(np.int64)
+
+
+def monobit_test(bits) -> BitTestResult:
+    """NIST frequency test: |#ones - #zeros| / sqrt(n) against N(0, 1)."""
+    bits = _check_bits(bits)
+    n = bits.size
+    s = abs(int(2 * bits.sum() - n))
+    statistic = s / np.sqrt(n)
+    p_value = float(erfc(statistic / np.sqrt(2.0)))
+    return BitTestResult(name="monobit", statistic=float(statistic), p_value=p_value)
+
+
+def runs_test(bits) -> BitTestResult:
+    """NIST runs test: total alternations against expectation.
+
+    Prerequisite per the NIST spec: the monobit proportion must be within
+    2/sqrt(n) of 1/2, else the runs p-value is defined as 0.
+    """
+    bits = _check_bits(bits)
+    n = bits.size
+    pi = bits.mean()
+    if abs(pi - 0.5) >= 2.0 / np.sqrt(n):
+        return BitTestResult(name="runs", statistic=np.inf, p_value=0.0)
+    runs = int(np.count_nonzero(np.diff(bits))) + 1
+    expected = 2.0 * n * pi * (1.0 - pi)
+    statistic = abs(runs - expected) / (2.0 * np.sqrt(2.0 * n) * pi * (1.0 - pi))
+    p_value = float(erfc(statistic / np.sqrt(2.0)))
+    return BitTestResult(name="runs", statistic=float(statistic), p_value=p_value)
+
+
+def response_stream(ppuf, count: int, rng: np.random.Generator, *, engine: str = "maxflow") -> np.ndarray:
+    """Sample a response bit stream over fresh random challenges."""
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+    space = ppuf.challenge_space()
+    challenges = [space.random(rng) for _ in range(count)]
+    return ppuf.response_bits(challenges, engine=engine)

@@ -1,0 +1,122 @@
+"""Hardware-cost model of a PPUF design point (Section 4's trade-offs).
+
+The grid partition of Section 4.2 exists because of cost: one control
+signal per edge block would need n(n-1) voltage sources, growing
+quadratically, so the paper groups blocks into l² grids driven by
+capacitor-stored biases.  This module counts the silicon:
+
+* device counts — each edge block is 4 MOSFETs + 2 diodes + 2 resistors
+  (Fig. 2d), twice over for the two networks;
+* control resources — l² bias capacitors + their charge/discharge switches
+  per network, plus the 2·ceil(log2 n) terminal-select lines;
+* a first-order area estimate from per-device footprints.
+
+The companion experiment shows the n²-to-l² reduction in control signals —
+the quantitative version of the paper's "high cost for large design"
+argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Devices inside one edge block (Fig. 2d).
+MOSFETS_PER_BLOCK = 4
+DIODES_PER_BLOCK = 2
+RESISTORS_PER_BLOCK = 2
+
+
+@dataclass(frozen=True)
+class HardwareBudget:
+    """Silicon inventory of one complete PPUF (both networks).
+
+    Attributes
+    ----------
+    n, l:
+        Design point.
+    edge_blocks:
+        Total edge blocks: 2 * n * (n-1).
+    mosfets, diodes, resistors:
+        Device totals across both networks.
+    bias_capacitors:
+        Capacitor-stored control biases: 2 * l².
+    control_signals:
+        External control lines: l² shared type-B inputs + terminal-select
+        lines (the quantity the grid partition reduces from n(n-1)).
+    naive_control_signals:
+        What one-signal-per-block would have cost: n * (n-1).
+    area_m2:
+        First-order active-area estimate.
+    """
+
+    n: int
+    l: int
+    edge_blocks: int
+    mosfets: int
+    diodes: int
+    resistors: int
+    bias_capacitors: int
+    control_signals: int
+    naive_control_signals: int
+    area_m2: float
+
+    @property
+    def control_reduction(self) -> float:
+        """How many times fewer control signals the grid partition needs."""
+        return self.naive_control_signals / max(self.control_signals, 1)
+
+
+def hardware_budget(
+    n: int,
+    l: int,
+    *,
+    mosfet_area: float = 0.5e-12,
+    diode_area: float = 0.3e-12,
+    resistor_area: float = 2.0e-12,
+    capacitor_area: float = 5.0e-12,
+) -> HardwareBudget:
+    """Count devices and estimate area for a design point.
+
+    Default footprints are 32 nm-class orders of magnitude (the resistor
+    and bias capacitor dominate, as they would on silicon).
+    """
+    if n < 2:
+        raise ReproError(f"need at least 2 nodes, got {n}")
+    if not 1 <= l <= n:
+        raise ReproError(f"grid dimension must satisfy 1 <= l <= n, got {l}")
+    for name, value in (
+        ("mosfet_area", mosfet_area),
+        ("diode_area", diode_area),
+        ("resistor_area", resistor_area),
+        ("capacitor_area", capacitor_area),
+    ):
+        if value <= 0:
+            raise ReproError(f"{name} must be positive")
+
+    blocks = 2 * n * (n - 1)
+    mosfets = blocks * MOSFETS_PER_BLOCK
+    diodes = blocks * DIODES_PER_BLOCK
+    resistors = blocks * RESISTORS_PER_BLOCK
+    capacitors = 2 * l * l
+    terminal_lines = 2 * max(1, (n - 1).bit_length())
+    control_signals = l * l + terminal_lines
+    area = (
+        mosfets * mosfet_area
+        + diodes * diode_area
+        + resistors * resistor_area
+        + capacitors * capacitor_area
+    )
+    return HardwareBudget(
+        n=n,
+        l=l,
+        edge_blocks=blocks,
+        mosfets=mosfets,
+        diodes=diodes,
+        resistors=resistors,
+        bias_capacitors=capacitors,
+        control_signals=control_signals,
+        naive_control_signals=n * (n - 1),
+        area_m2=float(area),
+    )

@@ -1,0 +1,90 @@
+"""Response-entropy estimation.
+
+The CRP-space bound of Section 4.2 counts *challenges*; whether responses
+actually carry entropy is an empirical question answered from a response
+matrix (instances × challenges):
+
+* **per-challenge min-entropy** — ``-log2(max(p1, 1-p1))`` with ``p1`` the
+  fraction of instances answering 1: how hard is the *most likely* answer
+  to guess for a fresh device?
+* **average min-entropy** of a response bit across the challenge set;
+* **pairwise-bit correlation** — large |correlation| between challenge
+  columns means the effective key space is smaller than the bit count.
+
+These are standard PUF-corpus statistics (the natural follow-up to the
+paper's Table 1) with small-sample bias noted in the docstrings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class EntropySummary:
+    """Entropy statistics of a response matrix.
+
+    Attributes
+    ----------
+    per_challenge_min_entropy:
+        (challenges,) min-entropy in bits of each response bit.
+    average_min_entropy:
+        Mean of the above [bits/bit]; 1.0 is ideal.
+    max_abs_correlation:
+        Largest |Pearson correlation| between any two challenge columns
+        (computed over instances); near 0 is ideal.
+    """
+
+    per_challenge_min_entropy: np.ndarray
+    average_min_entropy: float
+    max_abs_correlation: float
+
+
+def _check_matrix(responses) -> np.ndarray:
+    responses = np.asarray(responses)
+    if responses.ndim != 2 or responses.shape[0] < 2:
+        raise ReproError(
+            "need a (instances >= 2, challenges) response matrix, got "
+            f"shape {responses.shape}"
+        )
+    if not np.all((responses == 0) | (responses == 1)):
+        raise ReproError("responses must be 0/1")
+    return responses.astype(np.float64)
+
+
+def min_entropy_per_bit(responses) -> np.ndarray:
+    """Per-challenge min-entropy [bits] from the instance population.
+
+    Small-sample note: with K instances the estimate saturates at
+    ``log2(K)``; treat values near that ceiling as "no bias detected".
+    """
+    responses = _check_matrix(responses)
+    p_one = responses.mean(axis=0)
+    p_max = np.maximum(p_one, 1.0 - p_one)
+    # Guard exact-0 log for constant columns.
+    return -np.log2(np.clip(p_max, 1e-12, 1.0))
+
+
+def response_entropy(responses) -> EntropySummary:
+    """Full entropy summary of a response matrix."""
+    responses = _check_matrix(responses)
+    per_bit = min_entropy_per_bit(responses)
+
+    max_correlation = 0.0
+    if responses.shape[1] >= 2:
+        # Columns with zero variance carry no correlation information.
+        stds = responses.std(axis=0)
+        varying = responses[:, stds > 0]
+        if varying.shape[1] >= 2:
+            correlation = np.corrcoef(varying, rowvar=False)
+            off_diagonal = correlation[~np.eye(correlation.shape[0], dtype=bool)]
+            max_correlation = float(np.max(np.abs(off_diagonal)))
+    return EntropySummary(
+        per_challenge_min_entropy=per_bit,
+        average_min_entropy=float(per_bit.mean()),
+        max_abs_correlation=max_correlation,
+    )

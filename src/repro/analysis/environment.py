@@ -1,0 +1,66 @@
+"""Environmental corners for the intra-class-HD evaluation.
+
+Section 5: intra-class HD accounts for a supply-voltage variation of 10 %
+and temperatures from −20 °C to 80 °C.  A corner is a (supply scale,
+temperature) pair; :func:`default_corners` spans the paper's ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ReproError
+from repro.units import celsius
+
+
+@dataclass(frozen=True)
+class EnvironmentCorner:
+    """One environmental stress point."""
+
+    supply_scale: float
+    temperature_c: float
+    label: str = ""
+
+    def __post_init__(self):
+        if self.supply_scale <= 0:
+            raise ReproError(f"supply scale must be positive, got {self.supply_scale}")
+        if not self.label:
+            object.__setattr__(
+                self,
+                "label",
+                f"V x{self.supply_scale:.2f} / {self.temperature_c:+.0f} C",
+            )
+
+    @property
+    def temperature_k(self) -> float:
+        return celsius(self.temperature_c)
+
+    def apply(self, ppuf):
+        """Return the PPUF viewed at this corner."""
+        return ppuf.at_environment(
+            supply_scale=self.supply_scale, temperature_k=self.temperature_k
+        )
+
+
+def default_corners(
+    *,
+    supply_scales: Sequence[float] = (0.9, 1.1),
+    temperatures_c: Sequence[float] = (-20.0, 80.0),
+    include_cross: bool = True,
+) -> List[EnvironmentCorner]:
+    """The paper's stress grid: ±10 % supply and −20/80 °C extremes.
+
+    With ``include_cross`` the full product grid is returned; otherwise only
+    the single-axis corners.
+    """
+    corners: List[EnvironmentCorner] = []
+    for scale in supply_scales:
+        corners.append(EnvironmentCorner(supply_scale=scale, temperature_c=27.0))
+    for temp in temperatures_c:
+        corners.append(EnvironmentCorner(supply_scale=1.0, temperature_c=temp))
+    if include_cross:
+        for scale in supply_scales:
+            for temp in temperatures_c:
+                corners.append(EnvironmentCorner(supply_scale=scale, temperature_c=temp))
+    return corners

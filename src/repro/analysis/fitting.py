@@ -1,0 +1,41 @@
+"""Fitting and extrapolation helpers (Figs. 7 and 8).
+
+The paper measures small PPUFs and extrapolates to 900 nodes; the linear
+fit here serves Fig. 8 (output current scales linearly in n) while the
+power-law fit lives in :mod:`repro.ppuf.esg` next to the ESG model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """A fitted line ``y(x) = slope * x + intercept`` with fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def __call__(self, x) -> np.ndarray:
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+def fit_linear(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least-squares line through the samples."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise SolverError("need at least two (x, y) samples")
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    total = float(np.sum((y - y.mean()) ** 2))
+    residual = float(np.sum((y - predicted) ** 2))
+    r_squared = 1.0 - residual / total if total > 0 else 1.0
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)

@@ -1,0 +1,149 @@
+"""Standard PUF quality metrics (Table 1, Fig. 9).
+
+Conventions follow Maiti, Gunreddy & Schaumont's systematic evaluation
+method (the paper's ref [27]):
+
+* **inter-class HD** — normalised Hamming distance between the response
+  words of *different* PPUF instances to the same challenges (ideal 0.5);
+* **intra-class HD** — distance between one instance's nominal responses
+  and its responses under environmental stress (ideal 0);
+* **uniformity** — fraction of 1s in one instance's response word
+  (ideal 0.5), summarised across instances;
+* **randomness** — per-challenge fraction of 1s across instances, i.e.
+  bit-aliasing (ideal 0.5).
+
+All functions consume a *response matrix* of shape ``(instances,
+challenges)`` with 0/1 entries, so the (expensive) PPUF evaluations happen
+once in the caller and every metric is pure array arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean/std summary of a metric's sample distribution."""
+
+    name: str
+    mean: float
+    std: float
+    samples: np.ndarray
+
+    @classmethod
+    def from_samples(cls, name: str, samples) -> "MetricSummary":
+        samples = np.asarray(samples, dtype=np.float64)
+        if samples.size == 0:
+            raise ReproError(f"metric {name!r} has no samples")
+        return cls(
+            name=name,
+            mean=float(samples.mean()),
+            std=float(samples.std(ddof=1)) if samples.size > 1 else 0.0,
+            samples=samples,
+        )
+
+
+def _check_matrix(responses: np.ndarray) -> np.ndarray:
+    responses = np.asarray(responses)
+    if responses.ndim != 2:
+        raise ReproError(
+            f"expected a (instances, challenges) matrix, got shape {responses.shape}"
+        )
+    if not np.all((responses == 0) | (responses == 1)):
+        raise ReproError("responses must be 0/1")
+    return responses.astype(np.float64)
+
+
+def inter_class_hd(responses: np.ndarray) -> MetricSummary:
+    """Pairwise normalised HD between instances (one sample per pair)."""
+    responses = _check_matrix(responses)
+    if responses.shape[0] < 2:
+        raise ReproError("inter-class HD needs at least 2 instances")
+    samples = [
+        float(np.mean(responses[i] != responses[j]))
+        for i, j in combinations(range(responses.shape[0]), 2)
+    ]
+    return MetricSummary.from_samples("inter_class_hd", samples)
+
+
+def intra_class_hd(reference: np.ndarray, stressed: np.ndarray) -> MetricSummary:
+    """Normalised HD between nominal and stressed responses.
+
+    Parameters
+    ----------
+    reference:
+        (instances, challenges) nominal responses.
+    stressed:
+        (corners, instances, challenges) responses under environmental
+        stress; one HD sample per (corner, instance).
+    """
+    reference = _check_matrix(reference)
+    stressed = np.asarray(stressed)
+    if stressed.ndim != 3 or stressed.shape[1:] != reference.shape:
+        raise ReproError(
+            "stressed must have shape (corners,) + reference.shape; got "
+            f"{stressed.shape} vs {reference.shape}"
+        )
+    samples = [
+        float(np.mean(stressed[c, i] != reference[i]))
+        for c in range(stressed.shape[0])
+        for i in range(reference.shape[0])
+    ]
+    return MetricSummary.from_samples("intra_class_hd", samples)
+
+
+def uniformity(responses: np.ndarray) -> MetricSummary:
+    """Fraction of 1s per instance."""
+    responses = _check_matrix(responses)
+    return MetricSummary.from_samples("uniformity", responses.mean(axis=1))
+
+
+def randomness(responses: np.ndarray) -> MetricSummary:
+    """Per-challenge fraction of 1s across instances (bit aliasing)."""
+    responses = _check_matrix(responses)
+    if responses.shape[0] < 2:
+        raise ReproError("randomness needs at least 2 instances")
+    return MetricSummary.from_samples("randomness", responses.mean(axis=0))
+
+
+def flip_probability(
+    ppuf,
+    distance: int,
+    rng: np.random.Generator,
+    *,
+    trials: int = 100,
+    engine: str = "maxflow",
+) -> float:
+    """Probability that flipping ``distance`` input bits flips the output.
+
+    The Fig. 9 primitive: sample a random challenge, flip a random set of
+    ``distance`` positions of its *full input word* — the type-A terminal
+    fields plus the l² type-B control bits, i.e. everything the paper's
+    "input vector" carries — and compare responses.
+    """
+    from repro.ppuf.challenge import Challenge
+
+    word_length = (
+        2 * Challenge.terminal_field_width(ppuf.n) + ppuf.crossbar.num_control_bits
+    )
+    if distance < 0 or distance > word_length:
+        raise ReproError(f"distance must be in [0, {word_length}]")
+    if trials < 1:
+        raise ReproError(f"trials must be >= 1, got {trials}")
+    space = ppuf.challenge_space()
+    flips = 0
+    for _ in range(trials):
+        challenge = space.random(rng)
+        word = challenge.input_word(ppuf.n)
+        positions = rng.choice(word_length, size=distance, replace=False)
+        word[positions] ^= 1
+        flipped = Challenge.from_input_word(word, ppuf.n)
+        if ppuf.response(challenge, engine=engine) != ppuf.response(flipped, engine=engine):
+            flips += 1
+    return flips / trials

@@ -1,0 +1,82 @@
+"""Power and energy budget (Section 5's 900-node estimate).
+
+The paper's accounting: the two crossbars draw (2 × average network
+current × V(s)); the current comparator draws its static power; one
+evaluation lasts the execution delay, so
+
+    E_eval = (P_crossbars + P_comparator) * T_exe(n).
+
+For its 900-node design the paper reports 134.4 µW (crossbars), 153 µW
+(comparator, ref [25]), 1.0 µs delay → ≈ 287.4 pJ per evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Per-evaluation power/energy breakdown.
+
+    Attributes
+    ----------
+    crossbar_power:
+        Static draw of the two networks [W].
+    comparator_power:
+        Comparator draw [W].
+    execution_delay:
+        Evaluation duration [s].
+    energy_per_evaluation:
+        Total energy of one evaluation [J].
+    """
+
+    crossbar_power: float
+    comparator_power: float
+    execution_delay: float
+
+    @property
+    def total_power(self) -> float:
+        return self.crossbar_power + self.comparator_power
+
+    @property
+    def energy_per_evaluation(self) -> float:
+        return self.total_power * self.execution_delay
+
+
+def estimate_power(
+    average_network_current: float,
+    supply_voltage: float,
+    execution_delay: float,
+    *,
+    comparator_power: float = 153e-6,
+) -> PowerEstimate:
+    """Build the Section-5 power budget from measured/fitted quantities.
+
+    Parameters
+    ----------
+    average_network_current:
+        Mean source current of one crossbar network [A] (from Fig. 8's fit).
+    supply_voltage:
+        V(s) [V].
+    execution_delay:
+        T_exe at the design's node count [s].
+    comparator_power:
+        Static comparator power [W] (default from the paper's ref [25]).
+    """
+    if average_network_current < 0:
+        raise ReproError("network current must be non-negative")
+    if supply_voltage <= 0:
+        raise ReproError("supply voltage must be positive")
+    if execution_delay <= 0:
+        raise ReproError("execution delay must be positive")
+    if comparator_power < 0:
+        raise ReproError("comparator power must be non-negative")
+    crossbar_power = 2.0 * average_network_current * supply_voltage
+    return PowerEstimate(
+        crossbar_power=crossbar_power,
+        comparator_power=comparator_power,
+        execution_delay=execution_delay,
+    )

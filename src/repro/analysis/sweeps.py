@@ -1,0 +1,105 @@
+"""Technology parameter sweeps.
+
+A designer adopting this PPUF tunes a handful of technology knobs (λ, the
+variation sigmas, the degeneration resistor).  This module provides a small
+sweep framework plus canned metric functions for the two design-critical
+quantities:
+
+* the Requirement-2 ratio (variation amplitude / SCE drift), and
+* the population uniqueness (inter-class HD of small PPUF populations).
+
+``examples/technology_sweep.py`` walks both.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import inter_class_hd
+from repro.analysis.montecarlo import requirement2_ratio
+from repro.circuit.ptm32 import NOMINAL_CONDITIONS, PTM32, Technology
+from repro.errors import ReproError
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a one-parameter technology sweep."""
+
+    parameter: str
+    values: List[float]
+    metrics: Dict[str, List[float]] = field(default_factory=dict)
+
+    def metric(self, name: str) -> List[float]:
+        if name not in self.metrics:
+            known = ", ".join(sorted(self.metrics))
+            raise ReproError(f"unknown metric {name!r}; have {known}")
+        return self.metrics[name]
+
+
+def sweep_technology(
+    parameter: str,
+    values: Sequence[float],
+    metric_fn: Callable[[Technology], Dict[str, float]],
+    *,
+    base: Technology = PTM32,
+) -> SweepResult:
+    """Evaluate ``metric_fn`` across variants of one technology field."""
+    if not hasattr(base, parameter):
+        raise ReproError(f"technology card has no field {parameter!r}")
+    if len(values) == 0:
+        raise ReproError("sweep needs at least one value")
+    result = SweepResult(parameter=parameter, values=list(values))
+    for value in values:
+        tech = dataclasses.replace(base, **{parameter: value})
+        metrics = metric_fn(tech)
+        for name, metric_value in metrics.items():
+            result.metrics.setdefault(name, []).append(float(metric_value))
+    return result
+
+
+def requirement2_metric(*, samples: int = 500, seed: int = 0):
+    """Canned metric: the Requirement-2 ratio for a technology card."""
+
+    def metric(tech: Technology) -> Dict[str, float]:
+        rng = np.random.default_rng(seed)
+        outcome = requirement2_ratio(rng, samples=samples, tech=tech)
+        return {
+            "req2_ratio": outcome.ratio,
+            "variation_amplitude": outcome.variation_amplitude,
+            "sce_change": outcome.sce_change,
+        }
+
+    return metric
+
+
+def uniqueness_metric(
+    *,
+    n: int = 12,
+    l: int = 3,
+    instances: int = 5,
+    challenges: int = 20,
+    seed: int = 0,
+):
+    """Canned metric: inter-class HD of a small PPUF population."""
+
+    def metric(tech: Technology) -> Dict[str, float]:
+        from repro.ppuf import Ppuf
+
+        rng = np.random.default_rng(seed)
+        ppufs = [
+            Ppuf.create(n, l, rng, tech=tech, conditions=NOMINAL_CONDITIONS)
+            for _ in range(instances)
+        ]
+        space = ppufs[0].challenge_space()
+        challenge_list = [space.random(rng) for _ in range(challenges)]
+        responses = np.stack(
+            [ppuf.response_bits(challenge_list) for ppuf in ppufs]
+        )
+        summary = inter_class_hd(responses)
+        return {"inter_class_hd": summary.mean}
+
+    return metric

@@ -1,0 +1,46 @@
+"""Model-building attacks (Fig. 10).
+
+The paper attacks its PPUF with a parametric learner (SVM with an RBF
+kernel — its ref [28] is the least-squares SVM) and a non-parametric one
+(KNN, K = 1, 3, ..., 21), reporting the *minimum* error over all learners.
+No ML library is available offline, so both are implemented from scratch:
+
+* :class:`~repro.attacks.lssvm.LSSVM` — exact dense LS-SVM solve;
+* :class:`~repro.attacks.rff.RFFRidge` — random-Fourier-feature ridge
+  regression, the scalable approximation used for large CRP counts;
+* :class:`~repro.attacks.knn.KNNClassifier` — vectorised KNN.
+"""
+
+from repro.attacks.kernels import rbf_kernel, linear_kernel, median_heuristic_gamma
+from repro.attacks.linear import LinearRidgeClassifier
+from repro.attacks.logistic import LogisticAttacker
+from repro.attacks.lssvm import LSSVM
+from repro.attacks.rff import RFFRidge
+from repro.attacks.structural import StructuralSimulator
+from repro.attacks.knn import KNNClassifier
+from repro.attacks.dataset import (
+    AttackDataset,
+    build_attack_dataset,
+    build_ppuf_attack_dataset,
+    challenge_features,
+)
+from repro.attacks.harness import AttackPoint, attack_curve, best_prediction_error
+
+__all__ = [
+    "rbf_kernel",
+    "linear_kernel",
+    "median_heuristic_gamma",
+    "LSSVM",
+    "LinearRidgeClassifier",
+    "LogisticAttacker",
+    "RFFRidge",
+    "StructuralSimulator",
+    "KNNClassifier",
+    "AttackDataset",
+    "build_attack_dataset",
+    "build_ppuf_attack_dataset",
+    "challenge_features",
+    "AttackPoint",
+    "attack_curve",
+    "best_prediction_error",
+]

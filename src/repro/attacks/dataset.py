@@ -1,0 +1,148 @@
+"""CRP dataset construction for attack experiments.
+
+Fig. 10's attacker observes full challenges — the type-A terminal selection
+*and* the l² type-B control bits — plus the response bit.  Features are the
+±1-encoded control word concatenated with one-hot source/sink encodings.
+
+For the arbiter-PUF baseline, the attacker exploits the publicly known
+additive delay model and learns on the standard parity features, which is
+what makes arbiter PUFs fall so quickly — the contrast Fig. 10 draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import AttackError
+
+
+@dataclass(frozen=True)
+class AttackDataset:
+    """±1 feature/label matrices split into train and test halves."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    def __post_init__(self):
+        if self.train_x.shape[0] != self.train_y.size:
+            raise AttackError("train feature/label size mismatch")
+        if self.test_x.shape[0] != self.test_y.size:
+            raise AttackError("test feature/label size mismatch")
+
+    @property
+    def num_train(self) -> int:
+        return int(self.train_y.size)
+
+    @property
+    def num_test(self) -> int:
+        return int(self.test_y.size)
+
+    def truncated(self, train_count: int) -> "AttackDataset":
+        """Same test set, only the first ``train_count`` training CRPs.
+
+        Lets one response sweep serve every point of the Fig. 10 curve.
+        """
+        if not 0 < train_count <= self.num_train:
+            raise AttackError(
+                f"train_count must be in (0, {self.num_train}], got {train_count}"
+            )
+        return AttackDataset(
+            train_x=self.train_x[:train_count],
+            train_y=self.train_y[:train_count],
+            test_x=self.test_x,
+            test_y=self.test_y,
+        )
+
+
+def build_attack_dataset(
+    responder: Callable[[np.ndarray], np.ndarray],
+    num_bits: int,
+    train_count: int,
+    test_count: int,
+    rng: np.random.Generator,
+    *,
+    feature_map: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+) -> AttackDataset:
+    """Sample random control words and label them with a responder.
+
+    Parameters
+    ----------
+    responder:
+        Callable mapping a (count, num_bits) 0/1 matrix to a 0/1 response
+        vector.
+    num_bits:
+        Control-word length.
+    feature_map:
+        Attacker-side feature transform of the raw 0/1 words; defaults to
+        the plain ±1 encoding.  The arbiter baseline passes its parity
+        transform here (the attacker knows the arbiter model).
+    """
+    if train_count < 1 or test_count < 1:
+        raise AttackError("train and test counts must be positive")
+    total = train_count + test_count
+    words = rng.integers(0, 2, size=(total, num_bits), dtype=np.uint8)
+    responses = np.asarray(responder(words))
+    if responses.shape != (total,):
+        raise AttackError(
+            f"responder returned shape {responses.shape}; expected ({total},)"
+        )
+    if feature_map is None:
+        features = words.astype(np.float64) * 2.0 - 1.0
+    else:
+        features = np.asarray(feature_map(words), dtype=np.float64)
+        if features.shape[0] != total:
+            raise AttackError("feature_map changed the sample count")
+    labels = responses.astype(np.float64) * 2.0 - 1.0
+    return AttackDataset(
+        train_x=features[:train_count],
+        train_y=labels[:train_count],
+        test_x=features[train_count:],
+        test_y=labels[train_count:],
+    )
+
+
+def challenge_features(challenge, n: int) -> np.ndarray:
+    """Full-challenge attack features: one-hot terminals + ±1 control word."""
+    source = np.zeros(n)
+    sink = np.zeros(n)
+    source[challenge.source] = 1.0
+    sink[challenge.sink] = 1.0
+    return np.concatenate([source, sink, challenge.feature_vector()])
+
+
+def build_ppuf_attack_dataset(
+    ppuf,
+    train_count: int,
+    test_count: int,
+    rng: np.random.Generator,
+    *,
+    engine: str = "maxflow",
+    fixed_terminals: bool = False,
+) -> AttackDataset:
+    """Observe CRPs of a PPUF with full random challenges.
+
+    ``fixed_terminals=True`` pins the type-A selection — the ablation that
+    shows how much of the PPUF's attack resilience the varying terminals
+    contribute.
+    """
+    if train_count < 1 or test_count < 1:
+        raise AttackError("train and test counts must be positive")
+    space = ppuf.challenge_space()
+    total = train_count + test_count
+    kwargs = {"source": 0, "sink": ppuf.n - 1} if fixed_terminals else {}
+    challenges = [space.random(rng, **kwargs) for _ in range(total)]
+    features = np.stack([challenge_features(c, ppuf.n) for c in challenges])
+    labels = np.array(
+        [ppuf.response(c, engine=engine) * 2 - 1 for c in challenges], dtype=np.float64
+    )
+    return AttackDataset(
+        train_x=features[:train_count],
+        train_y=labels[:train_count],
+        test_x=features[train_count:],
+        test_y=labels[train_count:],
+    )

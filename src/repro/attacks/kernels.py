@@ -1,0 +1,46 @@
+"""Kernels for the model-building attacks."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.errors import AttackError
+
+
+def linear_kernel(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Plain inner-product kernel."""
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    return x @ y.T
+
+
+def rbf_kernel(x: np.ndarray, y: np.ndarray, gamma: float) -> np.ndarray:
+    """Radial basis function kernel ``exp(-gamma * ||x - y||^2)``."""
+    if gamma <= 0:
+        raise AttackError(f"gamma must be positive, got {gamma}")
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    y = np.atleast_2d(np.asarray(y, dtype=np.float64))
+    squared = cdist(x, y, metric="sqeuclidean")
+    return np.exp(-gamma * squared)
+
+
+def median_heuristic_gamma(x: np.ndarray, *, max_samples: int = 500, rng=None) -> float:
+    """The median heuristic: gamma = 1 / median(squared pairwise distance).
+
+    A standard parameter-free bandwidth choice; subsamples large training
+    sets for tractability.
+    """
+    x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+    if x.shape[0] < 2:
+        raise AttackError("median heuristic needs at least 2 samples")
+    if x.shape[0] > max_samples:
+        rng = rng or np.random.default_rng(0)
+        idx = rng.choice(x.shape[0], size=max_samples, replace=False)
+        x = x[idx]
+    squared = cdist(x, x, metric="sqeuclidean")
+    upper = squared[np.triu_indices_from(squared, k=1)]
+    median = float(np.median(upper))
+    if median <= 0:
+        raise AttackError("degenerate training set: zero median distance")
+    return 1.0 / median

@@ -1,0 +1,58 @@
+"""K-nearest-neighbour classifier (the paper's non-parametric attack)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.errors import AttackError
+
+
+@dataclass
+class KNNClassifier:
+    """Majority vote over the K nearest training points (Euclidean).
+
+    Ties in the vote resolve toward the single nearest neighbour's label,
+    which also makes K-even values well defined.
+    """
+
+    k: int = 1
+    _train_x: np.ndarray = field(default=None, repr=False)
+    _train_y: np.ndarray = field(default=None, repr=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape[0] != y.size:
+            raise AttackError(
+                f"feature/label mismatch: {x.shape[0]} rows vs {y.size} labels"
+            )
+        if self.k < 1:
+            raise AttackError(f"k must be >= 1, got {self.k}")
+        if self.k > x.shape[0]:
+            raise AttackError(f"k={self.k} exceeds the training size {x.shape[0]}")
+        self._train_x = x
+        self._train_y = y
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """±1 predictions by majority vote."""
+        if self._train_x is None:
+            raise AttackError("classifier is not fitted")
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        distances = cdist(x, self._train_x, metric="sqeuclidean")
+        # argpartition picks the k smallest per row without a full sort.
+        nearest = np.argpartition(distances, self.k - 1, axis=1)[:, : self.k]
+        votes = self._train_y[nearest].sum(axis=1)
+        rows = np.arange(x.shape[0])
+        closest = np.argmin(distances, axis=1)
+        tie_break = self._train_y[closest]
+        predictions = np.where(votes > 0, 1.0, np.where(votes < 0, -1.0, tie_break[rows]))
+        return predictions
+
+    def error_rate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Misclassification rate on a labelled set."""
+        y = np.asarray(y, dtype=np.float64).ravel()
+        return float(np.mean(self.predict(x) != y))

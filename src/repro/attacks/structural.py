@@ -1,0 +1,81 @@
+"""The structural attacker: perfect predictions, unacceptable latency.
+
+Black-box learners (Fig. 10) fail against the PPUF's nonlinear boundary —
+but a PPUF's security was never about model secrecy.  The *structural*
+attacker simply holds the public simulation model and answers every
+challenge by solving max-flow.  Its prediction error is ~the simulation
+inaccuracy (essentially zero at the bit level), which is exactly why the
+protocol must be *time-bounded*: the structural attacker's per-response
+latency is the simulation time that the ESG guarantees to be orders of
+magnitude above the device's settling time.
+
+:class:`StructuralSimulator` measures both sides — accuracy and latency —
+so examples and benchmarks can show the complete security argument:
+Fig. 10 kills the fast attackers, the ESG kills the accurate one.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import AttackError
+
+
+@dataclass
+class StructuralSimulator:
+    """An attacker holding a device's public model.
+
+    Parameters
+    ----------
+    ppuf:
+        The victim's public model (for a PPUF this is published).
+    algorithm:
+        Max-flow solver the attacker uses per query.
+    """
+
+    ppuf: object
+    algorithm: str = "push_relabel"
+    query_seconds: List[float] = field(default_factory=list)
+
+    def predict(self, challenge) -> int:
+        """Answer one challenge by simulation, recording the latency."""
+        from repro.ppuf.engines import network_current
+
+        start = time.perf_counter()
+        current_a = network_current(
+            self.ppuf.network_a, challenge, "maxflow", algorithm=self.algorithm
+        )
+        current_b = network_current(
+            self.ppuf.network_b, challenge, "maxflow", algorithm=self.algorithm
+        )
+        bit = self.ppuf.comparator.compare(current_a, current_b)
+        self.query_seconds.append(time.perf_counter() - start)
+        return bit
+
+    def prediction_error(self, challenges, references) -> float:
+        """Error against reference responses (expected ~0)."""
+        references = list(references)
+        if len(challenges) != len(references):
+            raise AttackError("challenge/reference length mismatch")
+        if not challenges:
+            raise AttackError("need at least one challenge")
+        wrong = sum(
+            self.predict(challenge) != reference
+            for challenge, reference in zip(challenges, references)
+        )
+        return wrong / len(challenges)
+
+    @property
+    def mean_query_seconds(self) -> float:
+        """Measured per-response simulation latency."""
+        if not self.query_seconds:
+            raise AttackError("no queries recorded yet")
+        return sum(self.query_seconds) / len(self.query_seconds)
+
+    def latency_ratio(self, device_delay_seconds: float) -> float:
+        """How many times slower than the physical device this attacker is."""
+        if device_delay_seconds <= 0:
+            raise AttackError("device delay must be positive")
+        return self.mean_query_seconds / device_delay_seconds

@@ -1,0 +1,5 @@
+"""Baseline PUFs the paper compares against."""
+
+from repro.baselines.arbiter import ArbiterPuf
+
+__all__ = ["ArbiterPuf"]

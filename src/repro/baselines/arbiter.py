@@ -1,0 +1,79 @@
+"""Arbiter PUF baseline (Fig. 10's comparison point).
+
+The standard additive linear delay model (Lee et al., the paper's ref [2]):
+each stage contributes a delay difference depending on its challenge bit;
+the response is the sign of the accumulated difference.  In the well-known
+parity-feature form,
+
+    response = sign( w . phi(c) + b ),   phi_i(c) = prod_{j >= i} (1 - 2 c_j),
+
+which is *linearly separable* in phi — the reason model-building attacks
+crack arbiter PUFs quickly, and the contrast the paper draws with its own
+nonlinear response boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ChallengeError
+
+
+@dataclass
+class ArbiterPuf:
+    """A linear-delay-model arbiter PUF.
+
+    Parameters
+    ----------
+    num_stages:
+        Challenge length (matched to the PPUF's l² in Fig. 10).
+    rng:
+        Generator used to fabricate the stage delays.
+    sigma:
+        Stage delay-difference spread (arbitrary units; only the sign of the
+        total matters).
+    """
+
+    num_stages: int
+    rng: np.random.Generator
+    sigma: float = 1.0
+    _weights: np.ndarray = field(default=None, repr=False)
+    _bias: float = field(default=0.0, repr=False)
+
+    def __post_init__(self):
+        if self.num_stages < 1:
+            raise ChallengeError(f"num_stages must be >= 1, got {self.num_stages}")
+        if self.sigma <= 0:
+            raise ChallengeError(f"sigma must be positive, got {self.sigma}")
+        self._weights = self.rng.normal(0.0, self.sigma, size=self.num_stages)
+        self._bias = float(self.rng.normal(0.0, self.sigma))
+
+    @staticmethod
+    def parity_features(challenges: np.ndarray) -> np.ndarray:
+        """phi(c): suffix products of the ±1-encoded challenge bits."""
+        challenges = np.atleast_2d(np.asarray(challenges))
+        signs = 1.0 - 2.0 * challenges.astype(np.float64)
+        # Reverse cumulative product along the stage axis.
+        return np.cumprod(signs[:, ::-1], axis=1)[:, ::-1]
+
+    def delay_difference(self, challenges: np.ndarray) -> np.ndarray:
+        """Accumulated top-vs-bottom path delay difference per challenge."""
+        challenges = np.atleast_2d(np.asarray(challenges))
+        if challenges.shape[1] != self.num_stages:
+            raise ChallengeError(
+                f"challenges must have {self.num_stages} bits, "
+                f"got {challenges.shape[1]}"
+            )
+        if not np.all((challenges == 0) | (challenges == 1)):
+            raise ChallengeError("challenge bits must be 0/1")
+        return self.parity_features(challenges) @ self._weights + self._bias
+
+    def respond(self, challenges: np.ndarray) -> np.ndarray:
+        """0/1 responses for a (count, num_stages) challenge matrix."""
+        return (self.delay_difference(challenges) > 0).astype(np.uint8)
+
+    def responder(self):
+        """Adapter matching :func:`repro.attacks.dataset.build_attack_dataset`."""
+        return self.respond

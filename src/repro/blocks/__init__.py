@@ -1,0 +1,26 @@
+"""PPUF basic building blocks (Fig. 2 of the paper).
+
+:mod:`repro.blocks.designs` — the design-evolution variants (a)–(c);
+:mod:`repro.blocks.edge` — the production dual-stack edge block (d);
+:mod:`repro.blocks.calibration` — equal-nominal-current bias balancing;
+:mod:`repro.blocks.iv` — I–V sweep utilities for Fig. 3;
+:mod:`repro.blocks.passivity` — incremental-passivity verification.
+"""
+
+from repro.blocks.designs import BlockDesign, build_design
+from repro.blocks.edge import EdgeBlock, edge_voltage, edge_currents_at_voltage
+from repro.blocks.calibration import balance_bias
+from repro.blocks.iv import iv_sweep, isat_vs_gate_bias
+from repro.blocks.passivity import is_incrementally_passive
+
+__all__ = [
+    "BlockDesign",
+    "build_design",
+    "EdgeBlock",
+    "edge_voltage",
+    "edge_currents_at_voltage",
+    "balance_bias",
+    "iv_sweep",
+    "isat_vs_gate_bias",
+    "is_incrementally_passive",
+]

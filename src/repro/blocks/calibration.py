@@ -1,0 +1,78 @@
+"""Bias balancing for the dual-stack edge block (Fig. 3b).
+
+Requirement 3 demands that the *nominal* saturation currents for challenge
+bit 0 and bit 1 be equal, while the current is limited by a *different*
+transistor stack in each case.  With the bias budget ``Vgs0 + Vgs1 = Vc``,
+the block's saturation current as a function of Vgs0 is
+
+    Isat_block(Vgs0) = min( Isat_stack(Vgs0), Isat_stack(Vc - Vgs0) ),
+
+a tent-shaped curve peaking near Vc/2.  Any bit-1 bias below the peak has a
+matching bit-0 bias above it with the same nominal current;
+:func:`balance_bias` finds it.  The paper's quoted pair (0.5 V, 0.67 V) is
+the result of this calibration on its SPICE model; ours lands close, and
+the experiment script reports both.
+"""
+
+from __future__ import annotations
+
+from scipy.optimize import brentq
+
+from repro.circuit.devices.stack import stack_saturation_current
+from repro.circuit.ptm32 import OperatingConditions, Technology
+from repro.errors import DeviceError
+
+
+def block_saturation_current(
+    vgs0: float,
+    tech: Technology,
+    conditions: OperatingConditions,
+) -> float:
+    """Nominal saturation current of the dual-stack block at gate bias vgs0."""
+    if not 0 < vgs0 < conditions.v_c:
+        raise DeviceError(f"vgs0 must be inside (0, {conditions.v_c}), got {vgs0}")
+    isat_a = float(stack_saturation_current(vgs0, tech, sd_levels=2))
+    isat_b = float(stack_saturation_current(conditions.v_c - vgs0, tech, sd_levels=2))
+    return min(isat_a, isat_b)
+
+
+def balance_bias(
+    tech: Technology,
+    conditions: OperatingConditions,
+    *,
+    vgs_bit1: float = None,
+) -> float:
+    """Find the bit-0 bias giving the same nominal current as the bit-1 bias.
+
+    Parameters
+    ----------
+    vgs_bit1:
+        The bit-1 gate bias (defaults to the one in ``conditions``).  Must
+        lie below the tent peak at Vc/2 so a distinct balanced partner
+        exists on the other side.
+
+    Returns
+    -------
+    float
+        ``vgs_bit0`` such that ``Isat_block(vgs_bit0) == Isat_block(vgs_bit1)``
+        with ``vgs_bit0 > Vc/2``.
+    """
+    if vgs_bit1 is None:
+        vgs_bit1 = conditions.vgs_bit1
+    half = conditions.v_c / 2.0
+    if not 0 < vgs_bit1 < half:
+        raise DeviceError(
+            f"vgs_bit1 must lie below the tent peak Vc/2 = {half}, got {vgs_bit1}"
+        )
+    target = block_saturation_current(vgs_bit1, tech, conditions)
+
+    def mismatch(vgs0: float) -> float:
+        return block_saturation_current(vgs0, tech, conditions) - target
+
+    # On (half, Vc - eps) the block current decreases from its peak down to
+    # ~0, crossing the target exactly once.
+    lo = half + 1e-6
+    hi = conditions.v_c - 1e-6
+    if mismatch(lo) < 0:
+        raise DeviceError("tent peak below target current; biases inconsistent")
+    return float(brentq(mismatch, lo, hi, xtol=1e-9))

@@ -1,0 +1,125 @@
+"""Design evolution of the basic building block (Fig. 2a–c).
+
+Three variants trace the paper's Requirement-1/Requirement-2 narrative:
+
+* ``"bare"`` (Fig. 2a) — diode-bounded transistor; the saturation current is
+  controllable but drifts with Vds through channel-length modulation.
+* ``"sd1"`` (Fig. 2b) — one resistor of source degeneration; drift reduced.
+* ``"sd2"`` (Fig. 2c) — nested (cascode) degeneration with the Vb level
+  shift; drift suppressed enough that process variation dominates by ~two
+  orders of magnitude.
+
+Each design is a diode–stack–diode series block with a single gate control,
+i.e. *half* of the production edge block (Fig. 2d adds the complementary
+stack — see :mod:`repro.blocks.edge`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.circuit.devices.diode import diode_voltage
+from repro.circuit.devices.stack import SeriesStack, stack_saturation_current
+from repro.circuit.ptm32 import OperatingConditions, Technology
+from repro.errors import DeviceError
+
+#: Design name -> number of source-degeneration levels.
+DESIGN_LEVELS = {"bare": 0, "sd1": 1, "sd2": 2}
+
+
+@dataclass(frozen=True)
+class BlockDesign:
+    """A diode-bounded single-stack block of a given SD level."""
+
+    name: str
+    tech: Technology
+    conditions: OperatingConditions
+    gate_bias: float
+    delta_vt_bottom: float = 0.0
+    delta_vt_top: float = 0.0
+
+    @property
+    def sd_levels(self) -> int:
+        return DESIGN_LEVELS[self.name]
+
+    def _stack(self) -> SeriesStack:
+        return SeriesStack(
+            tech=self.tech,
+            gate_bias=self.gate_bias,
+            sd_levels=self.sd_levels,
+            v_b=self.conditions.v_b,
+            delta_vt_bottom=self.delta_vt_bottom,
+            delta_vt_top=self.delta_vt_top,
+        )
+
+    def voltage(self, current: float) -> float:
+        """V(I) across diodes + stack."""
+        if current < 0:
+            raise DeviceError("block current must be non-negative")
+        stack = self._stack()
+        diodes = 2.0 * float(
+            diode_voltage(current, self.tech, self.conditions.temperature)
+        )
+        return diodes + stack.voltage(current)
+
+    def current(self, voltage: float) -> float:
+        """I(V) through the block (Brent inversion of the monotone V(I))."""
+        if voltage <= 0:
+            return 0.0
+        hi = self.saturation_current() * 1.5 + 1e-12
+        for _ in range(200):
+            if self.voltage(hi) >= voltage:
+                break
+            hi *= 2.0
+        else:
+            raise DeviceError("could not bracket the block operating point")
+        return float(brentq(lambda i: self.voltage(i) - voltage, 0.0, hi, xtol=1e-18))
+
+    def saturation_current(self) -> float:
+        """Self-consistent saturation current of the limiting stack."""
+        return float(
+            stack_saturation_current(
+                self.gate_bias,
+                self.tech,
+                sd_levels=self.sd_levels,
+                delta_vt_bottom=self.delta_vt_bottom,
+            )
+        )
+
+    def saturation_drift(self, v_low: float, v_high: float) -> float:
+        """Current change across a block-voltage window — the SCE figure.
+
+        The quantity Requirement 2 compares against process variation:
+        ``|I(v_high) - I(v_low)|`` once the block is saturated.
+        """
+        if not 0 < v_low < v_high:
+            raise DeviceError("need 0 < v_low < v_high")
+        return abs(self.current(v_high) - self.current(v_low))
+
+
+def build_design(
+    name: str,
+    tech: Technology,
+    conditions: OperatingConditions,
+    *,
+    gate_bias: float = None,
+    delta_vt_bottom: float = 0.0,
+    delta_vt_top: float = 0.0,
+) -> BlockDesign:
+    """Factory for a named design variant (``"bare"``, ``"sd1"``, ``"sd2"``)."""
+    if name not in DESIGN_LEVELS:
+        known = ", ".join(sorted(DESIGN_LEVELS))
+        raise DeviceError(f"unknown block design {name!r}; expected one of {known}")
+    if gate_bias is None:
+        gate_bias = conditions.vgs_bit1
+    return BlockDesign(
+        name=name,
+        tech=tech,
+        conditions=conditions,
+        gate_bias=gate_bias,
+        delta_vt_bottom=delta_vt_bottom,
+        delta_vt_top=delta_vt_top,
+    )

@@ -1,0 +1,212 @@
+"""The production edge block (Fig. 2d).
+
+One directed edge of the complete graph is instantiated by:
+
+    anode diode -> stack(Vgs0) -> stack(Vgs1) -> cathode diode
+
+where the two two-level-SD transistor stacks are biased complementarily
+(``Vgs0 + Vgs1 = Vc``).  The challenge bit selects which of the two bias
+assignments is applied (Requirement 3: the limiting device differs between
+bit values, so knowing the current for bit 0 reveals nothing about bit 1).
+
+This module provides both vectorised edge-population functions (used by the
+network solver and the max-flow capacity extraction) and a scalar
+:class:`EdgeBlock` object for calibration and sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.devices.diode import diode_voltage
+from repro.circuit.devices.stack import stack_voltage, stack_saturation_current
+from repro.circuit.ptm32 import (
+    CAPACITY_REFERENCE_VOLTAGE,
+    OperatingConditions,
+    Technology,
+)
+from repro.circuit.variation import M1_TOP, M2_BOTTOM, M3_TOP, M4_BOTTOM, VariationSample
+from repro.errors import ChallengeError, DeviceError
+
+
+def _gate_biases_for_bits(bits: np.ndarray, conditions: OperatingConditions):
+    """Per-edge (vgs0, vgs1) column vectors from challenge bits."""
+    bits = np.asarray(bits)
+    if not np.all((bits == 0) | (bits == 1)):
+        raise ChallengeError("challenge bits must be 0 or 1")
+    vgs0 = np.where(bits == 1, conditions.vgs_bit1, conditions.vgs_bit0)
+    vgs1 = conditions.v_c - vgs0
+    return vgs0, vgs1
+
+
+def edge_voltage(
+    current,
+    bits,
+    sample: VariationSample,
+    tech: Technology,
+    conditions: OperatingConditions,
+):
+    """Voltage across each edge block carrying ``current``.
+
+    Broadcasts: ``current`` may be shaped ``(edges, k)`` against per-edge
+    parameter columns, or ``(edges,)`` for a single operating point per edge.
+    """
+    current = np.asarray(current, dtype=np.float64)
+    vgs0, vgs1 = _gate_biases_for_bits(bits, conditions)
+    if current.ndim == 2:
+        vgs0 = vgs0[:, None]
+        vgs1 = vgs1[:, None]
+        dvt = {k: sample.total(k)[:, None] for k in (M1_TOP, M2_BOTTOM, M3_TOP, M4_BOTTOM)}
+    else:
+        dvt = {k: sample.total(k) for k in (M1_TOP, M2_BOTTOM, M3_TOP, M4_BOTTOM)}
+
+    v = 2.0 * diode_voltage(current, tech, conditions.temperature)
+    v = v + stack_voltage(
+        current,
+        vgs0,
+        tech,
+        sd_levels=2,
+        v_b=conditions.v_b,
+        delta_vt_bottom=dvt[M2_BOTTOM],
+        delta_vt_top=dvt[M1_TOP],
+    )
+    v = v + stack_voltage(
+        current,
+        vgs1,
+        tech,
+        sd_levels=2,
+        v_b=conditions.v_b,
+        delta_vt_bottom=dvt[M4_BOTTOM],
+        delta_vt_top=dvt[M3_TOP],
+    )
+    return v
+
+
+def edge_saturation_scale(
+    bits,
+    sample: VariationSample,
+    tech: Technology,
+    conditions: OperatingConditions,
+) -> np.ndarray:
+    """Rough per-edge current scale: the smaller stack saturation current.
+
+    Used to size per-edge current grids; *not* the capacity definition (see
+    :func:`edge_currents_at_voltage` for that).
+    """
+    vgs0, vgs1 = _gate_biases_for_bits(bits, conditions)
+    isat_a = stack_saturation_current(
+        vgs0, tech, sd_levels=2, delta_vt_bottom=sample.total(M2_BOTTOM)
+    )
+    isat_b = stack_saturation_current(
+        vgs1, tech, sd_levels=2, delta_vt_bottom=sample.total(M4_BOTTOM)
+    )
+    return np.minimum(isat_a, isat_b)
+
+
+def edge_currents_at_voltage(
+    voltage: float,
+    bits,
+    sample: VariationSample,
+    tech: Technology,
+    conditions: OperatingConditions,
+    *,
+    iterations: int = 60,
+) -> np.ndarray:
+    """Per-edge current at a common applied voltage (vectorised bisection).
+
+    This *is* the public simulation model's capacity extraction when called
+    at :data:`~repro.circuit.ptm32.CAPACITY_REFERENCE_VOLTAGE`: the paper's
+    verifier knows each block's characteristics (the PPUF is public) and
+    derives edge capacities from them.
+    """
+    if voltage < 0:
+        raise DeviceError(f"edge voltage must be non-negative, got {voltage}")
+    num_edges = sample.num_edges
+    if voltage == 0:
+        return np.zeros(num_edges)
+
+    lo = np.zeros(num_edges)
+    hi = edge_saturation_scale(bits, sample, tech, conditions) * 1.5 + 1e-12
+    # Expand brackets where V(hi) has not yet reached the target.
+    for _ in range(200):
+        v_hi = edge_voltage(hi, bits, sample, tech, conditions)
+        short = v_hi < voltage
+        if not np.any(short):
+            break
+        hi = np.where(short, hi * 2.0, hi)
+    else:
+        raise DeviceError("failed to bracket edge operating points")
+
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        v_mid = edge_voltage(mid, bits, sample, tech, conditions)
+        below = v_mid < voltage
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+    return 0.5 * (lo + hi)
+
+
+def edge_capacities(
+    bits,
+    sample: VariationSample,
+    tech: Technology,
+    conditions: OperatingConditions,
+    *,
+    reference_voltage: float = CAPACITY_REFERENCE_VOLTAGE,
+) -> np.ndarray:
+    """Edge capacities of the public max-flow simulation model."""
+    return edge_currents_at_voltage(reference_voltage, bits, sample, tech, conditions)
+
+
+@dataclass(frozen=True)
+class EdgeBlock:
+    """A single edge block at fixed bias — the scalar/sweep interface.
+
+    Parameters
+    ----------
+    tech, conditions:
+        Technology card and operating point.
+    bit:
+        Challenge bit applied to the block.
+    delta_vt:
+        Length-4 threshold shifts (M1, M2, M3, M4); zeros for nominal.
+    """
+
+    tech: Technology
+    conditions: OperatingConditions
+    bit: int = 1
+    delta_vt: tuple = (0.0, 0.0, 0.0, 0.0)
+
+    def _sample(self) -> VariationSample:
+        return VariationSample(
+            delta_vt=np.asarray(self.delta_vt, dtype=np.float64)[None, :],
+            systematic=np.zeros(1),
+        )
+
+    def voltage(self, current: float) -> float:
+        """V(I) across the block."""
+        value = edge_voltage(
+            np.asarray([current]),
+            np.asarray([self.bit]),
+            self._sample(),
+            self.tech,
+            self.conditions,
+        )
+        return float(value[0])
+
+    def current(self, voltage: float) -> float:
+        """I(V) through the block."""
+        value = edge_currents_at_voltage(
+            voltage,
+            np.asarray([self.bit]),
+            self._sample(),
+            self.tech,
+            self.conditions,
+        )
+        return float(value[0])
+
+    def capacity(self, reference_voltage: float = CAPACITY_REFERENCE_VOLTAGE) -> float:
+        """Simulation-model capacity of the block."""
+        return self.current(reference_voltage)

@@ -1,0 +1,91 @@
+"""I–V sweep utilities for Fig. 3.
+
+Fig. 3a compares the saturation behaviour of the three block designs;
+Fig. 3b plots the block saturation current against the control voltage Vgs0.
+Both are plain data-series producers so the benchmark harness and the
+examples can print or plot them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.blocks.calibration import block_saturation_current
+from repro.blocks.designs import DESIGN_LEVELS, build_design
+from repro.circuit.ptm32 import OperatingConditions, Technology
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class IVCurve:
+    """An I–V data series: applied block voltage vs resulting current."""
+
+    label: str
+    voltages: np.ndarray
+    currents: np.ndarray
+
+    def saturation_flatness(self, v_low: float = 0.8, v_high: float = 1.6) -> float:
+        """Relative current change across the saturated region.
+
+        Lower is flatter; the metric Fig. 3a illustrates qualitatively.
+        """
+        i_low = float(np.interp(v_low, self.voltages, self.currents))
+        i_high = float(np.interp(v_high, self.voltages, self.currents))
+        if i_high <= 0:
+            raise DeviceError("curve carries no current in the comparison window")
+        return abs(i_high - i_low) / i_high
+
+
+def iv_sweep(
+    design_name: str,
+    tech: Technology,
+    conditions: OperatingConditions,
+    *,
+    v_max: float = 2.0,
+    points: int = 101,
+    gate_bias: float = None,
+) -> IVCurve:
+    """Sweep one block design's I–V curve (Fig. 3a data)."""
+    if points < 2:
+        raise DeviceError(f"need at least 2 sweep points, got {points}")
+    design = build_design(design_name, tech, conditions, gate_bias=gate_bias)
+    voltages = np.linspace(0.0, v_max, points)
+    currents = np.array([design.current(v) for v in voltages])
+    return IVCurve(label=design_name, voltages=voltages, currents=currents)
+
+
+def iv_sweep_all(
+    tech: Technology,
+    conditions: OperatingConditions,
+    *,
+    v_max: float = 2.0,
+    points: int = 101,
+) -> Dict[str, IVCurve]:
+    """All three design variants on a shared voltage sweep."""
+    return {
+        name: iv_sweep(name, tech, conditions, v_max=v_max, points=points)
+        for name in DESIGN_LEVELS
+    }
+
+
+def isat_vs_gate_bias(
+    tech: Technology,
+    conditions: OperatingConditions,
+    *,
+    biases: Sequence[float] = None,
+):
+    """Block saturation current vs Vgs0 (Fig. 3b data).
+
+    Returns ``(biases, currents)`` arrays covering the tent-shaped curve
+    ``min(Isat(Vgs0), Isat(Vc - Vgs0))``.
+    """
+    if biases is None:
+        biases = np.linspace(0.3, conditions.v_c - 0.3, 61)
+    biases = np.asarray(biases, dtype=np.float64)
+    currents = np.array(
+        [block_saturation_current(b, tech, conditions) for b in biases]
+    )
+    return biases, currents

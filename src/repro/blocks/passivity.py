@@ -1,0 +1,64 @@
+"""Incremental-passivity verification.
+
+A memoryless one-port is incrementally passive when its current is a
+monotonically non-decreasing function of its voltage.  The paper leans on
+this property twice: it guarantees a unique steady state, and it makes the
+steady-state source current the max-flow optimum.  Our blocks satisfy it by
+construction (sums of strictly increasing V(I) elements); this module checks
+it numerically so the property is *tested*, not assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+
+def is_incrementally_passive(
+    current_of_voltage,
+    *,
+    v_min: float = -0.5,
+    v_max: float = 2.5,
+    points: int = 200,
+    tolerance: float = 0.0,
+) -> bool:
+    """Check monotonicity of a block's I(V) over a voltage window.
+
+    Parameters
+    ----------
+    current_of_voltage:
+        Callable ``I(V)`` for a single block (e.g. ``EdgeBlock.current`` or
+        ``BlockDesign.current``); negative voltages must yield 0 current.
+    tolerance:
+        Permitted *decrease* between consecutive samples, as an absolute
+        current [A]; 0 requires strict non-decrease.
+
+    Returns
+    -------
+    bool
+        True when no consecutive sample pair decreases by more than the
+        tolerance.
+    """
+    if points < 3:
+        raise DeviceError(f"need at least 3 sample points, got {points}")
+    if v_min >= v_max:
+        raise DeviceError("v_min must be below v_max")
+    voltages = np.linspace(v_min, v_max, points)
+    currents = np.array([current_of_voltage(max(v, 0.0)) if v < 0 else current_of_voltage(v) for v in voltages])
+    # Negative applied voltage must not conduct (reverse diode).
+    reverse = currents[voltages < 0]
+    if np.any(reverse > tolerance):
+        return False
+    decreases = np.diff(currents)
+    return bool(np.all(decreases >= -tolerance))
+
+
+def passivity_margin(current_of_voltage, *, v_min: float = 0.0, v_max: float = 2.5, points: int = 200) -> float:
+    """Worst-case slope [A/V] of I(V) over a window (negative = violation)."""
+    if points < 3:
+        raise DeviceError(f"need at least 3 sample points, got {points}")
+    voltages = np.linspace(v_min, v_max, points)
+    currents = np.array([current_of_voltage(v) for v in voltages])
+    slopes = np.diff(currents) / np.diff(voltages)
+    return float(slopes.min())

@@ -1,0 +1,52 @@
+"""SPICE-lite circuit substrate.
+
+The paper characterises its PPUF with SPICE on a 32 nm predictive technology
+model.  This subpackage is the substitute substrate: first-order device
+physics (square-law MOSFET with channel-length modulation, Shockley diode,
+linear resistor), a Monte-Carlo process-variation model, and a nonlinear DC
+solver built on the incremental passivity the paper relies on.
+
+Public API
+----------
+:class:`~repro.circuit.ptm32.Technology`        technology parameter card
+:class:`~repro.circuit.devices.mosfet.Mosfet`   MOS transistor model
+:class:`~repro.circuit.devices.diode.Diode`     junction diode model
+:class:`~repro.circuit.devices.resistor.Resistor`
+:class:`~repro.circuit.devices.stack.SeriesStack`
+:class:`~repro.circuit.variation.VariationModel`
+:class:`~repro.circuit.table.EdgeTable`         shared-grid edge I–V tables
+:func:`~repro.circuit.dc.solve_dc`              damped-Newton nodal solver
+"""
+
+from repro.circuit.ptm32 import Technology, PTM32, OperatingConditions
+from repro.circuit.devices.mosfet import Mosfet
+from repro.circuit.devices.diode import Diode
+from repro.circuit.devices.resistor import Resistor
+from repro.circuit.devices.stack import SeriesStack
+from repro.circuit.spatial import SpatialField
+from repro.circuit.transient import TransientResult, simulate_turn_on
+from repro.circuit.variation import VariationModel, VariationSample
+from repro.circuit.table import EdgeTable
+from repro.circuit.dc import DCSolution, solve_dc
+from repro.circuit.linearize import small_signal_conductances
+from repro.circuit.rc import settling_time_linearized
+
+__all__ = [
+    "Technology",
+    "PTM32",
+    "OperatingConditions",
+    "Mosfet",
+    "Diode",
+    "Resistor",
+    "SeriesStack",
+    "VariationModel",
+    "VariationSample",
+    "SpatialField",
+    "TransientResult",
+    "simulate_turn_on",
+    "EdgeTable",
+    "DCSolution",
+    "solve_dc",
+    "small_signal_conductances",
+    "settling_time_linearized",
+]

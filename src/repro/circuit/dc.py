@@ -1,0 +1,201 @@
+"""Nonlinear DC operating-point solver.
+
+The PPUF circuit is incrementally passive (Section 3.1), which guarantees a
+unique steady state.  Mathematically, the node voltages of such a network
+minimise the total *co-content*
+
+    J(v) = sum_e  integral_0^{v_i - v_j} I_e(x) dx,
+
+a convex function whose gradient is the KCL residual and whose Hessian is
+the (positive definite, after GMIN regularisation) conductance Laplacian.
+We therefore solve with damped Newton + Armijo backtracking on J — globally
+convergent for this problem class, no SPICE homotopy heuristics needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.linalg
+
+from repro.circuit.table import GMIN, EdgeTable
+from repro.errors import ConvergenceError, GraphError
+
+
+@dataclass
+class DCSolution:
+    """Operating point of a PPUF network.
+
+    Attributes
+    ----------
+    voltages:
+        Node voltages (length n), including the pinned source/sink.
+    edge_currents:
+        Per-edge currents, aligned with the edge arrays passed to the solver.
+    source_current:
+        Net current delivered by the source node — the PPUF *output* (the
+        circuit's max-flow value).
+    iterations:
+        Newton iterations used.
+    residual_norm:
+        Final max-norm of the KCL residual [A].
+    """
+
+    voltages: np.ndarray
+    edge_currents: np.ndarray
+    source_current: float
+    iterations: int
+    residual_norm: float
+
+
+def solve_dc(
+    n: int,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    table: EdgeTable,
+    *,
+    source: int,
+    sink: int,
+    v_supply: float,
+    tol_current: float = None,
+    max_iterations: int = 200,
+) -> DCSolution:
+    """Solve the network DC operating point.
+
+    Parameters
+    ----------
+    n:
+        Number of circuit nodes.
+    edge_src, edge_dst:
+        Directed edge endpoint arrays (length E); edge ``e`` conducts from
+        ``edge_src[e]`` to ``edge_dst[e]`` only.
+    table:
+        Edge I–V table built for exactly these edges.
+    source, sink:
+        Pinned nodes: ``v[source] = v_supply``, ``v[sink] = 0``.
+    v_supply:
+        Source voltage (must not exceed the table's grid).
+    tol_current:
+        KCL residual tolerance [A]; defaults to 1e-7 of the largest tabulated
+        edge current.
+    """
+    edge_src = np.asarray(edge_src, dtype=np.int64)
+    edge_dst = np.asarray(edge_dst, dtype=np.int64)
+    if edge_src.shape != edge_dst.shape:
+        raise GraphError("edge endpoint arrays must have equal shapes")
+    if edge_src.size != table.num_edges:
+        raise GraphError("edge table size does not match the edge list")
+    if source == sink:
+        raise GraphError("source and sink must differ")
+    if not (0 <= source < n and 0 <= sink < n):
+        raise GraphError("source/sink out of range")
+    if v_supply > table.v_max + 1e-12:
+        raise GraphError(
+            f"v_supply {v_supply} exceeds the table range {table.v_max}"
+        )
+    if tol_current is None:
+        tol_current = 1e-7 * float(table.currents.max())
+
+    internal = np.array([v for v in range(n) if v not in (source, sink)], dtype=np.int64)
+    # Position of each node in the reduced (internal-only) system; -1 = pinned.
+    position = np.full(n, -1, dtype=np.int64)
+    position[internal] = np.arange(internal.size)
+
+    voltages = np.full(n, 0.5 * v_supply)
+    voltages[source] = v_supply
+    voltages[sink] = 0.0
+
+    def objective_and_state(v: np.ndarray):
+        dv = v[edge_src] - v[edge_dst]
+        current, conductance, cocontent = table.evaluate(dv)
+        # GMIN to ground on internal nodes regularises floating subnetworks.
+        leak = 0.5 * GMIN * np.sum(v[internal] ** 2)
+        return float(cocontent.sum() + leak), current, conductance
+
+    objective, current, conductance = objective_and_state(voltages)
+    iterations = 0
+    residual_norm = np.inf
+
+    for iterations in range(1, max_iterations + 1):
+        # Gradient of J wrt internal voltages: outflow - inflow (+ leak).
+        net = np.zeros(n)
+        np.add.at(net, edge_src, current)
+        np.subtract.at(net, edge_dst, current)
+        gradient = net[internal] + GMIN * voltages[internal]
+        residual_norm = float(np.max(np.abs(gradient))) if internal.size else 0.0
+        if residual_norm < tol_current:
+            break
+
+        hessian = _assemble_hessian(internal.size, position, edge_src, edge_dst, conductance)
+        try:
+            factor = scipy.linalg.cho_factor(hessian, check_finite=False)
+            step = -scipy.linalg.cho_solve(factor, gradient, check_finite=False)
+        except scipy.linalg.LinAlgError:
+            # Fall back to a ridge-regularised solve.
+            hessian[np.diag_indices_from(hessian)] += 1e-3 * GMIN
+            step = -np.linalg.solve(hessian, gradient)
+
+        # Armijo backtracking on the convex co-content.
+        directional = float(gradient @ step)
+        if directional >= 0:
+            raise ConvergenceError("Newton step is not a descent direction")
+        alpha = 1.0
+        for _ in range(60):
+            trial = voltages.copy()
+            trial[internal] = voltages[internal] + alpha * step
+            trial_objective, trial_current, trial_conductance = objective_and_state(trial)
+            if trial_objective <= objective + 1e-4 * alpha * directional:
+                voltages = trial
+                objective = trial_objective
+                current = trial_current
+                conductance = trial_conductance
+                break
+            alpha *= 0.5
+        else:
+            raise ConvergenceError(
+                f"line search failed at iteration {iterations} "
+                f"(residual {residual_norm:.3e} A)"
+            )
+    else:
+        raise ConvergenceError(
+            f"DC solve did not reach {tol_current:.3e} A in "
+            f"{max_iterations} iterations (residual {residual_norm:.3e} A)"
+        )
+
+    source_current = float(
+        current[edge_src == source].sum() - current[edge_dst == source].sum()
+    )
+    return DCSolution(
+        voltages=voltages,
+        edge_currents=current,
+        source_current=source_current,
+        iterations=iterations,
+        residual_norm=residual_norm,
+    )
+
+
+def _assemble_hessian(
+    size: int,
+    position: np.ndarray,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    conductance: np.ndarray,
+) -> np.ndarray:
+    """Conductance Laplacian restricted to internal nodes (+ GMIN ridge)."""
+    hessian = np.zeros((size, size))
+    pos_src = position[edge_src]
+    pos_dst = position[edge_dst]
+
+    src_in = pos_src >= 0
+    dst_in = pos_dst >= 0
+    both = src_in & dst_in
+
+    diag = np.zeros(size)
+    np.add.at(diag, pos_src[src_in], conductance[src_in])
+    np.add.at(diag, pos_dst[dst_in], conductance[dst_in])
+    hessian[np.arange(size), np.arange(size)] = diag + GMIN
+
+    np.subtract.at(hessian, (pos_src[both], pos_dst[both]), conductance[both])
+    np.subtract.at(hessian, (pos_dst[both], pos_src[both]), conductance[both])
+    return hessian

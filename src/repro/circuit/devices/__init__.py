@@ -1,0 +1,8 @@
+"""Device models: MOSFET, diode, resistor, and series-stack composition."""
+
+from repro.circuit.devices.mosfet import Mosfet
+from repro.circuit.devices.diode import Diode
+from repro.circuit.devices.resistor import Resistor
+from repro.circuit.devices.stack import SeriesStack
+
+__all__ = ["Mosfet", "Diode", "Resistor", "SeriesStack"]

@@ -1,0 +1,48 @@
+"""Shockley junction diode.
+
+The basic building block carries a diode at each end (Fig. 2) whose only
+roles are (i) enforcing the edge direction — flow is a non-negative
+quantity — and (ii) contributing the ~0.4 V forward drop that motivates the
+paper's V(s) = 2 V supply choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.ptm32 import Technology
+from repro.errors import DeviceError
+from repro.units import thermal_voltage
+
+
+def diode_voltage(current, tech: Technology, temperature_k=None):
+    """Forward voltage for a given current: ``n * vT * log(1 + I / Is)``."""
+    current = np.asarray(current, dtype=np.float64)
+    if np.any(current < 0):
+        raise DeviceError("diode current must be non-negative (blocking direction)")
+    vt = thermal_voltage(temperature_k if temperature_k is not None else tech.temperature)
+    return tech.diode_n * vt * np.log1p(current / tech.diode_is)
+
+
+def diode_current(voltage, tech: Technology, temperature_k=None):
+    """Forward current for a given voltage; 0 for reverse bias."""
+    voltage = np.asarray(voltage, dtype=np.float64)
+    vt = thermal_voltage(temperature_k if temperature_k is not None else tech.temperature)
+    arg = np.clip(voltage / (tech.diode_n * vt), None, 60.0)
+    current = tech.diode_is * np.expm1(arg)
+    return np.clip(current, 0.0, None)
+
+
+@dataclass(frozen=True)
+class Diode:
+    """A diode bound to a technology card (thin object wrapper)."""
+
+    tech: Technology
+
+    def voltage(self, current: float) -> float:
+        return float(diode_voltage(current, self.tech))
+
+    def current(self, voltage: float) -> float:
+        return float(diode_current(voltage, self.tech))

@@ -1,0 +1,123 @@
+"""Square-law MOSFET with channel-length modulation and smooth turn-on.
+
+The model is deliberately first-order — it is exactly the physics the
+paper's argument uses:
+
+* saturation current ``Isat0 = k * ov_eff(Vgs - Vt)^2`` instantiates the edge
+  *capacity*;
+* channel-length modulation ``lam`` makes the current keep creeping up with
+  Vds — the short-channel effect (SCE) that source degeneration must
+  suppress (Requirement 2);
+* the softplus overdrive ``ov_eff`` blends sub-threshold and strong
+  inversion (EKV-style), keeping every characteristic smooth, strictly
+  monotone and defined for devices pushed below threshold by process
+  variation.
+
+All functions broadcast over numpy arrays; the inverse characteristic
+``vds_from_current`` is the workhorse of the series-stack composition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.ptm32 import Technology
+from repro.errors import DeviceError
+
+# Floor on the channel-length-modulation slope: a mathematically hard
+# saturation (lam = 0) would make V(I) undefined above Isat0; a vanishing
+# slope keeps the map invertible without affecting any result at the
+# accuracy levels studied here.
+_LAMBDA_FLOOR = 1e-7
+
+
+def softplus_overdrive(vgs_minus_vt, theta: float):
+    """Smooth effective overdrive: ``theta * log(1 + exp(x / theta))``.
+
+    Approaches ``x`` for ``x >> theta`` (strong inversion) and decays to an
+    exponentially small positive value below threshold.
+    """
+    x = np.asarray(vgs_minus_vt, dtype=np.float64) / theta
+    # Numerically safe softplus, floored so a deeply-off device still has a
+    # finite (astronomically large) V(I) instead of a divide-by-zero.
+    out = np.where(x > 30.0, x, np.log1p(np.exp(np.minimum(x, 30.0))))
+    return np.maximum(theta * out, 1e-12)
+
+
+def saturation_current(vgs, vt, tech: Technology):
+    """Saturation current at the channel pinch-off point (Vds = ov_eff)."""
+    ov = softplus_overdrive(np.asarray(vgs) - np.asarray(vt), tech.subthreshold_theta)
+    return tech.k_prime * ov * ov
+
+
+def drain_current(vds, vgs, vt, tech: Technology):
+    """Forward drain current for given terminal voltages (broadcasts).
+
+    Triode below ``Vds = ov_eff``; saturation with slope
+    ``lam * Isat0`` above.  Negative Vds returns 0 (the stack's diodes
+    prevent reverse conduction; the device model mirrors that contract).
+    """
+    vds = np.asarray(vds, dtype=np.float64)
+    ov = softplus_overdrive(np.asarray(vgs) - np.asarray(vt), tech.subthreshold_theta)
+    isat0 = tech.k_prime * ov * ov
+    x = np.clip(vds / ov, 0.0, None)
+    lam = max(tech.lam, _LAMBDA_FLOOR)
+    triode = isat0 * (2.0 * x - x * x)
+    saturation = isat0 * (1.0 + lam * (vds - ov))
+    current = np.where(x < 1.0, triode, saturation)
+    return np.where(vds <= 0.0, 0.0, current)
+
+
+def vds_from_current(current, vgs, vt, tech: Technology):
+    """Inverse characteristic: the Vds needed to carry ``current``.
+
+    Strictly increasing in ``current``; pieces meet continuously at the
+    pinch-off point.  Raises for negative currents (the composition layer
+    guarantees non-negativity via the series diodes).
+    """
+    current = np.asarray(current, dtype=np.float64)
+    if np.any(current < 0):
+        raise DeviceError("MOSFET stack current must be non-negative")
+    ov = softplus_overdrive(np.asarray(vgs) - np.asarray(vt), tech.subthreshold_theta)
+    isat0 = tech.k_prime * ov * ov
+    lam = max(tech.lam, _LAMBDA_FLOOR)
+    ratio = current / isat0
+    # Triode inverse: 2x - x^2 = ratio  =>  x = 1 - sqrt(1 - ratio).
+    triode = ov * (1.0 - np.sqrt(np.clip(1.0 - ratio, 0.0, None)))
+    # Saturation inverse; slope d(vds)/dI = 1 / (lam * isat0).
+    saturation = ov + (ratio - 1.0) / lam
+    return np.where(ratio < 1.0, triode, saturation)
+
+
+def saturation_conductance(vgs, vt, tech: Technology):
+    """Small-signal output conductance in saturation, ``lam * Isat0``."""
+    lam = max(tech.lam, _LAMBDA_FLOOR)
+    return lam * saturation_current(vgs, vt, tech)
+
+
+@dataclass(frozen=True)
+class Mosfet:
+    """A single transistor bound to a technology card and a Vt shift.
+
+    Thin object wrapper over the vectorised module functions; used where a
+    device identity matters (I–V sweeps, passivity checks, unit tests).
+    """
+
+    tech: Technology
+    delta_vt: float = 0.0
+
+    @property
+    def vt(self) -> float:
+        return self.tech.vt0 + self.delta_vt
+
+    def isat(self, vgs: float) -> float:
+        """Saturation current at gate bias ``vgs``."""
+        return float(saturation_current(vgs, self.vt, self.tech))
+
+    def current(self, vds: float, vgs: float) -> float:
+        return float(drain_current(vds, vgs, self.vt, self.tech))
+
+    def vds(self, current: float, vgs: float) -> float:
+        return float(vds_from_current(current, vgs, self.vt, self.tech))

@@ -1,0 +1,35 @@
+"""Linear resistor — the degeneration element of the SD technique."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+
+def resistor_voltage(current, resistance: float):
+    """Ohm's law, broadcasting over current arrays."""
+    if resistance < 0:
+        raise DeviceError(f"resistance must be non-negative, got {resistance}")
+    return np.asarray(current, dtype=np.float64) * resistance
+
+
+@dataclass(frozen=True)
+class Resistor:
+    """A resistor with a fixed value [Ohm]."""
+
+    resistance: float
+
+    def __post_init__(self):
+        if self.resistance < 0:
+            raise DeviceError(f"resistance must be non-negative, got {self.resistance}")
+
+    def voltage(self, current: float) -> float:
+        return float(self.resistance * current)
+
+    def current(self, voltage: float) -> float:
+        if self.resistance == 0:
+            raise DeviceError("a zero-ohm resistor has no defined I(V)")
+        return float(voltage / self.resistance)

@@ -1,0 +1,160 @@
+"""Series-stack composition: the heart of the building-block model.
+
+Every element of a series stack carries the same current I and exposes a
+strictly increasing voltage-as-a-function-of-current, so the stack voltage
+is simply the sum, computed *bottom-up* so that each transistor's gate
+overdrive sees the voltage developed below it — this is exactly the
+source-degeneration negative feedback of Fig. 2:
+
+* level 1: the degeneration resistor lifts M2's source by ``I * R``,
+  reducing its Vgs as current grows;
+* level 2: M2 + R together lift M1's source; M1's gate sits ``Vb`` above
+  the common gate bias so both devices stay saturated.
+
+Because V(I) is strictly increasing, the forward characteristic I(V) is
+recovered by scalar root finding, and incremental passivity holds by
+construction (verified in :mod:`repro.blocks.passivity`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy.optimize import brentq
+
+from repro.circuit.devices import mosfet
+from repro.circuit.ptm32 import Technology
+from repro.errors import DeviceError
+
+
+def stack_voltage(
+    current,
+    gate_bias,
+    tech: Technology,
+    *,
+    sd_levels: int = 2,
+    v_b: float = 0.1,
+    delta_vt_bottom=0.0,
+    delta_vt_top=0.0,
+):
+    """Voltage across one transistor stack carrying ``current``.
+
+    Parameters broadcast: ``current`` may be an (E, K) current grid while the
+    Vt shifts are (E, 1) per-edge columns, etc.
+
+    Parameters
+    ----------
+    current:
+        Stack current [A], non-negative.
+    gate_bias:
+        Common gate control voltage Vgs0 (or Vgs1) referenced to the stack's
+        bottom terminal.
+    tech:
+        Technology card (supplies k, Vt0, lambda, R).
+    sd_levels:
+        0 — bare transistor (Fig. 2a); 1 — one resistor degeneration
+        (Fig. 2b); 2 — nested cascode degeneration (Fig. 2c).
+    v_b:
+        Cascode gate level shift (only used at ``sd_levels == 2``).
+    delta_vt_bottom, delta_vt_top:
+        Process-variation threshold shifts of the bottom (M2) and top (M1)
+        transistors.
+    """
+    if sd_levels not in (0, 1, 2):
+        raise DeviceError(f"sd_levels must be 0, 1 or 2, got {sd_levels}")
+    current = np.asarray(current, dtype=np.float64)
+    v = np.zeros(np.broadcast(current, delta_vt_bottom, delta_vt_top).shape)
+
+    if sd_levels >= 1:
+        v = v + current * tech.r_degeneration
+    vgs_bottom = gate_bias - v
+    vt_bottom = tech.vt0 + np.asarray(delta_vt_bottom)
+    v = v + mosfet.vds_from_current(current, vgs_bottom, vt_bottom, tech)
+    if sd_levels == 2:
+        vgs_top = gate_bias + v_b - v
+        vt_top = tech.vt0 + np.asarray(delta_vt_top)
+        v = v + mosfet.vds_from_current(current, vgs_top, vt_top, tech)
+    return v
+
+
+def stack_saturation_current(
+    gate_bias,
+    tech: Technology,
+    *,
+    sd_levels: int = 2,
+    delta_vt_bottom=0.0,
+    iterations: int = 60,
+):
+    """Self-consistent saturation current of a stack (broadcasts).
+
+    The current-limiting device is the bottom transistor: degeneration
+    reduces its effective overdrive by ``I * R``, so the saturation point
+    solves the fixed-point equation ``I = k * ov_eff(Vgs - I*R - Vt)^2``.
+    Solved by damped fixed-point iteration (the map is a contraction for the
+    parameter ranges of interest; convergence is asserted by the tests).
+    """
+    vt = tech.vt0 + np.asarray(delta_vt_bottom, dtype=np.float64)
+    r = tech.r_degeneration if sd_levels >= 1 else 0.0
+    current = mosfet.saturation_current(gate_bias, vt, tech)
+    for _ in range(iterations):
+        proposal = mosfet.saturation_current(gate_bias - current * r, vt, tech)
+        current = 0.5 * (current + proposal)
+    return current
+
+
+@dataclass(frozen=True)
+class SeriesStack:
+    """One transistor stack bound to concrete parameters.
+
+    Scalar convenience wrapper over :func:`stack_voltage` with a forward
+    I(V) solved by Brent's method.
+    """
+
+    tech: Technology
+    gate_bias: float
+    sd_levels: int = 2
+    v_b: float = 0.1
+    delta_vt_bottom: float = 0.0
+    delta_vt_top: float = 0.0
+
+    def voltage(self, current: float) -> float:
+        """V(I) across the stack."""
+        return float(
+            stack_voltage(
+                current,
+                self.gate_bias,
+                self.tech,
+                sd_levels=self.sd_levels,
+                v_b=self.v_b,
+                delta_vt_bottom=self.delta_vt_bottom,
+                delta_vt_top=self.delta_vt_top,
+            )
+        )
+
+    def current(self, voltage: float) -> float:
+        """I(V) by inverting the strictly increasing V(I)."""
+        if voltage <= 0:
+            return 0.0
+        hi = self.saturation_current() * 1.5 + 1e-12
+        # Expand the bracket until V(hi) exceeds the target (the saturation
+        # slope is finite thanks to the lambda floor, so this terminates).
+        for _ in range(200):
+            if self.voltage(hi) >= voltage:
+                break
+            hi *= 2.0
+        else:
+            raise DeviceError("could not bracket the stack operating point")
+        return float(brentq(lambda i: self.voltage(i) - voltage, 0.0, hi, xtol=1e-18))
+
+    def saturation_current(self) -> float:
+        """Self-consistent saturation current of this stack."""
+        return float(
+            stack_saturation_current(
+                self.gate_bias,
+                self.tech,
+                sd_levels=self.sd_levels,
+                delta_vt_bottom=self.delta_vt_bottom,
+            )
+        )

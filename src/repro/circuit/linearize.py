@@ -1,0 +1,45 @@
+"""Small-signal linearisation around a DC operating point."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.dc import DCSolution
+from repro.circuit.table import EdgeTable
+from repro.errors import GraphError
+
+
+def small_signal_conductances(
+    solution: DCSolution,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    table: EdgeTable,
+) -> np.ndarray:
+    """Per-edge incremental conductance ``dI/dV`` at the operating point."""
+    dv = solution.voltages[edge_src] - solution.voltages[edge_dst]
+    _, conductance, _ = table.evaluate(dv)
+    return conductance
+
+
+def conductance_laplacian(
+    n: int,
+    edge_src: np.ndarray,
+    edge_dst: np.ndarray,
+    conductance: np.ndarray,
+) -> np.ndarray:
+    """Full n×n small-signal conductance Laplacian.
+
+    Symmetric positive semidefinite; used by :mod:`repro.circuit.rc` for the
+    settling-time estimate.
+    """
+    edge_src = np.asarray(edge_src, dtype=np.int64)
+    edge_dst = np.asarray(edge_dst, dtype=np.int64)
+    conductance = np.asarray(conductance, dtype=np.float64)
+    if not (edge_src.shape == edge_dst.shape == conductance.shape):
+        raise GraphError("edge arrays must have matching shapes")
+    laplacian = np.zeros((n, n))
+    np.add.at(laplacian, (edge_src, edge_src), conductance)
+    np.add.at(laplacian, (edge_dst, edge_dst), conductance)
+    np.subtract.at(laplacian, (edge_src, edge_dst), conductance)
+    np.subtract.at(laplacian, (edge_dst, edge_src), conductance)
+    return laplacian

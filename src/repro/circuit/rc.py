@@ -1,0 +1,79 @@
+"""Linearised RC settling-time estimation.
+
+The execution delay of the PPUF is the time for the source current to
+stabilise.  Around the DC operating point the network is an RC system
+
+    C dv/dt = -G v,
+
+with G the small-signal conductance Laplacian (internal nodes) and C the
+diagonal node-capacitance matrix.  The slowest generalised eigenmode sets
+the settling time.  This complements the paper's analytic Lin–Mead bound
+(implemented in :mod:`repro.ppuf.delay`) with a physics-based measurement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.errors import GraphError, SolverError
+
+
+def node_capacitances(n: int, incident_edges: np.ndarray, c_edge: float, c_node0: float):
+    """Diagonal node capacitance: fixed part + one share per incident edge.
+
+    ``incident_edges[i]`` counts edges touching node ``i``; in the complete
+    crossbar this is ``2 * (n - 1)``, which is the linear-in-n growth that
+    drives the paper's O(n) delay bound.
+    """
+    incident_edges = np.asarray(incident_edges, dtype=np.float64)
+    if incident_edges.shape != (n,):
+        raise GraphError(f"incident_edges must have shape ({n},)")
+    if c_edge <= 0 or c_node0 < 0:
+        raise GraphError("capacitances must be positive")
+    return c_node0 + c_edge * incident_edges
+
+
+def settling_time_linearized(
+    laplacian: np.ndarray,
+    capacitance: np.ndarray,
+    pinned,
+    *,
+    settle_ratio: float = 1e-3,
+) -> float:
+    """Settling time of the linearised network [s].
+
+    Parameters
+    ----------
+    laplacian:
+        Full n×n small-signal conductance Laplacian.
+    capacitance:
+        Length-n diagonal node capacitances.
+    pinned:
+        Iterable of voltage-pinned nodes (source and sink) removed from the
+        dynamic system.
+    settle_ratio:
+        Residual amplitude defining "settled": T = tau_max * ln(1/ratio).
+    """
+    n = laplacian.shape[0]
+    pinned = set(pinned)
+    keep = np.array([v for v in range(n) if v not in pinned], dtype=np.int64)
+    if keep.size == 0:
+        raise GraphError("no dynamic nodes remain after pinning")
+    if not 0 < settle_ratio < 1:
+        raise GraphError("settle_ratio must be in (0, 1)")
+
+    g = laplacian[np.ix_(keep, keep)]
+    c = np.asarray(capacitance, dtype=np.float64)[keep]
+    if np.any(c <= 0):
+        raise GraphError("node capacitances must be positive")
+
+    # Generalised problem G x = s C x; symmetrise via C^(-1/2).
+    inv_sqrt_c = 1.0 / np.sqrt(c)
+    symmetric = inv_sqrt_c[:, None] * g * inv_sqrt_c[None, :]
+    rates = scipy.linalg.eigvalsh(symmetric)
+    slowest = float(rates[0])
+    if slowest <= 0:
+        raise SolverError("linearised network has a non-decaying mode")
+    tau = 1.0 / slowest
+    return tau * float(np.log(1.0 / settle_ratio))

@@ -1,0 +1,103 @@
+"""Spatially correlated across-die variation fields.
+
+"Systematic variation" in Section 4.1 means slow gradients across the die
+(lithography, stress, thermal history), not per-device lottery.  A field of
+independent draws would miss the point of the paper's mitigation — placing
+the two networks' transistors side by side works *because* the systematic
+component is spatially smooth, so neighbouring devices see almost the same
+shift.
+
+The field here is a random low-frequency cosine expansion
+
+    f(x, y) = sigma * sqrt(2/K) * sum_k cos(2*pi*(a_k x + b_k y) + phi_k),
+
+with spatial frequencies |a|, |b| <= max_frequency cycles per die.  Its
+marginal standard deviation is ``sigma`` and its correlation length is of
+order ``1/max_frequency`` die widths, so nearby blocks are strongly
+correlated and far corners are nearly independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class SpatialField:
+    """A frozen realisation of a smooth random field over the unit die.
+
+    Attributes
+    ----------
+    sigma:
+        Marginal standard deviation of the field values.
+    frequencies:
+        (K, 2) spatial frequencies [cycles/die].
+    phases:
+        (K,) phase offsets.
+    """
+
+    sigma: float
+    frequencies: np.ndarray
+    phases: np.ndarray
+
+    @classmethod
+    def sample(
+        cls,
+        sigma: float,
+        rng: np.random.Generator,
+        *,
+        modes: int = 6,
+        max_frequency: float = 1.5,
+    ) -> "SpatialField":
+        """Draw a random field realisation."""
+        if sigma < 0:
+            raise DeviceError(f"sigma must be non-negative, got {sigma}")
+        if modes < 1:
+            raise DeviceError(f"need at least one mode, got {modes}")
+        if max_frequency <= 0:
+            raise DeviceError("max_frequency must be positive")
+        frequencies = rng.uniform(-max_frequency, max_frequency, size=(modes, 2))
+        phases = rng.uniform(0.0, 2.0 * np.pi, size=modes)
+        return cls(sigma=sigma, frequencies=frequencies, phases=phases)
+
+    def __call__(self, positions: np.ndarray) -> np.ndarray:
+        """Evaluate the field at (N, 2) die coordinates in [0, 1]^2."""
+        positions = np.asarray(positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise DeviceError(
+                f"positions must have shape (N, 2), got {positions.shape}"
+            )
+        if self.sigma == 0.0:
+            return np.zeros(positions.shape[0])
+        arguments = 2.0 * np.pi * positions @ self.frequencies.T + self.phases
+        modes = self.frequencies.shape[0]
+        return self.sigma * np.sqrt(2.0 / modes) * np.cos(arguments).sum(axis=1)
+
+
+def correlation_vs_distance(
+    field: SpatialField,
+    rng: np.random.Generator,
+    *,
+    pairs: int = 2000,
+    distance: float = 0.05,
+):
+    """Empirical field correlation for point pairs at a given separation.
+
+    Diagnostic used by the tests: correlation should be high at small
+    separations and fall off with distance.
+    """
+    if not 0 < distance < 1:
+        raise DeviceError("distance must be inside (0, 1)")
+    base = rng.uniform(0.0, 1.0 - distance, size=(pairs, 2))
+    angle = rng.uniform(0.0, 2.0 * np.pi, size=pairs)
+    offset = distance * np.stack([np.cos(angle), np.sin(angle)], axis=1)
+    other = np.clip(base + offset, 0.0, 1.0)
+    values_a = field(base)
+    values_b = field(other)
+    if values_a.std() == 0 or values_b.std() == 0:
+        return 1.0
+    return float(np.corrcoef(values_a, values_b)[0, 1])

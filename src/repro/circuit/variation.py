@@ -1,0 +1,130 @@
+"""Process-variation model.
+
+The paper assumes threshold-voltage variation ~ N(0, 35 mV) per ITRS, plus a
+*systematic* across-die component.  Section 4.1's mitigation — placing the
+transistors of the two networks side by side — makes the systematic part
+common to both networks, so the differential comparison cancels it.  The
+model here reproduces that: a :class:`VariationSample` per network holds the
+per-transistor random shifts, while :meth:`VariationModel.sample_pair`
+optionally shares one systematic field between the two networks of a PPUF.
+
+Each edge block contains four transistors (M1, M2 in the bit-controlled
+stack; M3, M4 in the complementary stack), hence the ``(edges, 4)`` shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.ptm32 import Technology
+from repro.errors import DeviceError
+
+#: Column indices into a sample's ``delta_vt`` matrix.
+M1_TOP, M2_BOTTOM, M3_TOP, M4_BOTTOM = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class VariationSample:
+    """Per-edge threshold shifts for one network.
+
+    Attributes
+    ----------
+    delta_vt:
+        Array of shape ``(edges, 4)`` [V]: random (mismatch) component for
+        transistors M1, M2, M3, M4 of each edge block.
+    systematic:
+        Array of shape ``(edges,)`` [V]: across-die component added to every
+        transistor of the block.
+    """
+
+    delta_vt: np.ndarray
+    systematic: np.ndarray
+
+    def __post_init__(self):
+        if self.delta_vt.ndim != 2 or self.delta_vt.shape[1] != 4:
+            raise DeviceError(
+                f"delta_vt must have shape (edges, 4), got {self.delta_vt.shape}"
+            )
+        if self.systematic.shape != (self.delta_vt.shape[0],):
+            raise DeviceError(
+                "systematic must have shape (edges,) matching delta_vt"
+            )
+
+    @property
+    def num_edges(self) -> int:
+        return self.delta_vt.shape[0]
+
+    def total(self, column: int) -> np.ndarray:
+        """Random + systematic shift for one transistor column."""
+        return self.delta_vt[:, column] + self.systematic
+
+    @classmethod
+    def nominal(cls, num_edges: int) -> "VariationSample":
+        """A variation-free sample (all shifts zero)."""
+        return cls(
+            delta_vt=np.zeros((num_edges, 4)),
+            systematic=np.zeros(num_edges),
+        )
+
+
+@dataclass(frozen=True)
+class VariationModel:
+    """Sampler for process variation tied to a technology card."""
+
+    tech: Technology
+
+    def sample(
+        self,
+        num_edges: int,
+        rng: np.random.Generator,
+        *,
+        positions: np.ndarray = None,
+    ) -> VariationSample:
+        """One network's variation: independent mismatch + systematic field.
+
+        With ``positions`` (the (edges, 2) die coordinates of the blocks,
+        e.g. :meth:`repro.ppuf.crossbar.Crossbar.block_positions`), the
+        systematic component is a *spatially correlated* smooth field
+        (:class:`repro.circuit.spatial.SpatialField`); without, it degrades
+        to independent draws (kept for isolated-block Monte Carlo).
+        """
+        if num_edges < 1:
+            raise DeviceError(f"num_edges must be >= 1, got {num_edges}")
+        delta_vt = rng.normal(0.0, self.tech.sigma_vt, size=(num_edges, 4))
+        systematic = self._systematic(num_edges, rng, positions)
+        return VariationSample(delta_vt=delta_vt, systematic=systematic)
+
+    def _systematic(self, num_edges, rng, positions) -> np.ndarray:
+        from repro.circuit.spatial import SpatialField
+
+        if positions is None:
+            return rng.normal(0.0, self.tech.sigma_vt_systematic, size=num_edges)
+        field = SpatialField.sample(self.tech.sigma_vt_systematic, rng)
+        return field(positions)
+
+    def sample_pair(
+        self,
+        num_edges: int,
+        rng: np.random.Generator,
+        *,
+        side_by_side: bool = True,
+        positions: np.ndarray = None,
+    ):
+        """Variation for the two networks of one PPUF.
+
+        With ``side_by_side=True`` (the paper's layout) both networks share
+        one systematic field; with ``False`` each network draws its own —
+        the ablation for Section 4.1's placement argument.
+        """
+        sample_a = self.sample(num_edges, rng, positions=positions)
+        delta_b = rng.normal(0.0, self.tech.sigma_vt, size=(num_edges, 4))
+        if side_by_side:
+            sample_b = VariationSample(delta_vt=delta_b, systematic=sample_a.systematic)
+        else:
+            sample_b = VariationSample(
+                delta_vt=delta_b,
+                systematic=self._systematic(num_edges, rng, positions),
+            )
+        return sample_a, sample_b

@@ -1,0 +1,133 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+* ``create``     fabricate a PPUF and save its variation state to JSON
+* ``respond``    evaluate challenges on a saved PPUF
+* ``protocol``   run a time-bounded authentication session against itself
+* ``experiments``  regenerate the paper's tables/figures (see
+  :mod:`repro.experiments.all`)
+
+The save format captures everything that defines the silicon (topology,
+technology card, operating point, both variation samples), so a saved PPUF
+answers identically across processes — which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ppuf import Ppuf
+
+
+# ----------------------------------------------------------------------
+# persistence (re-exported from repro.ppuf.io for backward compatibility)
+# ----------------------------------------------------------------------
+from repro.ppuf.io import load_ppuf, ppuf_from_dict, ppuf_to_dict, save_ppuf  # noqa: E402,F401
+
+
+# ----------------------------------------------------------------------
+# commands
+# ----------------------------------------------------------------------
+def _command_create(arguments) -> int:
+    rng = np.random.default_rng(arguments.seed)
+    ppuf = Ppuf.create(arguments.nodes, arguments.grid, rng)
+    save_ppuf(ppuf, arguments.output)
+    print(
+        f"created {arguments.nodes}-node PPUF (l={arguments.grid}, "
+        f"seed={arguments.seed}) -> {arguments.output}"
+    )
+    return 0
+
+
+def _command_respond(arguments) -> int:
+    ppuf = load_ppuf(arguments.ppuf)
+    rng = np.random.default_rng(arguments.seed)
+    space = ppuf.challenge_space()
+    for _ in range(arguments.count):
+        challenge = space.random(rng)
+        bit = ppuf.response(challenge, engine=arguments.engine)
+        record = {
+            "source": challenge.source,
+            "sink": challenge.sink,
+            "bits": challenge.bits.tolist(),
+            "response": int(bit),
+        }
+        print(json.dumps(record))
+    return 0
+
+
+def _command_protocol(arguments) -> int:
+    from repro.ppuf import AuthenticationSession, PpufProver, PpufVerifier
+
+    ppuf = load_ppuf(arguments.ppuf)
+    rng = np.random.default_rng(arguments.seed)
+    session = AuthenticationSession(verifier=PpufVerifier(ppuf.network_a))
+    result = session.run(PpufProver(ppuf.network_a), rng, rounds=arguments.rounds)
+    for index, record in enumerate(result.rounds):
+        print(
+            f"round {index}: value={record.claim_value:.6g} A "
+            f"correct={record.claim_correct} "
+            f"within_deadline={record.within_deadline}"
+        )
+    print("ACCEPTED" if result.accepted else "REJECTED")
+    return 0 if result.accepted else 1
+
+
+def _command_experiments(arguments) -> int:
+    from repro.experiments.all import run_all
+
+    run_all(quick=arguments.quick, extended=arguments.extended)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    create = commands.add_parser("create", help="fabricate and save a PPUF")
+    create.add_argument("--nodes", type=int, default=20)
+    create.add_argument("--grid", type=int, default=4)
+    create.add_argument("--seed", type=int, default=0)
+    create.add_argument("--output", default="ppuf.json")
+    create.set_defaults(handler=_command_create)
+
+    respond = commands.add_parser("respond", help="evaluate random challenges")
+    respond.add_argument("--ppuf", default="ppuf.json")
+    respond.add_argument("--count", type=int, default=5)
+    respond.add_argument("--seed", type=int, default=0)
+    respond.add_argument("--engine", choices=("maxflow", "circuit"), default="maxflow")
+    respond.set_defaults(handler=_command_respond)
+
+    protocol = commands.add_parser("protocol", help="run an authentication session")
+    protocol.add_argument("--ppuf", default="ppuf.json")
+    protocol.add_argument("--rounds", type=int, default=4)
+    protocol.add_argument("--seed", type=int, default=0)
+    protocol.set_defaults(handler=_command_protocol)
+
+    experiments = commands.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("--quick", action="store_true")
+    experiments.add_argument("--extended", action="store_true")
+    experiments.set_defaults(handler=_command_experiments)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the PPUF reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed flow-network structure or invalid vertices."""
+
+
+class FlowError(ReproError):
+    """Raised when a flow assignment violates capacity or conservation."""
+
+
+class SolverError(ReproError):
+    """Raised when an algorithm fails to produce a valid result."""
+
+
+class ConvergenceError(SolverError):
+    """Raised when an iterative numeric solver fails to converge."""
+
+
+class DeviceError(ReproError):
+    """Raised for invalid device parameters or operating points."""
+
+
+class ChallengeError(ReproError):
+    """Raised for malformed PPUF challenges."""
+
+
+class VerificationError(ReproError):
+    """Raised when the residual-graph verification protocol fails."""
+
+
+class AttackError(ReproError):
+    """Raised for invalid model-building attack configurations."""

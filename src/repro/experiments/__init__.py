@@ -1,0 +1,12 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each module exposes ``run(...)`` returning :class:`~repro.experiments.base.
+ExperimentTable` objects (plain data — the benchmark harness and the test
+suite consume them) and a ``main()`` that prints the same rows/series the
+paper reports.  Default parameters are scaled to run on a laptop; pass the
+paper's full sizes explicitly when patience permits.
+"""
+
+from repro.experiments.base import ExperimentTable
+
+__all__ = ["ExperimentTable"]

@@ -1,0 +1,100 @@
+"""Run every experiment driver in sequence: the one-shot reproduction.
+
+``python -m repro.experiments.all [--quick]`` prints every table/figure of
+the paper.  ``--quick`` trims sample counts to smoke-test scale (~1 min);
+the default is the benchmark-suite scale (several minutes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ablation,
+    aging_reliability,
+    crpspace,
+    delay_models,
+    fig3,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    hardware_cost,
+    req2,
+    table1,
+)
+
+
+def _show_all(tables):
+    if not isinstance(tables, tuple):
+        tables = (tables,)
+    for table in tables:
+        table.show()
+
+
+#: Extension studies beyond the paper's figures (run with --extended).
+EXTENDED_PLANS = (
+    ("Ablations", ablation.run),
+    ("Delay models", delay_models.run),
+    ("Hardware cost", hardware_cost.run),
+    ("Aging", aging_reliability.run),
+)
+
+
+def run_all(*, quick: bool = False, extended: bool = False) -> None:
+    """Execute every driver and print its tables."""
+    if quick:
+        plans = [
+            ("Fig. 3", lambda: fig3.run(points=21)),
+            ("Req. 2", lambda: req2.run(samples=400)),
+            ("Fig. 6", lambda: fig6.run(sizes=(10, 20), trials=3)),
+            ("Fig. 7", lambda: fig7.run(sizes=(10, 20, 30, 40), repeats=1)),
+            ("Fig. 8", lambda: fig8.run(sizes=(10, 20, 30), instances=2, challenges=2)),
+            ("Table 1", lambda: table1.run(sizes=((24, 6),), instances=4, challenges=20)),
+            ("Fig. 9", lambda: fig9.run(n=24, l=6, distances=(1, 4, 16), instances=2, trials=20)),
+            ("Fig. 10", lambda: fig10.run(ppuf_sizes=((24, 6),), train_sizes=(100, 400), test_count=200)),
+            ("N_CRP", crpspace.run),
+        ]
+    else:
+        plans = [
+            ("Fig. 3", fig3.run),
+            ("Req. 2", req2.run),
+            ("Fig. 6", fig6.run),
+            ("Fig. 7", fig7.run),
+            ("Fig. 8", fig8.run),
+            ("Table 1", lambda: table1.run(sizes=((40, 8),))),
+            ("Fig. 9", lambda: fig9.run(n=40, l=8)),
+            ("Fig. 10", lambda: fig10.run(ppuf_sizes=((40, 8),))),
+            ("N_CRP", crpspace.run),
+        ]
+    if extended:
+        plans = list(plans) + list(EXTENDED_PLANS)
+    total_start = time.perf_counter()
+    for name, plan in plans:
+        start = time.perf_counter()
+        tables = plan()
+        elapsed = time.perf_counter() - start
+        print(f"==== {name} ({elapsed:.1f}s) " + "=" * 40)
+        _show_all(tables)
+    print(f"total: {time.perf_counter() - total_start:.1f}s")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smoke-test scale (~1 minute)"
+    )
+    parser.add_argument(
+        "--extended",
+        action="store_true",
+        help="also run the extension studies (ablations, delay models, "
+        "hardware cost, aging)",
+    )
+    arguments = parser.parse_args(argv)
+    run_all(quick=arguments.quick, extended=arguments.extended)
+
+
+if __name__ == "__main__":
+    main()

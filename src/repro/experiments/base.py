@@ -1,0 +1,58 @@
+"""Shared result container for experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.errors import ReproError
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of results.
+
+    Rows are dictionaries keyed by column name; formatting is applied only
+    at print time so tests can assert on the raw values.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values) -> None:
+        missing = set(self.columns) - set(values)
+        if missing:
+            raise ReproError(f"row missing columns: {sorted(missing)}")
+        self.rows.append({column: values[column] for column in self.columns})
+
+    def column(self, name: str) -> List:
+        if name not in self.columns:
+            raise ReproError(f"unknown column {name!r}")
+        return [row[name] for row in self.rows]
+
+    def to_text(self, *, float_format: str = "{:.4g}") -> str:
+        """Render as a fixed-width text table."""
+        def fmt(value):
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        header = [str(c) for c in self.columns]
+        body = [[fmt(row[c]) for c in self.columns] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        for row in body:
+            lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print(self.to_text())
+        print()

@@ -1,0 +1,87 @@
+"""Fig. 10: model-building attack resilience.
+
+Prediction error of the best attacker (LS-SVM with RBF/linear kernels, KNN
+with K = 1, 3, ..., 21) against the number of observed CRPs, for 40- and
+100-node PPUFs and an arbiter PUF of the same input length.  The paper
+reports the PPUF holding more than an order of magnitude higher prediction
+error than the arbiter PUF.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks import attack_curve, build_attack_dataset, build_ppuf_attack_dataset
+from repro.baselines import ArbiterPuf
+from repro.circuit.ptm32 import NOMINAL_CONDITIONS, PTM32
+from repro.experiments.base import ExperimentTable
+from repro.ppuf import Ppuf
+
+
+def run(
+    *,
+    ppuf_sizes=((40, 8),),
+    train_sizes=(100, 300, 1000),
+    test_count: int = 500,
+    seed: int = 2016,
+    tech=PTM32,
+    conditions=NOMINAL_CONDITIONS,
+):
+    """Attack curves for PPUFs and the arbiter baseline.
+
+    The paper's full run uses 40- and 100-node PPUFs up to 10^4 CRPs; pass
+    ``ppuf_sizes=((40, 8), (100, 16))`` and
+    ``train_sizes=(100, 1000, 10000)`` to match.
+    """
+    rng = np.random.default_rng(seed)
+    max_train = max(train_sizes)
+    table = ExperimentTable(
+        title="Fig. 10: prediction error vs observed CRPs",
+        columns=("target", "num_crps", "svm_error", "knn_error", "best_error"),
+    )
+
+    for n, l in ppuf_sizes:
+        ppuf = Ppuf.create(n, l, rng, tech=tech, conditions=conditions)
+        dataset = build_ppuf_attack_dataset(ppuf, max_train, test_count, rng)
+        for point in attack_curve(dataset, train_sizes):
+            table.add_row(
+                target=f"ppuf_{n}n",
+                num_crps=point.num_crps,
+                svm_error=point.svm_error,
+                knn_error=point.knn_error,
+                best_error=point.best_error,
+            )
+
+    # Arbiter with the same input length as the first PPUF's control word.
+    stages = ppuf_sizes[0][1] ** 2
+    arbiter = ArbiterPuf(stages, rng)
+    arbiter_dataset = build_attack_dataset(
+        arbiter.respond,
+        stages,
+        max_train,
+        test_count,
+        rng,
+        feature_map=ArbiterPuf.parity_features,
+    )
+    for point in attack_curve(arbiter_dataset, train_sizes):
+        table.add_row(
+            target="arbiter",
+            num_crps=point.num_crps,
+            svm_error=point.svm_error,
+            knn_error=point.knn_error,
+            best_error=point.best_error,
+        )
+
+    table.notes.append(
+        "paper: PPUF prediction error stays > 10x the arbiter PUF's at "
+        "matching CRP counts"
+    )
+    return table
+
+
+def main():
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Fig. 8 and the power budget: output measurability.
+
+Average network current and |current difference| between the two networks
+as the PPUF scales, with linear fits extrapolated to the 900-node design —
+these set the comparator's input-range and resolution requirements.  The
+Section-5 power/energy estimate rides on the same fits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.fitting import fit_linear
+from repro.analysis.power import estimate_power
+from repro.circuit.ptm32 import NOMINAL_CONDITIONS, PTM32
+from repro.experiments.base import ExperimentTable
+from repro.ppuf import Ppuf
+from repro.ppuf.delay import lin_mead_delay_bound
+
+
+def run(
+    *,
+    sizes=(10, 20, 30, 40, 60),
+    instances: int = 4,
+    challenges: int = 4,
+    seed: int = 2016,
+    tech=PTM32,
+    conditions=NOMINAL_CONDITIONS,
+    design_nodes: int = 900,
+):
+    """Measure current statistics per size, fit, and extrapolate."""
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable(
+        title="Fig. 8: output current average and difference vs node count",
+        columns=("nodes", "avg_current_A", "avg_difference_A"),
+    )
+    for n in sizes:
+        l = max(2, n // 5)
+        averages = []
+        differences = []
+        for _ in range(instances):
+            ppuf = Ppuf.create(n, l, rng, tech=tech, conditions=conditions)
+            space = ppuf.challenge_space()
+            for _ in range(challenges):
+                challenge = space.random(rng)
+                current_a, current_b = ppuf.currents(challenge, engine="maxflow")
+                averages.append(0.5 * (current_a + current_b))
+                differences.append(abs(current_a - current_b))
+        table.add_row(
+            nodes=n,
+            avg_current_A=float(np.mean(averages)),
+            avg_difference_A=float(np.mean(differences)),
+        )
+
+    sizes_measured = table.column("nodes")
+    avg_fit = fit_linear(sizes_measured, table.column("avg_current_A"))
+    # The difference of two sums of n-1 independent edges grows ~ sqrt(n);
+    # fit against sqrt(n) as the paper's sub-linear "current diff" curve.
+    sqrt_sizes = np.sqrt(np.asarray(sizes_measured, dtype=np.float64))
+    diff_fit = fit_linear(sqrt_sizes, table.column("avg_difference_A"))
+
+    projected_avg = float(avg_fit(design_nodes))
+    projected_diff = float(diff_fit(np.sqrt(design_nodes)))
+    delay = lin_mead_delay_bound(design_nodes, tech, conditions)
+    power = estimate_power(projected_avg, conditions.v_supply, delay)
+
+    summary = ExperimentTable(
+        title=f"Fig. 8 extrapolation and power budget at {design_nodes} nodes",
+        columns=("quantity", "value", "paper_value"),
+    )
+    summary.add_row(quantity="avg current [A]", value=projected_avg, paper_value=33.6e-6)
+    summary.add_row(
+        quantity="current difference [A]", value=projected_diff, paper_value=2.89e-6
+    )
+    summary.add_row(
+        quantity="crossbar power [W]", value=power.crossbar_power, paper_value=134.4e-6
+    )
+    summary.add_row(
+        quantity="comparator power [W]",
+        value=power.comparator_power,
+        paper_value=153e-6,
+    )
+    summary.add_row(quantity="execution delay [s]", value=delay, paper_value=1.0e-6)
+    summary.add_row(
+        quantity="energy per evaluation [J]",
+        value=power.energy_per_evaluation,
+        paper_value=287.4e-12,
+    )
+    summary.notes.append(
+        f"linear avg-current fit R^2 = {avg_fit.r_squared:.4f}; "
+        f"difference fitted against sqrt(n), R^2 = {diff_fit.r_squared:.4f}"
+    )
+    return table, summary
+
+
+def main():
+    for table in run():
+        table.show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Hardware-cost study: the grid partition's control-signal reduction.
+
+Section 4.2: "the number of individual control signals increases
+quadratically relative to the node number, which leads to high cost for
+large design" — hence one capacitor-stored bias per l×l grid cell.  This
+experiment tabulates the naive vs partitioned control-signal counts and
+the device/area inventory across design points, including the paper's
+headline n = 200, l = 15 configuration and the Fig. 7(b) crossover sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cost import hardware_budget
+from repro.experiments.base import ExperimentTable
+
+
+def run(*, design_points=((40, 8), (100, 16), (200, 15), (900, 30))):
+    table = ExperimentTable(
+        title="Hardware cost vs design point (Section 4.2)",
+        columns=(
+            "nodes",
+            "grid_l",
+            "edge_blocks",
+            "mosfets",
+            "naive_controls",
+            "partitioned_controls",
+            "reduction",
+            "area_mm2",
+        ),
+    )
+    for n, l in design_points:
+        budget = hardware_budget(n, l)
+        table.add_row(
+            nodes=n,
+            grid_l=l,
+            edge_blocks=budget.edge_blocks,
+            mosfets=budget.mosfets,
+            naive_controls=budget.naive_control_signals,
+            partitioned_controls=budget.control_signals,
+            reduction=budget.control_reduction,
+            area_mm2=budget.area_m2 * 1e6,
+        )
+    table.notes.append(
+        "naive = one signal per block (quadratic); partitioned = l^2 grid "
+        "biases + terminal-select lines"
+    )
+    return table
+
+
+def main():
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Terminal (ASCII) plotting for experiment series.
+
+The benchmark harness prints tables; for the scaling figures (7, 8, 9, 10)
+a picture says more.  :func:`ascii_plot` renders multiple named series on
+one character grid with optional log axes — enough to eyeball a power law
+or a crossover without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+from repro.errors import ReproError
+
+#: Glyphs assigned to series in registration order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+def _transform(values, log: bool):
+    out = []
+    for value in values:
+        if log:
+            if value <= 0:
+                raise ReproError("log axis requires positive values")
+            out.append(math.log10(value))
+        else:
+            out.append(float(value))
+    return out
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named series against a shared x axis as an ASCII grid.
+
+    Returns the multi-line plot string (legend included).  Series may have
+    unequal lengths only if they all match ``len(x)``.
+    """
+    if width < 16 or height < 6:
+        raise ReproError("plot needs width >= 16 and height >= 6")
+    if not series:
+        raise ReproError("need at least one series")
+    if len(series) > len(SERIES_GLYPHS):
+        raise ReproError(f"at most {len(SERIES_GLYPHS)} series supported")
+    x = list(x)
+    if len(x) < 2:
+        raise ReproError("need at least two x samples")
+    for name, values in series.items():
+        if len(values) != len(x):
+            raise ReproError(
+                f"series {name!r} has {len(values)} points but x has {len(x)}"
+            )
+
+    tx = _transform(x, log_x)
+    ty_all = [_transform(values, log_y) for values in series.values()]
+    x_min, x_max = min(tx), max(tx)
+    y_min = min(min(ty) for ty in ty_all)
+    y_max = max(max(ty) for ty in ty_all)
+    if x_max == x_min:
+        raise ReproError("x axis is degenerate")
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(value_x: float, value_y: float, glyph: str) -> None:
+        column = round((value_x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((value_y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][column] = glyph
+
+    for glyph, ty in zip(SERIES_GLYPHS, ty_all):
+        for value_x, value_y in zip(tx, ty):
+            place(value_x, value_y, glyph)
+
+    def fmt(value: float, log: bool) -> str:
+        return f"1e{value:.1f}" if log else f"{value:.3g}"
+
+    lines = []
+    top_label = fmt(y_max, log_y)
+    bottom_label = fmt(y_min, log_y)
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(margin)}")
+    for index, row in enumerate(grid):
+        prefix = top_label if index == 0 else (
+            bottom_label if index == height - 1 else ""
+        )
+        lines.append(f"{prefix.rjust(margin)}|{''.join(row)}")
+    axis = f"{'':>{margin}}+" + "-" * width
+    lines.append(axis)
+    left = fmt(x_min, log_x)
+    right = fmt(x_max, log_x)
+    gap = width - len(left) - len(right)
+    lines.append(f"{'':>{margin}} {left}{' ' * max(gap, 1)}{right}  ({x_label})")
+    legend = "   ".join(
+        f"{glyph}={name}" for glyph, name in zip(SERIES_GLYPHS, series)
+    )
+    lines.append(f"{'':>{margin}} {legend}")
+    return "\n".join(lines)
+
+
+def plot_table(
+    table,
+    x_column: str,
+    y_columns: Sequence[str],
+    **kwargs,
+) -> str:
+    """Plot columns of an :class:`~repro.experiments.base.ExperimentTable`."""
+    x = table.column(x_column)
+    series = {name: table.column(name) for name in y_columns}
+    kwargs.setdefault("x_label", x_column)
+    return ascii_plot(x, series, **kwargs)

@@ -1,0 +1,74 @@
+"""Verification asymmetry (Section 2): solving is hard, checking is cheap.
+
+Measures, per node count, the prover's max-flow solve time against the
+verifier's residual-BFS check time on the same PPUF instances, next to the
+analytic cost ratio (O(n³ log n / p) simulation vs O(n²/p) verification).
+The growing measured ratio is what lets a weak verifier time-bound a
+powerful prover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuit.ptm32 import NOMINAL_CONDITIONS, PTM32
+from repro.experiments.base import ExperimentTable
+from repro.flow.parallel import parallel_time_lower_bound, verification_time_bound
+from repro.ppuf import Ppuf, PpufProver, PpufVerifier
+
+
+def run(
+    *,
+    sizes=(10, 20, 40, 60),
+    repeats: int = 3,
+    seed: int = 2016,
+    tech=PTM32,
+    conditions=NOMINAL_CONDITIONS,
+):
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable(
+        title="Section 2: prover-solve vs verifier-check asymmetry",
+        columns=(
+            "nodes",
+            "prover_solve_s",
+            "verifier_check_s",
+            "measured_ratio",
+            "analytic_ratio",
+        ),
+    )
+    for n in sizes:
+        l = max(2, n // 5)
+        ppuf = Ppuf.create(n, l, rng, tech=tech, conditions=conditions)
+        prover = PpufProver(ppuf.network_a)
+        verifier = PpufVerifier(ppuf.network_a)
+        solve_times = []
+        check_times = []
+        for _ in range(repeats):
+            challenge = ppuf.challenge_space().random(rng)
+            claim = prover.answer(challenge)
+            solve_times.append(claim.elapsed_seconds)
+            accepted, check_seconds = verifier.timed_verify(claim)
+            assert accepted
+            check_times.append(check_seconds)
+        solve = float(np.median(solve_times))
+        check = float(np.median(check_times))
+        table.add_row(
+            nodes=n,
+            prover_solve_s=solve,
+            verifier_check_s=check,
+            measured_ratio=solve / check,
+            analytic_ratio=parallel_time_lower_bound(n, n)
+            / verification_time_bound(n, n),
+        )
+    table.notes.append(
+        "analytic ratio = (n^3 log n / p) / (n^2 / p) = n log n with p = n"
+    )
+    return table
+
+
+def main():
+    run().show()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Max-flow substrate.
+
+This subpackage implements the public simulation model of the PPUF: the
+max-flow problem on a directed (typically complete) graph, together with the
+algorithm families the paper discusses.
+
+Public API
+----------
+
+:class:`~repro.flow.graph.FlowNetwork`
+    Dense directed flow network with per-edge capacities.
+:func:`~repro.flow.edmonds_karp.edmonds_karp`
+    Augmenting-path (BFS) reference solver.
+:func:`~repro.flow.dinic.dinic`
+    Blocking-flow solver.
+:func:`~repro.flow.push_relabel.push_relabel`
+    FIFO push-relabel solver with the gap heuristic.
+:func:`~repro.flow.approx.approximate_max_flow`
+    ε-approximate solver (capacity-scaling truncation).
+:func:`~repro.flow.parallel.parallel_blocking_flow`
+    Shiloach–Vishkin PRAM cost model around the blocking-flow schedule.
+:func:`~repro.flow.residual.verify_max_flow`
+    Residual-graph BFS optimality check (the verifier's primitive).
+"""
+
+from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.residual import (
+    residual_capacities,
+    residual_reachable,
+    min_cut,
+    verify_max_flow,
+)
+from repro.flow.edmonds_karp import edmonds_karp
+from repro.flow.dinic import dinic
+from repro.flow.push_relabel import push_relabel
+from repro.flow.capacity_scaling import capacity_scaling
+from repro.flow.highest_label import highest_label_push_relabel
+from repro.flow.approx import approximate_max_flow
+from repro.flow.dimacs import read_dimacs, write_dimacs
+from repro.flow.decomposition import (
+    PathFlow,
+    decompose_flow,
+    decomposition_value,
+    recompose_flow,
+)
+from repro.flow.parallel import parallel_blocking_flow, ParallelCost
+from repro.flow.generators import (
+    complete_network,
+    random_complete_network,
+    random_sparse_network,
+)
+from repro.flow.worstcase import layered_network, long_path_network, zigzag_network
+from repro.flow.instrument import OperationCounter, SolverTiming, time_solver
+
+SOLVERS = {
+    "edmonds_karp": edmonds_karp,
+    "dinic": dinic,
+    "push_relabel": push_relabel,
+    "capacity_scaling": capacity_scaling,
+    "highest_label": highest_label_push_relabel,
+}
+
+
+def solve_max_flow(network, source, sink, *, algorithm="dinic"):
+    """Solve max-flow with a named algorithm.
+
+    Parameters
+    ----------
+    network:
+        A :class:`FlowNetwork`; its flow state is overwritten.
+    source, sink:
+        Vertex indices.
+    algorithm:
+        One of ``"edmonds_karp"``, ``"dinic"``, ``"push_relabel"``,
+        ``"capacity_scaling"``.
+
+    Returns
+    -------
+    FlowResult
+    """
+    try:
+        solver = SOLVERS[algorithm]
+    except KeyError:
+        known = ", ".join(sorted(SOLVERS))
+        raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {known}")
+    return solver(network, source, sink)
+
+
+__all__ = [
+    "FlowNetwork",
+    "FlowResult",
+    "SOLVERS",
+    "solve_max_flow",
+    "edmonds_karp",
+    "dinic",
+    "push_relabel",
+    "capacity_scaling",
+    "highest_label_push_relabel",
+    "approximate_max_flow",
+    "read_dimacs",
+    "write_dimacs",
+    "PathFlow",
+    "decompose_flow",
+    "recompose_flow",
+    "decomposition_value",
+    "parallel_blocking_flow",
+    "ParallelCost",
+    "residual_capacities",
+    "residual_reachable",
+    "min_cut",
+    "verify_max_flow",
+    "complete_network",
+    "random_complete_network",
+    "random_sparse_network",
+    "layered_network",
+    "long_path_network",
+    "zigzag_network",
+    "OperationCounter",
+    "SolverTiming",
+    "time_solver",
+]

@@ -1,0 +1,143 @@
+"""ε-approximate max-flow.
+
+The paper cites Kelner et al. (SODA 2014): an ε-approximate max-flow costs
+O(m^{1+o(1)} ε⁻²), which on the complete graph is O(n^{2+o(1)} ε⁻²) — still
+quadratic in n.  The role of the approximate algorithm in the paper is to
+close the "an attacker could approximate instead of solving exactly" loophole
+in the ESG argument.
+
+We implement a capacity-scaling truncation: augment only along paths whose
+bottleneck is at least Δ, halving Δ until the remaining augmentable flow is
+provably below ε · F.  The result carries a certified relative-error bound,
+and the cost model exposes the ε⁻² work blow-up that makes approximation
+unhelpful for an attacker who must match an analog current to < 1 %.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphError, SolverError
+from repro.flow.graph import FlowNetwork
+
+
+@dataclass
+class ApproximateFlowResult:
+    """Outcome of the ε-approximate computation.
+
+    Attributes
+    ----------
+    value:
+        Value of the (feasible) approximate flow.
+    upper_bound:
+        Certified upper bound on the true max-flow value.
+    epsilon:
+        Requested relative accuracy.
+    certified_error:
+        Guaranteed relative gap ``(upper_bound - value) / upper_bound``.
+    augmentations:
+        Number of augmenting paths used.
+    modeled_work:
+        Kelner-style work estimate ``m * epsilon**-2`` for this instance,
+        in residual-edge-inspection units.
+    flow:
+        The flow matrix.
+    """
+
+    value: float
+    upper_bound: float
+    epsilon: float
+    certified_error: float
+    augmentations: int
+    modeled_work: float
+    flow: np.ndarray
+
+
+def approximate_max_flow(
+    network: FlowNetwork,
+    source: int,
+    sink: int,
+    *,
+    epsilon: float,
+) -> ApproximateFlowResult:
+    """Compute a flow whose value is ≥ (1 − ε) of the maximum.
+
+    Uses Δ-scaling: only augmenting paths with bottleneck ≥ Δ are taken;
+    when no such path exists, the residual min cut over ≥ Δ edges bounds the
+    optimality gap by m·Δ, and Δ halves.  Stops as soon as the certified gap
+    is within ε.
+    """
+    if not 0 < epsilon < 1:
+        raise GraphError(f"epsilon must be in (0, 1), got {epsilon}")
+    network._check_vertex(source)
+    network._check_vertex(sink)
+    if source == sink:
+        raise GraphError("source and sink must differ")
+
+    n = network.n
+    m = max(network.num_edges, 1)
+    residual = network.capacity.copy()
+    max_cap = float(network.capacity.max())
+    if max_cap <= 0:
+        zero = np.zeros_like(network.capacity)
+        return ApproximateFlowResult(0.0, 0.0, epsilon, 0.0, 0, 0.0, zero)
+
+    value = 0.0
+    augmentations = 0
+    delta = 2.0 ** np.floor(np.log2(max_cap))
+
+    while True:
+        path = _find_path(residual, source, sink, delta)
+        while path is not None:
+            bottleneck = min(residual[u, v] for u, v in path)
+            for u, v in path:
+                residual[u, v] -= bottleneck
+                residual[v, u] += bottleneck
+            value += bottleneck
+            augmentations += 1
+            path = _find_path(residual, source, sink, delta)
+        # No augmenting path with bottleneck >= delta: the min cut over the
+        # full residual graph has every edge < delta, so the remaining flow
+        # is < m * delta.
+        gap_bound = m * delta
+        upper = value + gap_bound
+        if upper <= 0:
+            raise SolverError("approximate solver reached an inconsistent state")
+        if gap_bound <= epsilon * upper:
+            flow = np.clip(network.capacity - residual, 0.0, network.capacity)
+            network.flow = flow.copy()
+            return ApproximateFlowResult(
+                value=value,
+                upper_bound=float(upper),
+                epsilon=epsilon,
+                certified_error=float(gap_bound / upper),
+                augmentations=augmentations,
+                modeled_work=float(m) / (epsilon * epsilon),
+                flow=flow,
+            )
+        delta /= 2.0
+
+
+def _find_path(residual: np.ndarray, source: int, sink: int, delta: float):
+    """BFS for an augmenting path using only edges with residual ≥ delta."""
+    n = residual.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    parent[source] = source
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        neighbours = np.nonzero((residual[u] >= delta) & (parent < 0))[0]
+        for v in neighbours.tolist():
+            parent[v] = u
+            if v == sink:
+                path = []
+                while v != source:
+                    path.append((int(parent[v]), v))
+                    v = int(parent[v])
+                path.reverse()
+                return path
+            queue.append(v)
+    return None

@@ -1,0 +1,73 @@
+"""Capacity-scaling max-flow solver.
+
+The fourth exact algorithm in the suite (alongside Edmonds–Karp, Dinic and
+push-relabel): augment only along paths whose bottleneck is at least Δ,
+halving Δ until it is negligible against the capacity scale, then finish
+with plain shortest augmenting paths.  Classic O(m² log U) behaviour on
+integer capacities; on the PPUF's real-valued capacities the scaling
+phases do the heavy lifting and the clean-up phase handles the float tail.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.flow.approx import _find_path
+from repro.flow.graph import FlowNetwork, FlowResult
+
+#: The clean-up phase starts once Delta falls below this fraction of the
+#: largest capacity; everything smaller is float-tail territory.
+_SCALING_FLOOR = 1e-12
+
+
+def capacity_scaling(network: FlowNetwork, source: int, sink: int) -> FlowResult:
+    """Compute an exact maximum flow by Δ-scaling augmentation.
+
+    ``stats`` reports ``augmentations`` and ``phases`` (number of distinct
+    Δ values used, including the exact clean-up phase).
+    """
+    network._check_vertex(source)
+    network._check_vertex(sink)
+    if source == sink:
+        raise GraphError("source and sink must differ")
+
+    residual = network.capacity.copy()
+    max_cap = float(network.capacity.max())
+    augmentations = 0
+    phases = 0
+
+    if max_cap > 0:
+        delta = 2.0 ** np.floor(np.log2(max_cap))
+        while delta >= max_cap * _SCALING_FLOOR:
+            phases += 1
+            augmentations += _augment_all(residual, source, sink, delta)
+            delta /= 2.0
+
+    # Exact clean-up: any remaining augmenting path at all.
+    phases += 1
+    augmentations += _augment_all(residual, source, sink, np.nextafter(0.0, 1.0))
+
+    flow = np.clip(network.capacity - residual, 0.0, network.capacity)
+    network.flow = flow.copy()
+    value = network.flow_value(source)
+    return FlowResult(
+        value=value,
+        flow=flow,
+        algorithm="capacity_scaling",
+        stats={"augmentations": augmentations, "phases": phases},
+    )
+
+
+def _augment_all(residual: np.ndarray, source: int, sink: int, delta: float) -> int:
+    """Saturate every augmenting path with bottleneck >= delta."""
+    count = 0
+    path = _find_path(residual, source, sink, delta)
+    while path is not None:
+        bottleneck = min(residual[u, v] for u, v in path)
+        for u, v in path:
+            residual[u, v] -= bottleneck
+            residual[v, u] += bottleneck
+        count += 1
+        path = _find_path(residual, source, sink, delta)
+    return count

@@ -1,0 +1,87 @@
+"""Flow-network instance generators.
+
+The PPUF instantiates a *complete* directed graph whose edge capacities are
+device saturation currents; the generators here produce matching synthetic
+instances for solver tests and timing sweeps without needing the circuit
+substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.flow.graph import FlowNetwork
+
+
+def complete_network(n: int, capacity: float = 1.0) -> FlowNetwork:
+    """Complete directed graph with uniform edge capacity."""
+    if capacity <= 0:
+        raise GraphError(f"capacity must be positive, got {capacity}")
+    matrix = np.full((n, n), float(capacity))
+    np.fill_diagonal(matrix, 0.0)
+    return FlowNetwork.from_capacity_matrix(matrix)
+
+
+def random_complete_network(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    mean: float = 1.0,
+    relative_sigma: float = 0.1,
+) -> FlowNetwork:
+    """Complete graph with capacities ~ N(mean, (relative_sigma·mean)²).
+
+    Mirrors the statistics of a PPUF network: nominally equal saturation
+    currents perturbed by process variation.  Capacities are clipped to stay
+    positive (a transistor never conducts a negative saturation current).
+    """
+    if mean <= 0:
+        raise GraphError(f"mean capacity must be positive, got {mean}")
+    if relative_sigma < 0:
+        raise GraphError(f"relative sigma must be non-negative, got {relative_sigma}")
+    matrix = rng.normal(mean, relative_sigma * mean, size=(n, n))
+    np.clip(matrix, mean * 1e-3, None, out=matrix)
+    np.fill_diagonal(matrix, 0.0)
+    return FlowNetwork.from_capacity_matrix(matrix)
+
+
+def random_sparse_network(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    density: float = 0.3,
+    max_capacity: float = 10.0,
+    source: int = 0,
+    sink: Optional[int] = None,
+) -> FlowNetwork:
+    """Random sparse instance for solver stress tests.
+
+    A random subset of ordered pairs becomes edges with uniform capacities in
+    (0, max_capacity].  A path ``source -> ... -> sink`` is always added so
+    the instance has positive max-flow.
+    """
+    if not 0 < density <= 1:
+        raise GraphError(f"density must be in (0, 1], got {density}")
+    if max_capacity <= 0:
+        raise GraphError(f"max capacity must be positive, got {max_capacity}")
+    if sink is None:
+        sink = n - 1
+    network = FlowNetwork(n)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, False)
+    capacities = rng.uniform(0.0, max_capacity, size=(n, n))
+    matrix = np.where(mask, capacities, 0.0)
+    # Guarantee a source-to-sink path through a random permutation of the
+    # interior vertices.
+    interior = [v for v in range(n) if v not in (source, sink)]
+    rng.shuffle(interior)
+    path = [source] + interior[: max(1, n // 4)] + [sink]
+    for u, v in zip(path, path[1:]):
+        if matrix[u, v] <= 0:
+            matrix[u, v] = rng.uniform(max_capacity * 0.1, max_capacity)
+    np.fill_diagonal(matrix, 0.0)
+    network = FlowNetwork.from_capacity_matrix(matrix)
+    return network

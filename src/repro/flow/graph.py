@@ -1,0 +1,259 @@
+"""Dense directed flow network.
+
+The PPUF maps a *complete* directed graph on chip, so a dense n×n capacity
+matrix is the natural representation: every solver in this package reads and
+writes ``numpy`` arrays rather than pointer-chasing adjacency structures.
+
+Vertices are integers ``0..n-1``.  An edge ``(i, j)`` exists when
+``capacity[i, j] > 0`` or when it was added explicitly with zero capacity
+(tracked by the boolean ``adjacency`` mask so that zero-capacity edges of a
+challenge-configured PPUF still appear in the residual graph bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FlowError, GraphError
+
+#: Relative tolerance used when comparing currents/flows.  Device currents
+#: are O(1e-6) A, so an absolute epsilon would be meaningless; everything in
+#: this package compares against the local capacity scale.
+DEFAULT_RTOL = 1e-9
+
+
+class FlowNetwork:
+    """A directed graph with non-negative edge capacities and a flow state.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+
+    Notes
+    -----
+    ``capacity`` and ``flow`` are dense ``float64`` matrices.  ``flow`` is the
+    current (not necessarily maximal, not necessarily feasible) assignment;
+    solvers reset it.  All mutating operations validate their arguments.
+    """
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise GraphError(f"a flow network needs at least 2 vertices, got {n}")
+        self.n = int(n)
+        self.capacity = np.zeros((n, n), dtype=np.float64)
+        self.flow = np.zeros((n, n), dtype=np.float64)
+        self.adjacency = np.zeros((n, n), dtype=bool)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_capacity_matrix(cls, capacity: np.ndarray) -> "FlowNetwork":
+        """Build a network from a square capacity matrix.
+
+        Entries that are exactly zero do not create edges; the diagonal must
+        be zero (no self-loops).
+        """
+        capacity = np.asarray(capacity, dtype=np.float64)
+        if capacity.ndim != 2 or capacity.shape[0] != capacity.shape[1]:
+            raise GraphError(f"capacity matrix must be square, got {capacity.shape}")
+        if np.any(capacity < 0):
+            raise GraphError("capacities must be non-negative")
+        if np.any(np.diag(capacity) != 0):
+            raise GraphError("self-loop capacities must be zero")
+        network = cls(capacity.shape[0])
+        network.capacity = capacity.copy()
+        network.adjacency = capacity > 0
+        return network
+
+    def add_edge(self, u: int, v: int, capacity: float) -> None:
+        """Add (or overwrite) the directed edge ``u -> v``."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if u == v:
+            raise GraphError(f"self-loop at vertex {u} is not allowed")
+        if capacity < 0:
+            raise GraphError(f"capacity must be non-negative, got {capacity}")
+        self.capacity[u, v] = float(capacity)
+        self.adjacency[u, v] = True
+
+    def copy(self) -> "FlowNetwork":
+        """Return a deep copy (capacities, adjacency and flow state)."""
+        other = FlowNetwork(self.n)
+        other.capacity = self.capacity.copy()
+        other.flow = self.flow.copy()
+        other.adjacency = self.adjacency.copy()
+        return other
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of (explicitly present) directed edges."""
+        return int(self.adjacency.sum())
+
+    def is_complete(self) -> bool:
+        """True when every ordered vertex pair is an edge."""
+        expected = self.n * (self.n - 1)
+        return self.num_edges == expected
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over directed edges as ``(u, v)`` pairs."""
+        rows, cols = np.nonzero(self.adjacency)
+        return zip(rows.tolist(), cols.tolist())
+
+    def successors(self, u: int) -> np.ndarray:
+        """Vertices reachable from ``u`` over one explicit edge."""
+        self._check_vertex(u)
+        return np.nonzero(self.adjacency[u])[0]
+
+    def predecessors(self, u: int) -> np.ndarray:
+        """Vertices with an explicit edge into ``u``."""
+        self._check_vertex(u)
+        return np.nonzero(self.adjacency[:, u])[0]
+
+    def flow_value(self, source: int) -> float:
+        """Net flow leaving ``source`` under the current flow state."""
+        self._check_vertex(source)
+        return float(self.flow[source].sum() - self.flow[:, source].sum())
+
+    def reset_flow(self) -> None:
+        """Zero the flow state."""
+        self.flow.fill(0.0)
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def check_flow(self, source: int, sink: int, *, rtol: float = DEFAULT_RTOL) -> None:
+        """Validate the current flow state.
+
+        Raises :class:`FlowError` when any capacity constraint or any
+        conservation constraint (at vertices other than ``source``/``sink``)
+        is violated beyond ``rtol`` relative to the network's capacity scale.
+        """
+        self._check_vertex(source)
+        self._check_vertex(sink)
+        scale = max(float(self.capacity.max()), 1.0)
+        tol = rtol * scale
+
+        if np.any(self.flow < -tol):
+            raise FlowError("negative flow on some edge")
+        excess = self.flow - self.capacity
+        if np.any(excess > tol):
+            u, v = np.unravel_index(int(np.argmax(excess)), excess.shape)
+            raise FlowError(
+                f"flow {self.flow[u, v]:.6g} exceeds capacity "
+                f"{self.capacity[u, v]:.6g} on edge ({u}, {v})"
+            )
+        inflow = self.flow.sum(axis=0)
+        outflow = self.flow.sum(axis=1)
+        imbalance = np.abs(inflow - outflow)
+        imbalance[source] = 0.0
+        imbalance[sink] = 0.0
+        if np.any(imbalance > tol * self.n):
+            vertex = int(np.argmax(imbalance))
+            raise FlowError(
+                f"conservation violated at vertex {vertex}: "
+                f"in {inflow[vertex]:.6g}, out {outflow[vertex]:.6g}"
+            )
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.n:
+            raise GraphError(f"vertex {v} out of range [0, {self.n})")
+
+    # ------------------------------------------------------------------
+    # interop
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with ``capacity`` attributes.
+
+        Used by the test suite to cross-check our solvers against networkx.
+        """
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(self.n))
+        for u, v in self.edges():
+            graph.add_edge(u, v, capacity=float(self.capacity[u, v]))
+        return graph
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlowNetwork(n={self.n}, edges={self.num_edges})"
+
+
+@dataclass
+class FlowResult:
+    """Outcome of a max-flow computation.
+
+    Attributes
+    ----------
+    value:
+        Max-flow value (net flow out of the source).
+    flow:
+        Edge flow matrix (n×n); a copy, detached from the network.
+    algorithm:
+        Name of the algorithm that produced the result.
+    stats:
+        Operation counts recorded by the solver (algorithm-specific keys,
+        e.g. ``"pushes"``, ``"relabels"``, ``"augmentations"``,
+        ``"bfs_edge_visits"``).
+    """
+
+    value: float
+    flow: np.ndarray
+    algorithm: str
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def saturated_edges(self, network: FlowNetwork, *, rtol: float = 1e-6):
+        """Return the list of edges carrying flow equal to their capacity."""
+        saturated = []
+        for u, v in network.edges():
+            cap = network.capacity[u, v]
+            if cap > 0 and self.flow[u, v] >= cap * (1.0 - rtol):
+                saturated.append((u, v))
+        return saturated
+
+
+def supersource_reduction(
+    network: FlowNetwork,
+    sources,
+    sinks,
+    *,
+    capacity: Optional[float] = None,
+) -> Tuple[FlowNetwork, int, int]:
+    """Reduce a multi-source/multi-sink instance to single source/sink.
+
+    The paper distinguishes source sets ``S`` and sink sets ``T``; solvers in
+    this package take a single source and sink, so set instances are reduced
+    by adding a supersource (index ``n``) and supersink (index ``n + 1``)
+    wired with ``capacity`` (default: total network capacity, i.e. effectively
+    unbounded) to every member of the respective set.
+
+    Returns ``(reduced_network, supersource, supersink)``.
+    """
+    sources = list(sources)
+    sinks = list(sinks)
+    if not sources or not sinks:
+        raise GraphError("source and sink sets must be non-empty")
+    if set(sources) & set(sinks):
+        raise GraphError("source and sink sets must be disjoint")
+    if capacity is None:
+        capacity = float(network.capacity.sum()) + 1.0
+
+    n = network.n
+    reduced = FlowNetwork(n + 2)
+    reduced.capacity[:n, :n] = network.capacity
+    reduced.adjacency[:n, :n] = network.adjacency
+    supersource, supersink = n, n + 1
+    for s in sources:
+        network._check_vertex(s)
+        reduced.add_edge(supersource, s, capacity)
+    for t in sinks:
+        network._check_vertex(t)
+        reduced.add_edge(t, supersink, capacity)
+    return reduced, supersource, supersink

@@ -1,0 +1,104 @@
+"""Highest-label push-relabel max-flow solver.
+
+The second classical push-relabel selection rule (after FIFO): always
+discharge an active vertex of maximum height.  Its O(n² √m) bound beats
+FIFO's O(n³) in theory; on the PPUF's dense instances the two are close,
+which the solver-ablation benchmark shows.  Sharing the dense-matrix
+conventions (and the float-residue tolerance) of
+:mod:`repro.flow.push_relabel`.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.flow.graph import FlowNetwork, FlowResult
+
+
+def highest_label_push_relabel(network: FlowNetwork, source: int, sink: int) -> FlowResult:
+    """Compute a maximum flow discharging highest-height vertices first.
+
+    ``stats`` reports ``pushes``, ``relabels`` and ``edge_inspections``.
+    """
+    network._check_vertex(source)
+    network._check_vertex(sink)
+    if source == sink:
+        raise GraphError("source and sink must differ")
+
+    n = network.n
+    residual = network.capacity.copy()
+    height = np.zeros(n, dtype=np.int64)
+    excess = np.zeros(n, dtype=np.float64)
+    height[source] = n
+    tol = 1e-12 * max(float(network.capacity.max()), 1.0)
+
+    pushes = 0
+    relabels = 0
+    edge_inspections = 0
+
+    # Max-heap of (-height, vertex); lazy entries, validity re-checked on pop.
+    heap: list = []
+
+    def activate(v: int) -> None:
+        if v != source and v != sink and excess[v] > tol:
+            heapq.heappush(heap, (-int(height[v]), v))
+
+    out = np.nonzero(residual[source] > 0)[0]
+    for v in out.tolist():
+        delta = residual[source, v]
+        residual[source, v] = 0.0
+        residual[v, source] += delta
+        excess[v] += delta
+        excess[source] -= delta
+        pushes += 1
+        activate(v)
+
+    while heap:
+        negative_height, u = heapq.heappop(heap)
+        if excess[u] <= tol or -negative_height != height[u]:
+            continue  # stale entry
+        while excess[u] > tol:
+            edge_inspections += n
+            admissible = np.nonzero((residual[u] > 0) & (height[u] == height + 1))[0]
+            if admissible.size:
+                for v in admissible.tolist():
+                    if excess[u] <= tol:
+                        break
+                    delta = min(excess[u], residual[u, v])
+                    residual[u, v] -= delta
+                    residual[v, u] += delta
+                    was_inactive = excess[v] <= tol
+                    excess[u] -= delta
+                    excess[v] += delta
+                    pushes += 1
+                    if was_inactive:
+                        activate(v)
+                if excess[u] <= tol:
+                    break
+            edge_inspections += n
+            candidates = np.nonzero(residual[u] > 0)[0]
+            if candidates.size == 0:
+                break
+            new_height = int(height[candidates].min()) + 1
+            if new_height > 2 * n:
+                break  # sub-tolerance residue with no route left
+            height[u] = new_height
+            relabels += 1
+        # u may regain excess later; it re-enters the heap via activate().
+
+    flow = np.clip(network.capacity - residual, 0.0, network.capacity)
+    network.flow = flow.copy()
+    value = network.flow_value(source)
+    return FlowResult(
+        value=value,
+        flow=flow,
+        algorithm="highest_label",
+        stats={
+            "pushes": pushes,
+            "relabels": relabels,
+            "edge_inspections": edge_inspections,
+        },
+    )

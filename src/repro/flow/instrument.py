@@ -1,0 +1,105 @@
+"""Timing and operation-count instrumentation for solver scaling studies.
+
+Fig. 7(a) of the paper plots wall-clock simulation time against node count
+and fits a polynomial.  :func:`time_solver` produces exactly those samples:
+repeated timed runs of a named solver on freshly generated instances, with
+per-run operation counts so the asymptotic order can also be verified
+machine-independently.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.flow.graph import FlowNetwork, FlowResult
+
+
+@dataclass
+class OperationCounter:
+    """Accumulates operation counts across repeated solver runs."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, stats: Dict[str, int]) -> None:
+        """Merge one run's stats into the running totals."""
+        for key, value in stats.items():
+            self.counts[key] = self.counts.get(key, 0) + int(value)
+
+    def total(self) -> int:
+        """Sum over all counted operation kinds."""
+        return sum(self.counts.values())
+
+
+@dataclass
+class SolverTiming:
+    """Wall-clock and operation-count samples for one problem size.
+
+    Attributes
+    ----------
+    n:
+        Node count of the instances.
+    seconds:
+        Per-run wall-clock times.
+    operations:
+        Per-run total operation counts.
+    values:
+        Max-flow values (sanity data — should be stable across repeats of
+        the same instance).
+    """
+
+    n: int
+    seconds: List[float] = field(default_factory=list)
+    operations: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+
+    @property
+    def mean_seconds(self) -> float:
+        return float(np.mean(self.seconds)) if self.seconds else 0.0
+
+    @property
+    def mean_operations(self) -> float:
+        return float(np.mean(self.operations)) if self.operations else 0.0
+
+
+def time_solver(
+    solver: Callable[[FlowNetwork, int, int], FlowResult],
+    make_instance: Callable[[int], FlowNetwork],
+    sizes: Sequence[int],
+    *,
+    repeats: int = 3,
+    source: int = 0,
+) -> List[SolverTiming]:
+    """Time ``solver`` across instance sizes.
+
+    Parameters
+    ----------
+    solver:
+        One of the solvers from :mod:`repro.flow`.
+    make_instance:
+        Builds a fresh :class:`FlowNetwork` for a node count (responsible for
+        its own seeding if determinism is wanted).
+    sizes:
+        Node counts to sample.
+    repeats:
+        Timed runs per size (fresh instance each run).
+    source:
+        Source vertex; the sink is always ``n - 1``.
+    """
+    samples: List[SolverTiming] = []
+    for n in sizes:
+        timing = SolverTiming(n=n)
+        for _ in range(repeats):
+            network = make_instance(n)
+            sink = network.n - 1
+            start = time.perf_counter()
+            result = solver(network, source, sink)
+            elapsed = time.perf_counter() - start
+            timing.seconds.append(elapsed)
+            timing.operations.append(sum(result.stats.values()))
+            timing.values.append(result.value)
+        samples.append(timing)
+    return samples

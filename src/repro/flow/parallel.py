@@ -1,0 +1,117 @@
+"""PRAM cost model for the Shiloach–Vishkin parallel max-flow algorithm.
+
+The paper's lower-bound argument (Section 2) relies on the best known
+parallel algorithm — Shiloach & Vishkin's O(n² log n) blocking-flow scheme
+with p ≤ n processors, total runtime O(n³ log n / p).  Running a true PRAM is
+impossible on one host, so this module executes the *sequential* blocking
+flow schedule (Dinic phases) and accounts parallel cost analytically:
+
+* each phase builds a level graph — parallel BFS, depth O(log n) per level
+  with the edge-inspection work divided across p processors;
+* each blocking flow costs O(n² log n / p) in the Shiloach–Vishkin model;
+* there are at most n phases.
+
+The resulting :class:`ParallelCost` carries both the measured sequential
+numbers and the modeled parallel time, so Fig. 7's "simulation time cannot
+drop below Ω(n²)" claim can be demonstrated quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import GraphError
+from repro.flow.dinic import dinic
+from repro.flow.graph import FlowNetwork, FlowResult
+
+
+@dataclass
+class ParallelCost:
+    """Modeled cost of the Shiloach–Vishkin parallel blocking-flow run.
+
+    Attributes
+    ----------
+    processors:
+        p, the number of PRAM processors (capped at n as in the paper).
+    phases:
+        Number of blocking-flow phases actually needed on this instance.
+    parallel_steps:
+        Modeled number of parallel time steps: ``phases * ceil(n^2 log2(n)/p)``.
+    sequential_ops:
+        Measured sequential residual-edge inspections (for comparison).
+    speedup_bound:
+        ``sequential_ops / parallel_steps`` — never exceeds O(p) and the
+        parallel steps never drop below the Ω(n²) floor.
+    floor_steps:
+        The Ω(n²) lower bound with p = n processors.
+    """
+
+    processors: int
+    phases: int
+    parallel_steps: float
+    sequential_ops: int
+    speedup_bound: float
+    floor_steps: float
+
+
+def parallel_blocking_flow(
+    network: FlowNetwork,
+    source: int,
+    sink: int,
+    *,
+    processors: int,
+):
+    """Solve max-flow and model its parallel runtime with ``processors`` PEs.
+
+    Returns ``(FlowResult, ParallelCost)``.  The flow itself comes from the
+    sequential blocking-flow solver (identical output); only the *cost* is
+    modeled per Shiloach–Vishkin.
+    """
+    if processors < 1:
+        raise GraphError(f"processor count must be >= 1, got {processors}")
+    n = network.n
+    # The algorithm cannot use more than n processors productively.
+    p = min(processors, n)
+
+    result: FlowResult = dinic(network, source, sink)
+    phases = result.stats["phases"]
+    log_n = max(math.log2(n), 1.0)
+
+    per_phase = math.ceil(n * n * log_n / p)
+    parallel_steps = float(max(phases, 1) * per_phase)
+    # With p = n the total O(n^3 log n / p) bound floors at n^2 log n.
+    floor_steps = float(n * n * log_n)
+
+    sequential_ops = result.stats["bfs_edge_visits"] + result.stats["augmentations"] * n
+    cost = ParallelCost(
+        processors=p,
+        phases=phases,
+        parallel_steps=parallel_steps,
+        sequential_ops=sequential_ops,
+        speedup_bound=sequential_ops / parallel_steps if parallel_steps else 0.0,
+        floor_steps=floor_steps,
+    )
+    return result, cost
+
+
+def parallel_time_lower_bound(n: int, processors: int) -> float:
+    """The paper's lower bound on parallel simulation time (arbitrary units).
+
+    ``O(n^3 log n / p)`` with ``p <= n`` gives a floor of ``n^2 log n``.
+    """
+    if n < 2:
+        raise GraphError(f"need at least 2 nodes, got {n}")
+    if processors < 1:
+        raise GraphError(f"processor count must be >= 1, got {processors}")
+    p = min(processors, n)
+    return n**3 * max(math.log2(n), 1.0) / p
+
+
+def verification_time_bound(n: int, processors: int) -> float:
+    """Parallel verification cost O(n²/p) (arbitrary units, Section 2)."""
+    if n < 2:
+        raise GraphError(f"need at least 2 nodes, got {n}")
+    if processors < 1:
+        raise GraphError(f"processor count must be >= 1, got {processors}")
+    return n * n / processors

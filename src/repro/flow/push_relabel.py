@@ -1,0 +1,131 @@
+"""FIFO push-relabel max-flow solver with the gap heuristic.
+
+Push-relabel (Goldberg–Tarjan) is the second classical algorithm the paper
+benchmarks.  This implementation keeps the dense-matrix representation of the
+rest of the package and adds the *gap heuristic*: when some height becomes
+unoccupied, every vertex above the gap is lifted past ``n``, which prunes
+hopeless relabel chains on dense graphs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.flow.graph import FlowNetwork, FlowResult
+
+
+def push_relabel(network: FlowNetwork, source: int, sink: int) -> FlowResult:
+    """Compute a maximum flow from ``source`` to ``sink``.
+
+    ``stats`` reports ``pushes``, ``relabels`` and ``gap_events``.
+    """
+    network._check_vertex(source)
+    network._check_vertex(sink)
+    if source == sink:
+        raise GraphError("source and sink must differ")
+
+    n = network.n
+    residual = network.capacity.copy()
+    height = np.zeros(n, dtype=np.int64)
+    excess = np.zeros(n, dtype=np.float64)
+    height[source] = n
+    # Floating-point subtraction leaves O(eps)-sized excess residue on
+    # discharged vertices; without a tolerance the discharge loop relabels
+    # such a vertex forever once its residual path to the source is gone.
+    tol = 1e-12 * max(float(network.capacity.max()), 1.0)
+    # Count of vertices at each height, for the gap heuristic.  Heights can
+    # reach 2n - 1.
+    height_count = np.zeros(2 * n + 2, dtype=np.int64)
+    height_count[0] = n - 1
+    height_count[n] = 1
+
+    pushes = 0
+    relabels = 0
+    gap_events = 0
+    # Residual-edge inspections: each admissible-arc scan and each relabel
+    # candidate scan walks a full dense row.  This is the machine-independent
+    # work measure used for asymptotic fits.
+    edge_inspections = 0
+
+    active: deque = deque()
+
+    # Saturate all source edges.
+    out = np.nonzero(residual[source] > 0)[0]
+    for v in out.tolist():
+        delta = residual[source, v]
+        residual[source, v] = 0.0
+        residual[v, source] += delta
+        excess[v] += delta
+        excess[source] -= delta
+        pushes += 1
+        if v != sink and v != source:
+            active.append(v)
+
+    while active:
+        u = active.popleft()
+        # Discharge u completely before moving on.
+        while excess[u] > tol:
+            edge_inspections += n
+            admissible = np.nonzero((residual[u] > 0) & (height[u] == height + 1))[0]
+            if admissible.size:
+                for v in admissible.tolist():
+                    if excess[u] <= 0:
+                        break
+                    delta = min(excess[u], residual[u, v])
+                    residual[u, v] -= delta
+                    residual[v, u] += delta
+                    excess[u] -= delta
+                    was_inactive = excess[v] <= tol
+                    excess[v] += delta
+                    pushes += 1
+                    if was_inactive and excess[v] > tol and v != source and v != sink:
+                        active.append(v)
+                if excess[u] <= tol:
+                    break
+            # Relabel: lift u to one above its lowest residual neighbour.
+            edge_inspections += n
+            candidates = np.nonzero(residual[u] > 0)[0]
+            if candidates.size == 0:
+                # Isolated excess can't happen in a connected instance, but
+                # guard against it rather than looping forever.
+                break
+            old_height = int(height[u])
+            new_height = int(height[candidates].min()) + 1
+            if new_height > 2 * n:
+                # Unreachable with meaningful excess cannot happen (preflow
+                # invariant); only sub-tolerance residue lands here.  Drop it.
+                break
+            relabels += 1
+            height_count[old_height] -= 1
+            # Gap heuristic: nobody left at old_height below n means every
+            # vertex strictly above it (and below n) is disconnected from
+            # the sink; lift them beyond n so they only route back to source.
+            if height_count[old_height] == 0 and old_height < n:
+                gap_events += 1
+                above = (height > old_height) & (height < n)
+                for w in np.nonzero(above)[0].tolist():
+                    height_count[height[w]] -= 1
+                    height[w] = n + 1
+                    height_count[n + 1] += 1
+                if new_height > old_height and new_height < n:
+                    new_height = n + 1
+            height[u] = new_height
+            height_count[new_height] += 1
+
+    flow = np.clip(network.capacity - residual, 0.0, network.capacity)
+    network.flow = flow.copy()
+    value = network.flow_value(source)
+    return FlowResult(
+        value=value,
+        flow=flow,
+        algorithm="push_relabel",
+        stats={
+            "pushes": pushes,
+            "relabels": relabels,
+            "gap_events": gap_events,
+            "edge_inspections": edge_inspections,
+        },
+    )

@@ -1,0 +1,151 @@
+"""Residual graph construction and the verifier's optimality check.
+
+Section 2 of the paper: a flow ``f`` is maximal iff no sink is reachable from
+any source in the residual graph.  The verifier only needs the residual edges
+and a breadth-first search, which is why verification is cheap (O(n²/p))
+while *finding* the flow is expensive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.errors import FlowError
+from repro.flow.graph import FlowNetwork
+
+
+def residual_capacities(network: FlowNetwork, flow: Optional[np.ndarray] = None) -> np.ndarray:
+    """Return the residual capacity matrix for a flow.
+
+    ``r[u, v] = c(u, v) - f(u, v) + f(v, u)``: leftover forward capacity plus
+    the ability to cancel reverse flow.  Tiny negative values from float
+    round-off are clipped to zero.
+    """
+    if flow is None:
+        flow = network.flow
+    residual = network.capacity - flow + flow.T
+    np.clip(residual, 0.0, None, out=residual)
+    return residual
+
+
+def residual_reachable(
+    residual: np.ndarray,
+    source: int,
+    *,
+    tol: float = 0.0,
+) -> Tuple[np.ndarray, int]:
+    """BFS over positive-residual edges from ``source``.
+
+    Returns ``(reachable_mask, edge_visits)`` where ``edge_visits`` counts the
+    residual-edge inspections performed — the work term in the paper's
+    O(n²/p) parallel-verification bound.
+    """
+    n = residual.shape[0]
+    reachable = np.zeros(n, dtype=bool)
+    reachable[source] = True
+    queue = deque([source])
+    edge_visits = 0
+    while queue:
+        u = queue.popleft()
+        row = residual[u]
+        edge_visits += n
+        neighbours = np.nonzero((row > tol) & ~reachable)[0]
+        for v in neighbours.tolist():
+            reachable[v] = True
+            queue.append(v)
+    return reachable, edge_visits
+
+
+def verify_max_flow(
+    network: FlowNetwork,
+    flow: np.ndarray,
+    sources: Iterable[int],
+    sinks: Iterable[int],
+    *,
+    rtol: float = 1e-9,
+) -> bool:
+    """Verifier primitive: is ``flow`` a *maximum* feasible flow?
+
+    Checks feasibility (capacity + conservation) and then runs the residual
+    BFS.  Returns ``True`` when the flow is feasible and no sink is reachable
+    from any source in the residual graph; ``False`` when the flow is feasible
+    but not maximal.  Raises :class:`FlowError` for infeasible flows, because
+    a cheating prover handing over an infeasible flow is a protocol failure,
+    not a "not yet optimal" answer.
+    """
+    sources = list(sources)
+    sinks = list(sinks)
+    flow = np.asarray(flow, dtype=np.float64)
+    scale = max(float(network.capacity.max()), 1.0)
+    tol_abs = rtol * scale
+    if np.any(flow < -tol_abs):
+        raise FlowError("negative flow on some edge")
+    excess = flow - network.capacity
+    if np.any(excess > tol_abs):
+        u, v = np.unravel_index(int(np.argmax(excess)), excess.shape)
+        raise FlowError(
+            f"flow {flow[u, v]:.6g} exceeds capacity "
+            f"{network.capacity[u, v]:.6g} on edge ({u}, {v})"
+        )
+    saved = network.flow
+    network.flow = flow
+    try:
+        _check_flow_with_terminal_sets(network, sources, sinks, rtol=rtol)
+    finally:
+        network.flow = saved
+
+    residual = residual_capacities(network, np.asarray(flow, dtype=np.float64))
+    tol = rtol * max(float(network.capacity.max()), 1.0)
+    sink_set = set(sinks)
+    for s in sources:
+        reachable, _ = residual_reachable(residual, s, tol=tol)
+        if any(reachable[t] for t in sink_set):
+            return False
+    return True
+
+
+def _check_flow_with_terminal_sets(
+    network: FlowNetwork,
+    sources: List[int],
+    sinks: List[int],
+    *,
+    rtol: float,
+) -> None:
+    scale = max(float(network.capacity.max()), 1.0)
+    tol = rtol * scale
+    inflow = network.flow.sum(axis=0)
+    outflow = network.flow.sum(axis=1)
+    imbalance = np.abs(inflow - outflow)
+    for terminal in list(sources) + list(sinks):
+        imbalance[terminal] = 0.0
+    if np.any(imbalance > tol * network.n):
+        vertex = int(np.argmax(imbalance))
+        raise FlowError(f"conservation violated at internal vertex {vertex}")
+
+
+def min_cut(
+    network: FlowNetwork,
+    flow: np.ndarray,
+    source: int,
+    *,
+    rtol: float = 1e-9,
+) -> Tuple[Set[int], Set[int], float]:
+    """Extract the source-side min cut induced by a maximum flow.
+
+    Returns ``(source_side, sink_side, cut_capacity)``.  By max-flow/min-cut
+    duality the cut capacity equals the flow value; the test suite asserts
+    this on every solver.
+    """
+    residual = residual_capacities(network, np.asarray(flow, dtype=np.float64))
+    tol = rtol * max(float(network.capacity.max()), 1.0)
+    reachable, _ = residual_reachable(residual, source, tol=tol)
+    source_side = set(np.nonzero(reachable)[0].tolist())
+    sink_side = set(range(network.n)) - source_side
+    cut_capacity = 0.0
+    for u in source_side:
+        for v in sink_side:
+            cut_capacity += network.capacity[u, v]
+    return source_side, sink_side, float(cut_capacity)

@@ -1,0 +1,93 @@
+"""Adversarial flow-instance generators.
+
+Random complete graphs are *easy* for every solver (the min cut sits at a
+terminal).  The generators here build the structured instances that
+separate the algorithms — used by the solver stress tests and the scaling
+studies that need to exercise worst-case-ish behaviour rather than the
+PPUF's benign topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.flow.graph import FlowNetwork
+
+
+def layered_network(layers: int, width: int, *, capacity: float = 1.0) -> FlowNetwork:
+    """Fully connected layered DAG: source → L layers of W nodes → sink.
+
+    Dinic needs only ~one phase, but the blocking flow must thread
+    ``width**2`` edges per layer pair; Edmonds–Karp pays one BFS per
+    augmenting path.  Max-flow value is ``width * capacity`` (terminal
+    edges bind).
+    """
+    if layers < 1 or width < 1:
+        raise GraphError("need at least one layer and one node per layer")
+    if capacity <= 0:
+        raise GraphError("capacity must be positive")
+    n = 2 + layers * width
+    network = FlowNetwork(n)
+    source, sink = 0, n - 1
+
+    def node(layer: int, slot: int) -> int:
+        return 1 + layer * width + slot
+
+    for slot in range(width):
+        network.add_edge(source, node(0, slot), capacity)
+        network.add_edge(node(layers - 1, slot), sink, capacity)
+    for layer in range(layers - 1):
+        for a in range(width):
+            for b in range(width):
+                # Interior capacity is generous: terminals bind.
+                network.add_edge(node(layer, a), node(layer + 1, b), capacity * 2.0)
+    return network
+
+
+def zigzag_network(segments: int, *, big: float = 1e6) -> FlowNetwork:
+    """The classic bad case for naive augmenting-path choices.
+
+    A ladder of high-capacity rails crossed by unit-capacity rungs: a
+    solver that keeps routing through the rungs cancels itself and needs
+    ~``big`` augmentations, while shortest-path (Edmonds–Karp) and
+    blocking-flow solvers stay polynomial.  Max-flow value is ``2 * big``.
+    """
+    if segments < 1:
+        raise GraphError("need at least one segment")
+    if big <= 1:
+        raise GraphError("rail capacity must exceed 1")
+    # Nodes: source 0, top rail 1..segments, bottom rail segments+1..2*segments,
+    # sink 2*segments+1.
+    n = 2 * segments + 2
+    network = FlowNetwork(n)
+    source, sink = 0, n - 1
+    top = lambda i: 1 + i
+    bottom = lambda i: 1 + segments + i
+
+    network.add_edge(source, top(0), big)
+    network.add_edge(source, bottom(0), big)
+    for i in range(segments - 1):
+        network.add_edge(top(i), top(i + 1), big)
+        network.add_edge(bottom(i), bottom(i + 1), big)
+    for i in range(segments):
+        network.add_edge(top(i), bottom(i), 1.0)
+    network.add_edge(top(segments - 1), sink, big)
+    network.add_edge(bottom(segments - 1), sink, big)
+    return network
+
+
+def long_path_network(length: int, *, capacity: float = 1.0) -> FlowNetwork:
+    """A single path of the given length: forces ``length``-deep BFS levels.
+
+    Dinic's phase count and the level-graph depth scale with the path
+    length — the opposite regime from the diameter-2 complete graph.
+    """
+    if length < 1:
+        raise GraphError("path length must be >= 1")
+    if capacity <= 0:
+        raise GraphError("capacity must be positive")
+    network = FlowNetwork(length + 1)
+    for v in range(length):
+        network.add_edge(v, v + 1, capacity)
+    return network

@@ -1,0 +1,54 @@
+"""PPUF core: the paper's primary contribution.
+
+A :class:`~repro.ppuf.device.Ppuf` owns two nominally identical crossbar
+networks (differing only through process variation), evaluates challenges
+with either the *circuit* engine (the physical execution) or the *max-flow*
+engine (the public simulation model), and exposes the ESG machinery:
+delay bounds, feedback-loop amplification, and the residual-graph
+verification protocol.
+"""
+
+from repro.ppuf.crossbar import Crossbar
+from repro.ppuf.challenge import Challenge, ChallengeSpace
+from repro.ppuf.comparator import CurrentComparator
+from repro.ppuf.device import Ppuf, PpufNetwork
+from repro.ppuf.crp import CRP, CRPDataset
+from repro.ppuf.delay import lin_mead_delay_bound, effective_edge_resistance
+from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
+from repro.ppuf.feedback import FeedbackChain, run_feedback_chain
+from repro.ppuf.verification import CompactClaim, FlowClaim, PpufProver, PpufVerifier
+from repro.ppuf.protocol import AuthenticationSession, RoundRecord, SessionResult
+from repro.ppuf.identity import PublicRegistry, expected_match_separation, response_word
+from repro.ppuf.keys import KeyMaterial, derive_key, key_agreement_rate, seed_challenges
+
+__all__ = [
+    "Crossbar",
+    "Challenge",
+    "ChallengeSpace",
+    "CurrentComparator",
+    "Ppuf",
+    "PpufNetwork",
+    "CRP",
+    "CRPDataset",
+    "lin_mead_delay_bound",
+    "effective_edge_resistance",
+    "ESGModel",
+    "PowerLawFit",
+    "fit_power_law",
+    "FeedbackChain",
+    "run_feedback_chain",
+    "CompactClaim",
+    "FlowClaim",
+    "PpufProver",
+    "PpufVerifier",
+    "AuthenticationSession",
+    "RoundRecord",
+    "SessionResult",
+    "PublicRegistry",
+    "expected_match_separation",
+    "response_word",
+    "KeyMaterial",
+    "derive_key",
+    "key_agreement_rate",
+    "seed_challenges",
+]

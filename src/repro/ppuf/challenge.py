@@ -1,0 +1,235 @@
+"""Challenge encoding and the challenge space (Section 4.2).
+
+A challenge has two parts:
+
+* **type-A** — the source and sink node selection: ``n(n-1)`` choices;
+* **type-B** — the l² control bits, one per crossbar grid cell.
+
+For unpredictability the paper restricts type-B challenges to a code with
+minimum pairwise Hamming distance d (analysed in
+:mod:`repro.analysis.codes`); :class:`ChallengeSpace` provides both
+unrestricted sampling and minimum-distance-respecting sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import ChallengeError
+from repro.ppuf.crossbar import Crossbar
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """One PPUF challenge.
+
+    Attributes
+    ----------
+    source, sink:
+        Type-A selection: nodes tied to V(s) and ground.
+    bits:
+        Type-B control word — numpy uint8 array of length l².
+    """
+
+    source: int
+    sink: int
+    bits: np.ndarray
+
+    def __post_init__(self):
+        bits = np.asarray(self.bits, dtype=np.uint8)
+        if bits.ndim != 1:
+            raise ChallengeError(f"bits must be a 1-D array, got shape {bits.shape}")
+        if not np.all((bits == 0) | (bits == 1)):
+            raise ChallengeError("challenge bits must be 0/1")
+        if self.source == self.sink:
+            raise ChallengeError("source and sink must differ")
+        if self.source < 0 or self.sink < 0:
+            raise ChallengeError("source/sink must be non-negative node indices")
+        object.__setattr__(self, "bits", bits)
+
+    @property
+    def num_bits(self) -> int:
+        return int(self.bits.size)
+
+    def flip(self, positions) -> "Challenge":
+        """Return a challenge with the given type-B bit positions flipped."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if positions.size and (positions.min() < 0 or positions.max() >= self.num_bits):
+            raise ChallengeError("flip positions out of range")
+        bits = self.bits.copy()
+        bits[positions] ^= 1
+        return Challenge(source=self.source, sink=self.sink, bits=bits)
+
+    def hamming_distance(self, other: "Challenge") -> int:
+        """Type-B Hamming distance to another challenge."""
+        if other.num_bits != self.num_bits:
+            raise ChallengeError("challenges have different control-word lengths")
+        return int(np.sum(self.bits != other.bits))
+
+    def feature_vector(self) -> np.ndarray:
+        """±1 encoding of the control word for model-building attacks."""
+        return self.bits.astype(np.float64) * 2.0 - 1.0
+
+    def key(self) -> tuple:
+        """Hashable identity (for dataset deduplication)."""
+        return (self.source, self.sink, self.bits.tobytes())
+
+    # ------------------------------------------------------------------
+    # full input-word form (type-A terminal bits + type-B control bits)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def terminal_field_width(n: int) -> int:
+        """Bits needed to encode one terminal index."""
+        if n < 2:
+            raise ChallengeError(f"need at least 2 nodes, got {n}")
+        return max(1, (n - 1).bit_length())
+
+    def input_word(self, n: int) -> np.ndarray:
+        """The full challenge as applied at the PPUF pins.
+
+        Layout: ``[source field | sink field | control bits]`` with binary
+        (LSB-first) terminal fields.  This is the word whose Hamming
+        distance Fig. 9 sweeps.
+        """
+        width = self.terminal_field_width(n)
+        if self.source >= n or self.sink >= n:
+            raise ChallengeError("terminals out of range for the given n")
+        fields = []
+        for value in (self.source, self.sink):
+            fields.append([(value >> b) & 1 for b in range(width)])
+        terminal_bits = np.asarray(fields, dtype=np.uint8).ravel()
+        return np.concatenate([terminal_bits, self.bits])
+
+    @classmethod
+    def from_input_word(cls, word: np.ndarray, n: int) -> "Challenge":
+        """Decode a full input word back into a challenge.
+
+        Terminal fields decode modulo n (a flipped high bit may overflow the
+        node range — the hardware decoder wraps); a source/sink collision
+        resolves by advancing the sink, so every word maps to a valid
+        challenge.
+        """
+        word = np.asarray(word, dtype=np.uint8)
+        width = cls.terminal_field_width(n)
+        if word.size <= 2 * width:
+            raise ChallengeError("input word too short for the terminal fields")
+        values = []
+        for field_index in range(2):
+            bits = word[field_index * width: (field_index + 1) * width]
+            values.append(int(sum(int(b) << i for i, b in enumerate(bits))) % n)
+        source, sink = values
+        if source == sink:
+            sink = (sink + 1) % n
+        return cls(source=source, sink=sink, bits=word[2 * width:].copy())
+
+
+@dataclass(frozen=True)
+class ChallengeSpace:
+    """Sampler over the challenge space of a crossbar."""
+
+    crossbar: Crossbar
+
+    @property
+    def type_a_size(self) -> int:
+        """Number of (source, sink) selections: n(n-1)."""
+        return self.crossbar.n * (self.crossbar.n - 1)
+
+    @property
+    def type_b_bits(self) -> int:
+        return self.crossbar.num_control_bits
+
+    def random(
+        self,
+        rng: np.random.Generator,
+        *,
+        source: Optional[int] = None,
+        sink: Optional[int] = None,
+    ) -> Challenge:
+        """Uniformly random challenge (optionally with pinned terminals)."""
+        n = self.crossbar.n
+        if source is None:
+            source = int(rng.integers(n))
+        if sink is None:
+            sink = int(rng.integers(n - 1))
+            if sink >= source:
+                sink += 1
+        if source == sink:
+            raise ChallengeError("source and sink must differ")
+        bits = rng.integers(0, 2, size=self.type_b_bits, dtype=np.uint8)
+        return Challenge(source=source, sink=sink, bits=bits)
+
+    def random_batch(
+        self,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        source: Optional[int] = None,
+        sink: Optional[int] = None,
+        unique: bool = False,
+    ) -> List[Challenge]:
+        """Sample ``count`` random challenges (optionally deduplicated)."""
+        if count < 0:
+            raise ChallengeError(f"count must be non-negative, got {count}")
+        challenges: List[Challenge] = []
+        seen = set()
+        attempts = 0
+        limit = max(count * 50, 1000)
+        while len(challenges) < count:
+            attempts += 1
+            if attempts > limit:
+                raise ChallengeError(
+                    f"could not sample {count} unique challenges from a space "
+                    f"of {2 ** self.type_b_bits} control words"
+                )
+            challenge = self.random(rng, source=source, sink=sink)
+            if unique:
+                key = challenge.key()
+                if key in seen:
+                    continue
+                seen.add(key)
+            challenges.append(challenge)
+        return challenges
+
+    def min_distance_codebook(
+        self,
+        count: int,
+        min_distance: int,
+        rng: np.random.Generator,
+        *,
+        source: int = 0,
+        sink: Optional[int] = None,
+        max_attempts: int = 200_000,
+    ) -> List[Challenge]:
+        """Greedy random codebook with pairwise type-B Hamming distance ≥ d.
+
+        Mirrors the paper's selection of a challenge subset with minimum
+        distance d; the achievable size is analysed against the
+        Gilbert–Varshamov-style bound in :mod:`repro.analysis.codes`.
+        """
+        if min_distance < 1:
+            raise ChallengeError(f"min_distance must be >= 1, got {min_distance}")
+        if min_distance > self.type_b_bits:
+            raise ChallengeError("min_distance cannot exceed the control-word length")
+        if sink is None:
+            sink = self.crossbar.n - 1
+        codebook: List[Challenge] = []
+        words: List[np.ndarray] = []
+        for _ in range(max_attempts):
+            if len(codebook) >= count:
+                break
+            bits = rng.integers(0, 2, size=self.type_b_bits, dtype=np.uint8)
+            if words:
+                distances = np.sum(np.stack(words) != bits[None, :], axis=1)
+                if int(distances.min()) < min_distance:
+                    continue
+            words.append(bits)
+            codebook.append(Challenge(source=source, sink=sink, bits=bits))
+        if len(codebook) < count:
+            raise ChallengeError(
+                f"found only {len(codebook)}/{count} codewords at distance "
+                f">= {min_distance} after {max_attempts} attempts"
+            )
+        return codebook

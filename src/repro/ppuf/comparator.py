@@ -1,0 +1,84 @@
+"""Current comparator model.
+
+The PPUF output is the sign of the difference between the two networks'
+source currents.  The paper budgets a real comparator design (refs [25, 26]:
+~150 µW, µA-range inputs); for the reproduction the comparator is ideal up
+to a configurable input-referred *resolution* and *offset*, which is what
+Fig. 8's measurability argument is about: the current difference must stay
+above the resolution as the PPUF scales.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+
+@dataclass(frozen=True)
+class CurrentComparator:
+    """Sign comparator with input-referred resolution and offset.
+
+    Attributes
+    ----------
+    resolution:
+        Smallest reliably resolvable |ΔI| [A].  Differences below it are
+        still decided (by sign) but flagged unresolvable.
+    offset:
+        Systematic input offset [A] added to network A's current.
+    power:
+        Static power draw [W] (used by the energy budget of Section 5;
+        default from ref [25]: 153 µW).
+    """
+
+    resolution: float = 1e-9
+    offset: float = 0.0
+    power: float = 153e-6
+    noise_sigma: float = 0.0
+
+    def __post_init__(self):
+        if self.resolution < 0:
+            raise DeviceError(f"resolution must be non-negative, got {self.resolution}")
+        if self.power < 0:
+            raise DeviceError(f"power must be non-negative, got {self.power}")
+        if self.noise_sigma < 0:
+            raise DeviceError(f"noise sigma must be non-negative, got {self.noise_sigma}")
+
+    def compare(self, current_a: float, current_b: float) -> int:
+        """Response bit: 1 when network A (plus offset) carries more current."""
+        return 1 if (current_a + self.offset) > current_b else 0
+
+    def compare_noisy(self, current_a: float, current_b: float, rng) -> int:
+        """One noisy decision: input-referred Gaussian noise on ΔI.
+
+        Models thermal/comparator noise at sample time; ``noise_sigma = 0``
+        reduces to the ideal :meth:`compare`.
+        """
+        noise = rng.normal(0.0, self.noise_sigma) if self.noise_sigma > 0 else 0.0
+        return 1 if (current_a + self.offset + noise) > current_b else 0
+
+    def majority_decision(
+        self, current_a: float, current_b: float, rng, *, votes: int = 1
+    ) -> int:
+        """Majority over repeated noisy decisions (the standard PUF
+        reliability enhancement; odd vote counts avoid ties)."""
+        if votes < 1:
+            raise DeviceError(f"votes must be >= 1, got {votes}")
+        total = sum(
+            self.compare_noisy(current_a, current_b, rng) for _ in range(votes)
+        )
+        return 1 if 2 * total > votes else 0
+
+    def flip_probability(self, current_a: float, current_b: float) -> float:
+        """Analytic single-shot error probability under the noise model."""
+        if self.noise_sigma == 0:
+            return 0.0
+        from scipy.special import erfc
+        import numpy as np
+
+        margin = abs(current_a + self.offset - current_b)
+        return float(0.5 * erfc(margin / (np.sqrt(2.0) * self.noise_sigma)))
+
+    def is_resolvable(self, current_a: float, current_b: float) -> bool:
+        """Whether |ΔI| exceeds the comparator resolution."""
+        return abs(current_a + self.offset - current_b) >= self.resolution

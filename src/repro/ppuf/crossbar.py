@@ -1,0 +1,123 @@
+"""Crossbar mapping of the complete graph (Section 4.1).
+
+The chip realises vertex ``i`` as a connected pair of bars (the i-th
+horizontal and i-th vertical bar).  At the intersection of vertical bar
+``i`` and horizontal bar ``j`` (i ≠ j) sits one edge block conducting from
+the vertical to the horizontal bar — i.e. the directed edge ``(i, j)``.
+
+This module owns the *edge enumeration* used everywhere else: edge index
+``e`` maps to ``(src[e], dst[e])`` in row-major order over ordered pairs,
+and the l×l grid partition of Section 4.2 maps each edge to the challenge
+bit that controls it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class Crossbar:
+    """Geometry of one n×n crossbar network with an l×l control grid.
+
+    Attributes
+    ----------
+    n:
+        Number of graph vertices (bars per orientation).
+    l:
+        Control-grid dimension; one type-B challenge bit drives all blocks
+        inside each of the l² grid cells.
+    """
+
+    n: int
+    l: int
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise GraphError(f"crossbar needs at least 2 nodes, got {self.n}")
+        if not 1 <= self.l <= self.n:
+            raise GraphError(
+                f"grid dimension l must satisfy 1 <= l <= n, got l={self.l}, n={self.n}"
+            )
+
+    # ------------------------------------------------------------------
+    # edge enumeration
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of edge blocks: n(n-1) (no block on the bar diagonal)."""
+        return self.n * (self.n - 1)
+
+    def edge_endpoints(self):
+        """Arrays ``(src, dst)`` of length ``num_edges``.
+
+        Edge ``e`` runs from vertical bar ``src[e]`` to horizontal bar
+        ``dst[e]``; ordering is row-major over ordered pairs with the
+        diagonal removed.
+        """
+        n = self.n
+        src = np.repeat(np.arange(n), n - 1)
+        dst = np.concatenate([np.delete(np.arange(n), i) for i in range(n)])
+        return src, dst
+
+    def edge_index(self, u: int, v: int) -> int:
+        """Index of the directed edge ``(u, v)`` in the enumeration."""
+        if not (0 <= u < self.n and 0 <= v < self.n):
+            raise GraphError(f"edge ({u}, {v}) out of range for n={self.n}")
+        if u == v:
+            raise GraphError("no block exists on the bar diagonal")
+        return u * (self.n - 1) + (v if v < u else v - 1)
+
+    # ------------------------------------------------------------------
+    # grid partition (Section 4.2)
+    # ------------------------------------------------------------------
+    @property
+    def num_control_bits(self) -> int:
+        """Size of a type-B challenge: l²."""
+        return self.l * self.l
+
+    def edge_cells(self) -> np.ndarray:
+        """Grid-cell index (0 .. l²-1) of every edge block.
+
+        The block at (vertical i, horizontal j) lies in grid cell
+        ``(row, col) = (floor(j*l/n), floor(i*l/n))``; one control bit per
+        cell (capacitor-stored bias, Section 4.2).
+        """
+        src, dst = self.edge_endpoints()
+        rows = (dst * self.l) // self.n
+        cols = (src * self.l) // self.n
+        return rows * self.l + cols
+
+    def bits_for_edges(self, control_bits: np.ndarray) -> np.ndarray:
+        """Expand an l²-bit type-B challenge to one bit per edge block."""
+        control_bits = np.asarray(control_bits)
+        if control_bits.shape != (self.num_control_bits,):
+            raise GraphError(
+                f"expected {self.num_control_bits} control bits, "
+                f"got shape {control_bits.shape}"
+            )
+        if not np.all((control_bits == 0) | (control_bits == 1)):
+            raise GraphError("control bits must be 0/1")
+        return control_bits[self.edge_cells()]
+
+    # ------------------------------------------------------------------
+    # physical placement
+    # ------------------------------------------------------------------
+    def block_positions(self) -> np.ndarray:
+        """Normalised (x, y) die coordinates of each block, shape (E, 2).
+
+        Used by the systematic-variation ablation: side-by-side placement of
+        the two networks means both use the *same* coordinates, hence the
+        same systematic Vt component.
+        """
+        src, dst = self.edge_endpoints()
+        scale = 1.0 / max(self.n - 1, 1)
+        return np.stack([src * scale, dst * scale], axis=1)
+
+    def incident_edge_counts(self) -> np.ndarray:
+        """Edges touching each node: 2(n-1) in the complete crossbar."""
+        return np.full(self.n, 2 * (self.n - 1), dtype=np.int64)

@@ -1,0 +1,98 @@
+"""Challenge–response pair containers and (de)serialisation.
+
+PPUFs need no enrollment database — that is their selling point — but the
+attack experiments (Fig. 10) and the protocol examples still shuttle
+observed CRPs around, so a small, explicit container with a stable
+dictionary form is provided.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.errors import ChallengeError
+from repro.ppuf.challenge import Challenge
+
+
+@dataclass(frozen=True)
+class CRP:
+    """One observed challenge–response pair."""
+
+    challenge: Challenge
+    response: int
+
+    def __post_init__(self):
+        if self.response not in (0, 1):
+            raise ChallengeError(f"response must be 0 or 1, got {self.response}")
+
+    def to_dict(self) -> Dict:
+        return {
+            "source": self.challenge.source,
+            "sink": self.challenge.sink,
+            "bits": self.challenge.bits.tolist(),
+            "response": self.response,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "CRP":
+        challenge = Challenge(
+            source=int(data["source"]),
+            sink=int(data["sink"]),
+            bits=np.asarray(data["bits"], dtype=np.uint8),
+        )
+        return cls(challenge=challenge, response=int(data["response"]))
+
+
+@dataclass
+class CRPDataset:
+    """An ordered collection of CRPs with attack-ready matrix views."""
+
+    crps: List[CRP] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.crps)
+
+    def __iter__(self) -> Iterator[CRP]:
+        return iter(self.crps)
+
+    def append(self, crp: CRP) -> None:
+        self.crps.append(crp)
+
+    def features(self) -> np.ndarray:
+        """(N, l²) ±1 feature matrix of the type-B control words."""
+        if not self.crps:
+            raise ChallengeError("dataset is empty")
+        return np.stack([crp.challenge.feature_vector() for crp in self.crps])
+
+    def labels(self) -> np.ndarray:
+        """(N,) ±1 label vector of the responses."""
+        if not self.crps:
+            raise ChallengeError("dataset is empty")
+        return np.array([crp.response * 2 - 1 for crp in self.crps], dtype=np.float64)
+
+    def split(self, train_count: int):
+        """Leading/trailing split into (train, test) datasets."""
+        if not 0 < train_count < len(self.crps):
+            raise ChallengeError(
+                f"train_count must be in (0, {len(self.crps)}), got {train_count}"
+            )
+        return CRPDataset(self.crps[:train_count]), CRPDataset(self.crps[train_count:])
+
+    def to_json(self) -> str:
+        return json.dumps([crp.to_dict() for crp in self.crps])
+
+    @classmethod
+    def from_json(cls, text: str) -> "CRPDataset":
+        return cls([CRP.from_dict(item) for item in json.loads(text)])
+
+
+def collect_crps(ppuf, challenges, *, engine: str = "maxflow") -> CRPDataset:
+    """Evaluate a challenge list on a PPUF and package the CRPs."""
+    dataset = CRPDataset()
+    for challenge in challenges:
+        dataset.append(CRP(challenge, ppuf.response(challenge, engine=engine)))
+    return dataset

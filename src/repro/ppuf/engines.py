@@ -1,0 +1,48 @@
+"""Response engines: physical execution vs public simulation.
+
+* ``"circuit"`` — the *execution*: a nonlinear DC solve of the crossbar at
+  the challenge's bias configuration; the output is the steady-state source
+  current.
+* ``"maxflow"`` — the *public simulation model*: a max-flow computation on
+  the complete graph with capacities equal to the per-edge saturation
+  currents.
+
+Fig. 6 of the paper is literally the disagreement between the two engines;
+everything else (Table 1, Figs. 8–10) may use the fast max-flow engine once
+that disagreement is shown to be < 1 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SolverError
+
+#: Engine names accepted by :meth:`repro.ppuf.device.Ppuf.response`.
+ENGINE_NAMES = ("maxflow", "circuit")
+
+
+def network_current(network, challenge, engine: str, *, algorithm: str = "dinic") -> float:
+    """Source current of one PPUF network for a challenge.
+
+    Parameters
+    ----------
+    network:
+        A :class:`repro.ppuf.device.PpufNetwork`.
+    challenge:
+        A :class:`repro.ppuf.challenge.Challenge`.
+    engine:
+        ``"maxflow"`` or ``"circuit"``.
+    algorithm:
+        Max-flow solver name (maxflow engine only).
+    """
+    edge_bits = network.crossbar.bits_for_edges(challenge.bits)
+    if engine == "maxflow":
+        return network.maxflow_current(
+            edge_bits, challenge.source, challenge.sink, algorithm=algorithm
+        )
+    if engine == "circuit":
+        return network.circuit_current(edge_bits, challenge.source, challenge.sink)
+    raise SolverError(
+        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+    )

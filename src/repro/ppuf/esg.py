@@ -1,0 +1,145 @@
+"""Execution–simulation gap model (Fig. 7).
+
+The ESG at node count n is
+
+    ESG(n) = T_sim(n) - T_exe(n),
+
+with the simulation time following a measured power law (≥ O(n²) by the
+paper's lower-bound argument; ~O(n³) for the practical solvers benchmarked
+here) and the execution delay following the O(n) Lin–Mead bound.  The
+feedback-loop technique of Section 3.3 multiplies both sides by the loop
+count k, amplifying the gap k-fold.
+
+:class:`ESGModel` packages the two fitted laws, evaluates the gap at any
+node count, and solves for the crossover node count where the gap reaches a
+security target (the paper uses 1 s, citing [4]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SolverError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """A fitted power law ``t(n) = coefficient * n**exponent``."""
+
+    coefficient: float
+    exponent: float
+
+    def __call__(self, n) -> np.ndarray:
+        return self.coefficient * np.power(np.asarray(n, dtype=np.float64), self.exponent)
+
+    def scaled_to(self, n_ref: float, t_ref: float) -> "PowerLawFit":
+        """Same exponent, re-anchored through the point ``(n_ref, t_ref)``.
+
+        Used to calibrate Python-measured solver scaling onto the paper's
+        C++/Xeon absolute axis.
+        """
+        if n_ref <= 0 or t_ref <= 0:
+            raise SolverError("calibration anchor must be positive")
+        return PowerLawFit(
+            coefficient=t_ref / n_ref**self.exponent, exponent=self.exponent
+        )
+
+
+def fit_power_law(sizes: Sequence[float], times: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log t = log c + a log n``."""
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.size != times.size or sizes.size < 2:
+        raise SolverError("need at least two (size, time) samples")
+    if np.any(sizes <= 0) or np.any(times <= 0):
+        raise SolverError("sizes and times must be positive for a log-log fit")
+    exponent, log_coefficient = np.polyfit(np.log(sizes), np.log(times), 1)
+    return PowerLawFit(coefficient=float(np.exp(log_coefficient)), exponent=float(exponent))
+
+
+@dataclass(frozen=True)
+class ESGModel:
+    """Fitted simulation and execution time laws.
+
+    Attributes
+    ----------
+    simulation:
+        Power law for the simulation (attacker) time [s].
+    execution:
+        Power law for the execution delay [s].
+    feedback_loops:
+        Loop-count schedule k(n); ``None`` disables feedback.  The paper
+        sets k = n for Fig. 7(b)'s "with feedback loop" curve.
+    """
+
+    simulation: PowerLawFit
+    execution: PowerLawFit
+    feedback_loops: Optional[Callable[[float], float]] = None
+
+    def loops(self, n: float) -> float:
+        if self.feedback_loops is None:
+            return 1.0
+        k = float(self.feedback_loops(n))
+        if k < 1:
+            raise SolverError(f"feedback loop count must be >= 1, got {k}")
+        return k
+
+    def simulation_time(self, n) -> np.ndarray:
+        n = np.asarray(n, dtype=np.float64)
+        k = np.vectorize(self.loops)(n)
+        return k * self.simulation(n)
+
+    def execution_time(self, n) -> np.ndarray:
+        n = np.asarray(n, dtype=np.float64)
+        k = np.vectorize(self.loops)(n)
+        return k * self.execution(n)
+
+    def esg(self, n) -> np.ndarray:
+        """The gap T_sim(n) - T_exe(n) [s]."""
+        return self.simulation_time(n) - self.execution_time(n)
+
+    def with_feedback(self, loops: Callable[[float], float]) -> "ESGModel":
+        """A copy with a feedback-loop schedule installed."""
+        return ESGModel(
+            simulation=self.simulation, execution=self.execution, feedback_loops=loops
+        )
+
+    def crossover_nodes(self, target_gap: float = 1.0) -> float:
+        """Smallest (fractional) node count whose ESG reaches the target.
+
+        Solved by bisection on the monotone region beyond the point where
+        simulation overtakes execution.
+        """
+        if target_gap <= 0:
+            raise SolverError(f"target gap must be positive, got {target_gap}")
+
+        def gap(n: float) -> float:
+            return float(self.esg(n))
+
+        lo = 2.0
+        hi = 4.0
+        for _ in range(200):
+            if gap(hi) >= target_gap:
+                break
+            hi *= 2.0
+        else:
+            raise SolverError("ESG never reaches the target within 2^200 nodes")
+        # The gap may be negative at small n (execution slower than
+        # simulation); move lo up to keep the bracket monotone.
+        while gap(lo) >= target_gap and lo < hi:
+            lo /= 2.0
+            if lo < 1.0:
+                return lo
+        for _ in range(200):
+            mid = math.sqrt(lo * hi)
+            if gap(mid) >= target_gap:
+                hi = mid
+            else:
+                lo = mid
+            if hi / lo < 1.0 + 1e-9:
+                break
+        return hi

@@ -1,0 +1,105 @@
+"""Feedback-loop CRP chaining (Section 3.3, after Rührmair's SIMPL trick).
+
+Instead of answering one challenge, the prover must produce a *sequence*
+(C1, R1), ..., (Ck, Rk) where each later challenge is derived from the
+previous challenge and its response.  An attacker must therefore simulate
+the k rounds strictly sequentially — parallelism across rounds is
+impossible — multiplying the simulation-time lower bound by k while the
+device's execution cost also only grows k-fold: the ESG amplifies by k.
+
+The derivation function must be public and cheap; we derive round i+1 by
+seeding a PRNG with (a digest of) the previous control word and the
+response bit, then resampling the control word and rotating the terminal
+pair.  Any deterministic public function works; the security lives in the
+PPUF evaluation, not the derivation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ChallengeError
+from repro.ppuf.challenge import Challenge
+from repro.ppuf.crp import CRP
+
+
+def derive_next_challenge(challenge: Challenge, response: int, n: int) -> Challenge:
+    """Public derivation of the next round's challenge.
+
+    Deterministic in (challenge, response): hashes the control word, the
+    terminals and the response bit into a PRNG seed, then draws fresh
+    terminals and control bits.
+    """
+    if response not in (0, 1):
+        raise ChallengeError(f"response must be 0 or 1, got {response}")
+    digest = hashlib.sha256(
+        challenge.bits.tobytes()
+        + challenge.source.to_bytes(4, "little")
+        + challenge.sink.to_bytes(4, "little")
+        + bytes([response])
+    ).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    source = int(rng.integers(n))
+    sink = int(rng.integers(n - 1))
+    if sink >= source:
+        sink += 1
+    bits = rng.integers(0, 2, size=challenge.num_bits, dtype=np.uint8)
+    return Challenge(source=source, sink=sink, bits=bits)
+
+
+@dataclass
+class FeedbackChain:
+    """The transcript of a k-round feedback evaluation."""
+
+    rounds: List[CRP] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def final_response(self) -> int:
+        if not self.rounds:
+            raise ChallengeError("feedback chain is empty")
+        return self.rounds[-1].response
+
+    def verify_derivations(self, n: int) -> bool:
+        """Check every round's challenge derives from its predecessor."""
+        for prev, this in zip(self.rounds, self.rounds[1:]):
+            expected = derive_next_challenge(prev.challenge, prev.response, n)
+            if expected.key() != this.challenge.key():
+                return False
+        return True
+
+
+def run_feedback_chain(
+    ppuf,
+    initial_challenge: Challenge,
+    k: int,
+    *,
+    engine: str = "maxflow",
+) -> FeedbackChain:
+    """Evaluate a k-round feedback chain on a PPUF.
+
+    Parameters
+    ----------
+    ppuf:
+        A :class:`repro.ppuf.device.Ppuf`.
+    initial_challenge:
+        C1; later rounds derive deterministically.
+    k:
+        Number of rounds (the paper uses k = n).
+    """
+    if k < 1:
+        raise ChallengeError(f"round count must be >= 1, got {k}")
+    chain = FeedbackChain()
+    challenge = initial_challenge
+    for _ in range(k):
+        response = ppuf.response(challenge, engine=engine)
+        chain.rounds.append(CRP(challenge, response))
+        challenge = derive_next_challenge(challenge, response, ppuf.n)
+    return chain

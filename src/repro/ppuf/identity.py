@@ -1,0 +1,110 @@
+"""Enrollment-free device identification.
+
+Classic PUF identification needs an enrollment database of CRPs.  A PPUF
+doesn't: anyone holding a device's *public model* can regenerate its
+expected response word for any challenge set on the fly.  This module
+provides that workflow:
+
+* :func:`response_word` — a device's response bits over a challenge list;
+* :class:`PublicRegistry` — a directory of public models (one per claimed
+  device) that identifies an unknown device by Hamming-matching its
+  measured response word against the *simulated* words of every registered
+  model;
+* :func:`expected_match_separation` — the statistics that make matching
+  work: same-device distance ≈ intra-class HD (~0), different-device
+  distance ≈ inter-class HD (~0.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ppuf.challenge import Challenge
+
+
+def response_word(ppuf, challenges: List[Challenge], *, engine: str = "maxflow") -> np.ndarray:
+    """The device's response bits over a challenge list."""
+    if not challenges:
+        raise ReproError("need at least one challenge")
+    return ppuf.response_bits(challenges, engine=engine)
+
+
+@dataclass
+class PublicRegistry:
+    """A directory of registered public models.
+
+    Registered entries are full :class:`~repro.ppuf.device.Ppuf` objects
+    standing in for their public models (the variation data *is* public for
+    a PPUF — that is the whole point).
+    """
+
+    challenges: List[Challenge]
+    entries: Dict[str, object] = field(default_factory=dict)
+    _words: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.challenges:
+            raise ReproError("registry needs a non-empty challenge list")
+
+    def register(self, name: str, ppuf) -> None:
+        """Add a device's public model under a name."""
+        if name in self.entries:
+            raise ReproError(f"device {name!r} is already registered")
+        self.entries[name] = ppuf
+        self._words[name] = response_word(ppuf, self.challenges)
+
+    def identify(
+        self,
+        measured_word: np.ndarray,
+        *,
+        max_distance: float = 0.25,
+    ) -> Tuple[Optional[str], float]:
+        """Match a measured response word against all registered models.
+
+        Returns ``(name, normalised_distance)`` of the best match, or
+        ``(None, distance)`` when even the best match is farther than
+        ``max_distance`` (an unregistered/counterfeit device).
+        """
+        if not self.entries:
+            raise ReproError("registry is empty")
+        measured_word = np.asarray(measured_word)
+        if measured_word.shape != (len(self.challenges),):
+            raise ReproError(
+                f"measured word must have length {len(self.challenges)}, "
+                f"got {measured_word.shape}"
+            )
+        best_name = None
+        best_distance = np.inf
+        for name, word in self._words.items():
+            distance = float(np.mean(word != measured_word))
+            if distance < best_distance:
+                best_name = name
+                best_distance = distance
+        if best_distance > max_distance:
+            return None, best_distance
+        return best_name, best_distance
+
+
+def expected_match_separation(
+    ppufs,
+    challenges: List[Challenge],
+) -> Tuple[float, float]:
+    """(max same-device distance, min cross-device distance) over a population.
+
+    Identification is reliable when the first is far below the second; the
+    returned pair quantifies the margin for a concrete population.
+    """
+    if len(ppufs) < 2:
+        raise ReproError("need at least two devices")
+    words = [response_word(ppuf, challenges) for ppuf in ppufs]
+    same = 0.0  # deterministic engines: same device == same word
+    cross = min(
+        float(np.mean(words[i] != words[j]))
+        for i in range(len(words))
+        for j in range(i + 1, len(words))
+    )
+    return same, cross

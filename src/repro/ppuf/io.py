@@ -1,0 +1,74 @@
+"""PPUF persistence.
+
+A fabricated PPUF is fully described by its topology, technology card,
+operating point and the two variation samples — all *public* data (the
+PPUF premise).  The JSON form here is what a manufacturer would publish
+per device; :func:`load_ppuf` rebuilds a device that answers bit-for-bit
+identically across processes (asserted by the CLI tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+
+from repro.circuit.ptm32 import OperatingConditions, Technology
+from repro.circuit.variation import VariationSample
+from repro.errors import ReproError
+from repro.ppuf.crossbar import Crossbar
+from repro.ppuf.device import Ppuf, PpufNetwork
+
+
+def ppuf_to_dict(ppuf: Ppuf) -> dict:
+    """Serialisable description of a fabricated PPUF."""
+
+    def sample_dict(sample: VariationSample) -> dict:
+        return {
+            "delta_vt": sample.delta_vt.tolist(),
+            "systematic": sample.systematic.tolist(),
+        }
+
+    return {
+        "n": ppuf.n,
+        "l": ppuf.l,
+        "technology": dataclasses.asdict(ppuf.network_a.tech),
+        "conditions": dataclasses.asdict(ppuf.network_a.conditions),
+        "sample_a": sample_dict(ppuf.network_a.sample),
+        "sample_b": sample_dict(ppuf.network_b.sample),
+    }
+
+
+def ppuf_from_dict(data: dict) -> Ppuf:
+    """Rebuild a PPUF from its saved description."""
+    try:
+        crossbar = Crossbar(n=int(data["n"]), l=int(data["l"]))
+        tech = Technology(**data["technology"])
+        conditions = OperatingConditions(**data["conditions"])
+
+        def sample(payload) -> VariationSample:
+            return VariationSample(
+                delta_vt=np.asarray(payload["delta_vt"], dtype=np.float64),
+                systematic=np.asarray(payload["systematic"], dtype=np.float64),
+            )
+
+        return Ppuf(
+            crossbar=crossbar,
+            network_a=PpufNetwork(crossbar, sample(data["sample_a"]), tech, conditions),
+            network_b=PpufNetwork(crossbar, sample(data["sample_b"]), tech, conditions),
+        )
+    except (KeyError, TypeError) as error:
+        raise ReproError(f"malformed PPUF save file: {error}") from error
+
+
+def save_ppuf(ppuf: Ppuf, path: str) -> None:
+    """Write a device's public description to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(ppuf_to_dict(ppuf), handle)
+
+
+def load_ppuf(path: str) -> Ppuf:
+    """Rebuild a device from a JSON file written by :func:`save_ppuf`."""
+    with open(path) as handle:
+        return ppuf_from_dict(json.load(handle))

@@ -1,0 +1,133 @@
+"""Key derivation from PPUF responses.
+
+Turning PUF responses into cryptographic key material needs two things the
+raw device doesn't give: *stability* (comparator noise and environment
+flip marginal bits) and *uniformity*.  This module implements the standard
+lightweight recipe:
+
+1. evaluate a deterministic, seed-derived challenge list;
+2. stabilise each bit by majority over repeated noisy evaluations,
+   discarding bits whose current margin is below the comparator's
+   resolution (the "dark bit" masking technique);
+3. compress the retained bits with SHA-256 into the final key.
+
+Because the PPUF's model is public, this is a *device-bound identity key*
+(anyone can compute it from the public model — like a fingerprint, not a
+secret): its role in PPUF protocols is binding messages to the physical
+device via the time-bounded evaluation, not secrecy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ppuf.challenge import Challenge, ChallengeSpace
+
+
+def seed_challenges(ppuf, seed: bytes, count: int) -> List[Challenge]:
+    """Derive a deterministic public challenge list from a seed."""
+    if count < 1:
+        raise ReproError(f"count must be >= 1, got {count}")
+    if not isinstance(seed, (bytes, bytearray)):
+        raise ReproError("seed must be bytes")
+    digest = hashlib.sha256(bytes(seed)).digest()
+    rng = np.random.default_rng(int.from_bytes(digest[:8], "little"))
+    space = ChallengeSpace(ppuf.crossbar)
+    return [space.random(rng) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class KeyMaterial:
+    """Derived key plus the provenance a verifier needs to recompute it.
+
+    Attributes
+    ----------
+    key:
+        32-byte SHA-256 digest of the retained response bits.
+    bits:
+        The retained (stable) response bits.
+    mask:
+        Per-challenge retention mask (True = bit kept); *public* — it
+        reveals which bits were marginal, not their values.
+    """
+
+    key: bytes
+    bits: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def retained(self) -> int:
+        return int(self.mask.sum())
+
+
+def derive_key(
+    ppuf,
+    seed: bytes,
+    *,
+    num_bits: int = 64,
+    votes: int = 1,
+    rng: np.random.Generator = None,
+    engine: str = "maxflow",
+) -> KeyMaterial:
+    """Derive device-bound key material from seed-derived challenges.
+
+    Parameters
+    ----------
+    votes:
+        Majority votes per bit when the comparator is noisy (odd counts
+        recommended).
+    rng:
+        Required when the PPUF's comparator has ``noise_sigma > 0``.
+    """
+    challenges = seed_challenges(ppuf, seed, num_bits)
+    noisy = ppuf.comparator.noise_sigma > 0
+    if noisy and rng is None:
+        raise ReproError("a noisy comparator needs an rng for key derivation")
+
+    bits = np.zeros(num_bits, dtype=np.uint8)
+    mask = np.zeros(num_bits, dtype=bool)
+    for index, challenge in enumerate(challenges):
+        current_a, current_b = ppuf.currents(challenge, engine=engine)
+        # Dark-bit masking: drop bits whose margin the comparator cannot
+        # reliably resolve.
+        mask[index] = ppuf.comparator.is_resolvable(current_a, current_b)
+        if noisy:
+            bits[index] = ppuf.comparator.majority_decision(
+                current_a, current_b, rng, votes=votes
+            )
+        else:
+            bits[index] = ppuf.comparator.compare(current_a, current_b)
+
+    retained = bits[mask]
+    digest = hashlib.sha256(np.packbits(retained).tobytes()).digest()
+    return KeyMaterial(key=digest, bits=retained.copy(), mask=mask)
+
+
+def key_agreement_rate(
+    ppuf,
+    seed: bytes,
+    trials: int,
+    rng: np.random.Generator,
+    *,
+    num_bits: int = 64,
+    votes: int = 1,
+) -> Tuple[float, KeyMaterial]:
+    """Fraction of repeated derivations that reproduce the reference key.
+
+    The reliability figure of merit for a (noise, votes) configuration;
+    returns the reference material too.
+    """
+    if trials < 1:
+        raise ReproError(f"trials must be >= 1, got {trials}")
+    reference = derive_key(ppuf, seed, num_bits=num_bits, votes=votes, rng=rng)
+    matches = sum(
+        derive_key(ppuf, seed, num_bits=num_bits, votes=votes, rng=rng).key
+        == reference.key
+        for _ in range(trials)
+    )
+    return matches / trials, reference

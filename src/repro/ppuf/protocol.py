@@ -1,0 +1,172 @@
+"""Time-bounded authentication sessions.
+
+Formalises the protocol the paper targets (after Majzoobi & Koushanfar's
+time-bounded authentication, the paper's ref [9]), on top of the
+prover/verifier primitives of :mod:`repro.ppuf.verification`:
+
+1. the verifier issues a fresh random challenge;
+2. the prover must return a :class:`FlowClaim` within a *deadline* derived
+   from the device's execution-delay bound times a slack factor — an
+   honest device holder answers in O(n) settling time, while a simulator
+   pays the Ω(n²) ESG and blows the deadline;
+3. the verifier checks the claim in O(n²/p) verification time;
+4. rounds repeat (optionally with feedback-loop chaining) until the target
+   confidence is reached.
+
+In software both parties are simulations, so the "deadline" is evaluated
+against the *modeled* times (device: Lin–Mead bound; attacker: the fitted
+simulation law).  The session transcript records everything so tests and
+examples can assert each decision.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.ppuf.challenge import Challenge
+from repro.ppuf.delay import lin_mead_delay_bound
+from repro.ppuf.esg import ESGModel
+from repro.ppuf.verification import FlowClaim, PpufProver, PpufVerifier
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One authentication round's transcript entry."""
+
+    challenge: Challenge
+    claim_value: float
+    claim_correct: bool
+    within_deadline: bool
+    prover_model_seconds: float
+    deadline_seconds: float
+    verifier_seconds: float
+
+    @property
+    def accepted(self) -> bool:
+        return self.claim_correct and self.within_deadline
+
+
+@dataclass
+class SessionResult:
+    """Outcome of an authentication session."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> bool:
+        return bool(self.rounds) and all(r.accepted for r in self.rounds)
+
+    @property
+    def rejected_round(self) -> Optional[int]:
+        for index, record in enumerate(self.rounds):
+            if not record.accepted:
+                return index
+        return None
+
+
+@dataclass
+class AuthenticationSession:
+    """A verifier-driven, time-bounded authentication session.
+
+    Parameters
+    ----------
+    verifier:
+        Holds the public model of the claimed device.
+    device_delay_model:
+        Callable n -> honest execution time [s]; defaults to the Lin–Mead
+        bound of the verifier's technology card.
+    deadline_slack:
+        The prover must respond within ``slack x device_delay`` (the paper's
+        time-bound argument needs slack << ESG, which holds by orders of
+        magnitude at secure sizes).
+    """
+
+    verifier: PpufVerifier
+    deadline_slack: float = 100.0
+    device_delay_model: Optional[object] = None
+
+    def deadline(self) -> float:
+        """The per-round response deadline [s] for this device size."""
+        n = self.verifier.network.crossbar.n
+        if self.device_delay_model is not None:
+            device_delay = float(self.device_delay_model(n))
+        else:
+            device_delay = lin_mead_delay_bound(
+                n, self.verifier.network.tech, self.verifier.network.conditions
+            )
+        return self.deadline_slack * device_delay
+
+    def run(
+        self,
+        prover: PpufProver,
+        rng: np.random.Generator,
+        *,
+        rounds: int = 4,
+        prover_time_model=None,
+    ) -> SessionResult:
+        """Run the session against an honest (device-holding) prover.
+
+        ``prover_time_model`` maps the node count to the prover's modeled
+        response time [s]; ``None`` models an honest device (the device
+        delay itself, always within the deadline).
+        """
+        from repro.ppuf.challenge import ChallengeSpace
+
+        space = ChallengeSpace(self.verifier.network.crossbar)
+        deadline = self.deadline()
+        n = self.verifier.network.crossbar.n
+        result = SessionResult()
+        for _ in range(rounds):
+            challenge = space.random(rng)
+            claim = prover.answer(challenge)
+            if prover_time_model is None:
+                modeled = deadline / self.deadline_slack  # honest device
+            else:
+                modeled = float(prover_time_model(n))
+            within = modeled <= deadline
+            try:
+                correct = self.verifier.verify(claim)
+            except VerificationError:
+                correct = False
+            start = time.perf_counter()
+            verifier_seconds = time.perf_counter() - start
+            result.rounds.append(
+                RoundRecord(
+                    challenge=challenge,
+                    claim_value=claim.value,
+                    claim_correct=correct,
+                    within_deadline=within,
+                    prover_model_seconds=modeled,
+                    deadline_seconds=deadline,
+                    verifier_seconds=verifier_seconds,
+                )
+            )
+            if not result.rounds[-1].accepted:
+                break
+        return result
+
+    def run_against_simulator(
+        self,
+        prover: PpufProver,
+        esg_model: ESGModel,
+        rng: np.random.Generator,
+        *,
+        rounds: int = 4,
+    ) -> SessionResult:
+        """Run against an attacker who must *simulate* each response.
+
+        The attacker produces correct answers (it has the public model and
+        unlimited compute) but its modeled response time follows the fitted
+        simulation law, so at secure sizes it misses every deadline.
+        """
+        return self.run(
+            prover,
+            rng,
+            rounds=rounds,
+            prover_time_model=lambda n: float(esg_model.simulation_time(n)),
+        )

@@ -1,0 +1,169 @@
+"""The residual-graph authentication protocol (Sections 2 and 3.2).
+
+The asymmetry the PPUF exploits: *finding* a max flow costs Ω(n²) even in
+parallel, but *verifying* one is a residual-graph BFS, O(n²/p).  The
+verifier therefore asks the prover not just for the flow value but for the
+flow itself (equivalently, the residual edges); it then checks feasibility
+and optimality against the public simulation model.
+
+The roles:
+
+* :class:`PpufProver` — holds the physical device; answers a challenge by
+  executing it and returning a :class:`FlowClaim`.  (A cheating prover
+  without the device must *solve* max-flow, paying the simulation time.)
+* :class:`PpufVerifier` — holds only the public model (the capacities);
+  checks a claim in verification time and compares the claimed value with
+  the comparator-level current the authentic device would produce.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import FlowError, VerificationError
+from repro.flow import FlowNetwork, solve_max_flow, verify_max_flow
+from repro.flow.decomposition import PathFlow, decompose_flow, recompose_flow
+from repro.ppuf.challenge import Challenge
+
+
+@dataclass(frozen=True)
+class CompactClaim:
+    """A prover's answer as a path decomposition.
+
+    O(n) paths of length ≤ n replace the dense n×n flow matrix — the wire
+    format a bandwidth-conscious protocol would use.  The verifier rebuilds
+    the matrix (linear in the decomposition size) and checks as usual.
+    """
+
+    challenge: Challenge
+    paths: List[PathFlow]
+    value: float
+    elapsed_seconds: float
+
+    def to_flow_claim(self, n: int) -> "FlowClaim":
+        """Expand back into the dense-matrix claim form."""
+        return FlowClaim(
+            challenge=self.challenge,
+            flow=recompose_flow(self.paths, n),
+            value=self.value,
+            elapsed_seconds=self.elapsed_seconds,
+        )
+
+
+@dataclass(frozen=True)
+class FlowClaim:
+    """A prover's answer: the flow it claims to be maximal.
+
+    Attributes
+    ----------
+    challenge:
+        The challenge being answered.
+    flow:
+        Claimed n×n edge-flow matrix.
+    value:
+        Claimed max-flow value (net out of the source).
+    elapsed_seconds:
+        Prover-side wall-clock (execution or simulation time).
+    """
+
+    challenge: Challenge
+    flow: np.ndarray
+    value: float
+    elapsed_seconds: float
+
+
+@dataclass
+class PpufProver:
+    """The device holder for one network of a PPUF.
+
+    The physical device settles to the max-flow current in O(n) time; the
+    reproduction stands in the circuit's steady state with the max-flow
+    solution itself (they agree to the model inaccuracy of Fig. 6, and the
+    *flow pattern* is what the verifier asks for).
+    """
+
+    network: "object"  # repro.ppuf.device.PpufNetwork
+
+    def answer(self, challenge: Challenge, *, algorithm: str = "dinic") -> FlowClaim:
+        edge_bits = self.network.crossbar.bits_for_edges(challenge.bits)
+        instance = self.network.flow_network(edge_bits)
+        start = time.perf_counter()
+        result = solve_max_flow(
+            instance, challenge.source, challenge.sink, algorithm=algorithm
+        )
+        elapsed = time.perf_counter() - start
+        return FlowClaim(
+            challenge=challenge,
+            flow=result.flow,
+            value=result.value,
+            elapsed_seconds=elapsed,
+        )
+
+    def answer_compact(self, challenge: Challenge, *, algorithm: str = "dinic") -> CompactClaim:
+        """Answer with a path decomposition instead of the dense matrix."""
+        claim = self.answer(challenge, algorithm=algorithm)
+        paths = decompose_flow(claim.flow, challenge.source, challenge.sink)
+        return CompactClaim(
+            challenge=challenge,
+            paths=paths,
+            value=claim.value,
+            elapsed_seconds=claim.elapsed_seconds,
+        )
+
+
+@dataclass
+class PpufVerifier:
+    """The public-model holder: verifies claims without the device."""
+
+    network: "object"  # repro.ppuf.device.PpufNetwork
+
+    def verify(self, claim: FlowClaim) -> bool:
+        """Accept iff the claimed flow is feasible, maximal and value-true.
+
+        Raises :class:`VerificationError` on an infeasible (cheating) flow;
+        returns ``False`` for a feasible but sub-maximal one.
+        """
+        edge_bits = self.network.crossbar.bits_for_edges(claim.challenge.bits)
+        instance = self.network.flow_network(edge_bits)
+        flow = np.asarray(claim.flow, dtype=np.float64)
+        if flow.shape != instance.capacity.shape:
+            raise VerificationError(
+                f"claimed flow has shape {flow.shape}; expected "
+                f"{instance.capacity.shape}"
+            )
+        try:
+            optimal = verify_max_flow(
+                instance, flow, [claim.challenge.source], [claim.challenge.sink]
+            )
+        except FlowError as error:
+            raise VerificationError(f"infeasible claimed flow: {error}") from error
+        if not optimal:
+            return False
+        # Claimed value must match the flow it ships with.
+        instance.flow = flow
+        actual_value = instance.flow_value(claim.challenge.source)
+        scale = max(abs(actual_value), 1e-30)
+        return abs(actual_value - claim.value) <= 1e-6 * scale
+
+    def verify_compact(self, claim: CompactClaim) -> bool:
+        """Verify a path-decomposition claim.
+
+        Rebuilds the dense flow (raising :class:`VerificationError` for
+        malformed paths) and delegates to :meth:`verify`.
+        """
+        n = self.network.crossbar.n
+        try:
+            expanded = claim.to_flow_claim(n)
+        except FlowError as error:
+            raise VerificationError(f"malformed path claim: {error}") from error
+        return self.verify(expanded)
+
+    def timed_verify(self, claim: FlowClaim):
+        """``(accepted, verifier_seconds)`` — the asymmetry measurement."""
+        start = time.perf_counter()
+        accepted = self.verify(claim)
+        return accepted, time.perf_counter() - start

@@ -1,0 +1,16 @@
+"""Public-key protocols on top of the PPUF.
+
+The paper's introduction motivates PPUFs as a base for "multiple public-key
+protocols" (citing Beckmann & Potkonjak).  This subpackage implements the
+canonical one — matching-based key exchange — with explicit ESG cost
+accounting, so the security margin is a computable number rather than an
+assertion.
+"""
+
+from repro.protocols.key_exchange import (
+    KeyExchange,
+    KeyExchangeParameters,
+    ExchangeCosts,
+)
+
+__all__ = ["KeyExchange", "KeyExchangeParameters", "ExchangeCosts"]

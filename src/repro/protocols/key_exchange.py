@@ -1,0 +1,161 @@
+"""Matching-based PPUF key exchange (Beckmann–Potkonjak style).
+
+Roles: the *holder* owns the physical device; the *initiator* owns only the
+public model; the *eavesdropper* sees everything on the wire.
+
+1. **Setup (public).** A seed derives m challenges; each challenge's
+   "response word" is the k-bit transcript of a feedback chain (Section
+   3.3), so every word costs k sequential evaluations.
+2. **Initiator.** Picks a secret index i, *simulates* the chain for
+   challenge i (cost: k simulations — slow but done once), and publishes
+   the digest H(word_i).
+3. **Holder.** *Executes* chains for the challenges in (shuffled) order —
+   each at device speed — until a word's digest matches; recovers i.
+4. **Shared secret.** Both sides hold (i, word_i); the key is
+   H(index, word).  The eavesdropper must simulate chains until it finds
+   the match: expected (m+1)/2 chains at k·T_sim each, against the
+   holder's (m+1)/2 chains at k·T_exe — the ESG, amplified by k and by m.
+
+Words must be unique across the challenge list for unambiguous matching;
+setup enforces this (k bits per word makes collisions exponentially rare).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.ppuf.esg import ESGModel
+from repro.ppuf.feedback import run_feedback_chain
+from repro.ppuf.keys import seed_challenges
+
+
+@dataclass(frozen=True)
+class KeyExchangeParameters:
+    """Protocol sizing.
+
+    Attributes
+    ----------
+    num_challenges:
+        m, the public challenge-list length (the eavesdropper's search
+        space multiplier).
+    chain_length:
+        k, feedback rounds per response word (the per-chain ESG
+        amplification and the word's bit length).
+    """
+
+    num_challenges: int = 32
+    chain_length: int = 16
+
+    def __post_init__(self):
+        if self.num_challenges < 2:
+            raise ReproError("need at least 2 challenges")
+        if self.chain_length < 8:
+            raise ReproError("chains below 8 bits collide too easily")
+
+
+@dataclass(frozen=True)
+class ExchangeCosts:
+    """Modeled time costs of one exchange at a given device size.
+
+    All values in seconds, from the fitted ESG model's laws.  The
+    initiator's single simulation is *offline* precomputation (done before
+    the session, Beckmann–Potkonjak style); the online exchange is the
+    holder's device-speed search, so the security margin is the
+    eavesdropper-to-holder ratio.
+    """
+
+    initiator_seconds: float
+    holder_seconds: float
+    eavesdropper_seconds: float
+
+    @property
+    def advantage_ratio(self) -> float:
+        """Eavesdropper cost over the holder's online cost.
+
+        Equals T_sim/T_exe at the device size — the per-evaluation ESG —
+        since both sides search the same expected number of chains.
+        """
+        return self.eavesdropper_seconds / self.holder_seconds
+
+
+class KeyExchange:
+    """One key-exchange context bound to a device's public model."""
+
+    def __init__(self, ppuf, parameters: KeyExchangeParameters, seed: bytes):
+        self.ppuf = ppuf
+        self.parameters = parameters
+        self.challenges = seed_challenges(ppuf, seed, parameters.num_challenges)
+        words = [self._word(index) for index in range(parameters.num_challenges)]
+        if len({word for word in words}) != len(words):
+            raise ReproError(
+                "response-word collision in the challenge list; "
+                "use a different seed or a longer chain_length"
+            )
+        self._words = words
+
+    # ------------------------------------------------------------------
+    def _word(self, index: int) -> bytes:
+        """The k-bit feedback-chain transcript for challenge ``index``."""
+        chain = run_feedback_chain(
+            self.ppuf, self.challenges[index], self.parameters.chain_length
+        )
+        bits = np.array([crp.response for crp in chain.rounds], dtype=np.uint8)
+        return np.packbits(bits).tobytes()
+
+    @staticmethod
+    def _digest(word: bytes) -> bytes:
+        return hashlib.sha256(b"ppuf-key-exchange" + word).digest()
+
+    # ------------------------------------------------------------------
+    # roles
+    # ------------------------------------------------------------------
+    def initiator_pick(self, rng: np.random.Generator) -> Tuple[int, bytes]:
+        """Initiator: choose a secret index, publish the word digest."""
+        index = int(rng.integers(self.parameters.num_challenges))
+        return index, self._digest(self._words[index])
+
+    def holder_find(self, digest: bytes, rng: np.random.Generator) -> Optional[int]:
+        """Holder: execute chains in shuffled order until the digest matches.
+
+        Returns the recovered index, or ``None`` for a digest matching no
+        challenge (a corrupted or adversarial message).
+        """
+        order = rng.permutation(self.parameters.num_challenges)
+        for index in order.tolist():
+            if self._digest(self._words[index]) == digest:
+                return index
+        return None
+
+    def shared_secret(self, index: int) -> bytes:
+        """The agreed key: H(index, word)."""
+        if not 0 <= index < self.parameters.num_challenges:
+            raise ReproError(f"index {index} out of range")
+        payload = index.to_bytes(4, "little") + self._words[index]
+        return hashlib.sha256(b"ppuf-shared-secret" + payload).digest()
+
+    # ------------------------------------------------------------------
+    # cost accounting
+    # ------------------------------------------------------------------
+    def modeled_costs(self, esg_model: ESGModel) -> ExchangeCosts:
+        """Time costs under the fitted simulation/execution laws.
+
+        The initiator simulates one chain; the holder executes an expected
+        (m+1)/2 chains; the eavesdropper simulates an expected (m+1)/2
+        chains.  Feedback rounds are strictly sequential on both sides.
+        """
+        n = self.ppuf.n
+        k = self.parameters.chain_length
+        m = self.parameters.num_challenges
+        simulate_chain = k * float(esg_model.simulation(n))
+        execute_chain = k * float(esg_model.execution(n))
+        expected_tries = (m + 1) / 2.0
+        return ExchangeCosts(
+            initiator_seconds=simulate_chain,
+            holder_seconds=expected_tries * execute_chain,
+            eavesdropper_seconds=expected_tries * simulate_chain,
+        )

@@ -1,0 +1,63 @@
+"""Physical constants and small unit helpers used throughout the library.
+
+All internal computation is in SI base units (volts, amperes, ohms, farads,
+seconds, kelvin).  The helpers here exist to make parameter declarations in
+:mod:`repro.circuit.ptm32` and the experiment scripts self-documenting.
+"""
+
+from __future__ import annotations
+
+# Boltzmann constant [J/K].
+BOLTZMANN = 1.380649e-23
+
+# Elementary charge [C].
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+# 0 degrees Celsius expressed in kelvin.
+ZERO_CELSIUS = 273.15
+
+# Nominal junction temperature used by the paper's SPICE runs [K].
+ROOM_TEMPERATURE = ZERO_CELSIUS + 27.0
+
+
+def thermal_voltage(temperature_k: float = ROOM_TEMPERATURE) -> float:
+    """Return kT/q [V] at the given absolute temperature.
+
+    >>> round(thermal_voltage(300.0), 5)
+    0.02585
+    """
+    if temperature_k <= 0.0:
+        raise ValueError(f"temperature must be positive, got {temperature_k} K")
+    return BOLTZMANN * temperature_k / ELEMENTARY_CHARGE
+
+
+def celsius(value: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return value + ZERO_CELSIUS
+
+
+# Prefix helpers: ``milli(35)`` reads better than ``35e-3`` in parameter
+# tables transcribed from the paper.
+def milli(value: float) -> float:
+    """Scale by 1e-3."""
+    return value * 1e-3
+
+
+def micro(value: float) -> float:
+    """Scale by 1e-6."""
+    return value * 1e-6
+
+
+def nano(value: float) -> float:
+    """Scale by 1e-9."""
+    return value * 1e-9
+
+
+def pico(value: float) -> float:
+    """Scale by 1e-12."""
+    return value * 1e-12
+
+
+def femto(value: float) -> float:
+    """Scale by 1e-15."""
+    return value * 1e-15

@@ -1,0 +1,76 @@
+"""Device-aging model."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.aging import (
+    YEAR_SECONDS,
+    AgingModel,
+    aged_ppuf,
+    aged_sample,
+    aging_study,
+)
+from repro.circuit.variation import VariationSample
+from repro.errors import ReproError
+from repro.ppuf import Ppuf
+
+
+class TestAgingModel:
+    def test_mean_shift_grows_logarithmically(self):
+        model = AgingModel(amplitude=0.01, t0=1e4)
+        one_decade = model.mean_shift(1e6) - model.mean_shift(1e5)
+        next_decade = model.mean_shift(1e7) - model.mean_shift(1e6)
+        assert one_decade > 0
+        # Log-law: equal increments per decade once past the onset term.
+        assert next_decade == pytest.approx(one_decade, rel=0.05)
+
+    def test_zero_time_zero_shift(self):
+        assert AgingModel().mean_shift(0.0) == 0.0
+
+    def test_shifts_are_positive_on_average(self, rng):
+        model = AgingModel()
+        shifts = model.sample_shifts((1000,), 5 * YEAR_SECONDS, rng)
+        assert shifts.mean() > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ReproError):
+            AgingModel(amplitude=-1.0)
+        with pytest.raises(ReproError):
+            AgingModel(t0=0.0)
+        with pytest.raises(ReproError):
+            AgingModel().mean_shift(-1.0)
+
+
+class TestAgedViews:
+    def test_aged_sample_preserves_systematic(self, rng):
+        sample = VariationSample.nominal(10)
+        aged = aged_sample(sample, AgingModel(), YEAR_SECONDS, rng)
+        assert np.array_equal(aged.systematic, sample.systematic)
+        assert np.all(aged.delta_vt != sample.delta_vt)
+
+    def test_aged_ppuf_shares_crossbar(self, small_ppuf, rng):
+        aged = aged_ppuf(small_ppuf, AgingModel(), YEAR_SECONDS, rng)
+        assert aged.crossbar is small_ppuf.crossbar
+        assert aged.network_a.sample is not small_ppuf.network_a.sample
+
+    def test_fresh_age_changes_nothing(self, small_ppuf, rng):
+        aged = aged_ppuf(small_ppuf, AgingModel(), 0.0, rng)
+        challenges = small_ppuf.challenge_space().random_batch(8, rng)
+        assert np.array_equal(
+            aged.response_bits(challenges), small_ppuf.response_bits(challenges)
+        )
+
+
+class TestAgingStudy:
+    def test_drift_zero_at_birth_and_grows(self, rng):
+        ppuf = Ppuf.create(12, 3, np.random.default_rng(8))
+        years, drift = aging_study(ppuf, [0, 10], rng, challenges=25)
+        assert drift[0] == 0.0
+        assert drift[1] >= drift[0]
+        assert drift[1] < 0.5  # differential design keeps drift bounded
+
+    def test_validation(self, small_ppuf, rng):
+        with pytest.raises(ReproError):
+            aging_study(small_ppuf, [], rng)
+        with pytest.raises(ReproError):
+            aging_study(small_ppuf, [-1.0], rng)

@@ -1,0 +1,69 @@
+"""NIST-style bit-stream screening tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bitstats import (
+    monobit_test,
+    response_stream,
+    runs_test,
+)
+from repro.errors import ReproError
+
+
+class TestMonobit:
+    def test_fair_stream_passes(self, rng):
+        bits = rng.integers(0, 2, 2000)
+        assert monobit_test(bits).passes()
+
+    def test_constant_stream_fails(self):
+        result = monobit_test(np.ones(256, dtype=int))
+        assert result.p_value < 1e-10
+        assert not result.passes()
+
+    def test_known_statistic(self):
+        # 3/4 ones in 64 bits: S = |2*48 - 64| / 8 = 4.
+        bits = np.array([1] * 48 + [0] * 16)
+        assert monobit_test(bits).statistic == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            monobit_test(np.ones(4, dtype=int))
+        with pytest.raises(ReproError):
+            monobit_test(np.full(32, 2))
+
+
+class TestRuns:
+    def test_fair_stream_passes(self, rng):
+        bits = rng.integers(0, 2, 2000)
+        assert runs_test(bits).passes()
+
+    def test_alternating_stream_fails(self):
+        bits = np.tile([0, 1], 200)
+        result = runs_test(bits)
+        assert not result.passes()
+
+    def test_blocky_stream_fails(self):
+        bits = np.concatenate([np.zeros(200, int), np.ones(200, int)])
+        result = runs_test(bits)
+        assert not result.passes()
+
+    def test_biased_stream_short_circuits_to_zero(self):
+        bits = np.array([1] * 120 + [0] * 8)
+        assert runs_test(bits).p_value == 0.0
+
+
+class TestPpufResponseStream:
+    def test_ppuf_stream_passes_both_tests(self, rng):
+        """A population-level response stream should look random: each
+        challenge draws fresh terminals and control bits."""
+        from repro.ppuf import Ppuf
+
+        ppuf = Ppuf.create(16, 4, np.random.default_rng(11))
+        bits = response_stream(ppuf, 300, rng)
+        assert monobit_test(bits).passes(significance=0.001)
+        assert runs_test(bits).passes(significance=0.001)
+
+    def test_count_validation(self, small_ppuf, rng):
+        with pytest.raises(ReproError):
+            response_stream(small_ppuf, 0, rng)

@@ -1,0 +1,47 @@
+"""Hardware-cost model."""
+
+import pytest
+
+from repro.analysis.cost import hardware_budget
+from repro.errors import ReproError
+from repro.experiments.hardware_cost import run as run_cost_experiment
+
+
+class TestHardwareBudget:
+    def test_device_counts(self):
+        budget = hardware_budget(10, 3)
+        assert budget.edge_blocks == 2 * 10 * 9
+        assert budget.mosfets == budget.edge_blocks * 4
+        assert budget.diodes == budget.edge_blocks * 2
+        assert budget.resistors == budget.edge_blocks * 2
+        assert budget.bias_capacitors == 2 * 9
+
+    def test_control_reduction_grows_with_n(self):
+        small = hardware_budget(40, 8)
+        large = hardware_budget(200, 15)
+        assert large.control_reduction > small.control_reduction
+        assert large.control_reduction > 100
+
+    def test_naive_control_count_is_quadratic(self):
+        assert hardware_budget(200, 15).naive_control_signals == 200 * 199
+
+    def test_area_positive_and_monotone(self):
+        assert 0 < hardware_budget(20, 4).area_m2 < hardware_budget(40, 4).area_m2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            hardware_budget(1, 1)
+        with pytest.raises(ReproError):
+            hardware_budget(10, 11)
+        with pytest.raises(ReproError):
+            hardware_budget(10, 3, mosfet_area=0.0)
+
+
+class TestExperiment:
+    def test_table_includes_paper_design_point(self):
+        table = run_cost_experiment()
+        rows = {(row["nodes"], row["grid_l"]): row for row in table.rows}
+        paper = rows[(200, 15)]
+        assert paper["naive_controls"] == 39800
+        assert paper["partitioned_controls"] == 15 * 15 + 2 * 8
+        assert paper["reduction"] > 100

@@ -1,0 +1,110 @@
+"""PUF metric computations."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    MetricSummary,
+    flip_probability,
+    inter_class_hd,
+    intra_class_hd,
+    randomness,
+    uniformity,
+)
+from repro.errors import ReproError
+
+
+class TestMetricSummary:
+    def test_from_samples(self):
+        summary = MetricSummary.from_samples("x", [0.4, 0.6])
+        assert summary.mean == pytest.approx(0.5)
+        assert summary.std == pytest.approx(np.std([0.4, 0.6], ddof=1))
+
+    def test_single_sample_zero_std(self):
+        assert MetricSummary.from_samples("x", [0.3]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            MetricSummary.from_samples("x", [])
+
+
+class TestInterClassHD:
+    def test_identical_instances_give_zero(self):
+        responses = np.tile(np.array([0, 1, 1, 0]), (3, 1))
+        assert inter_class_hd(responses).mean == 0.0
+
+    def test_complementary_instances_give_one(self):
+        responses = np.array([[0, 1, 0, 1], [1, 0, 1, 0]])
+        assert inter_class_hd(responses).mean == 1.0
+
+    def test_random_instances_near_half(self, rng):
+        responses = rng.integers(0, 2, size=(20, 400))
+        summary = inter_class_hd(responses)
+        assert summary.mean == pytest.approx(0.5, abs=0.02)
+
+    def test_pair_count(self):
+        responses = np.zeros((4, 8), dtype=int)
+        assert inter_class_hd(responses).samples.size == 6
+
+    def test_needs_two_instances(self):
+        with pytest.raises(ReproError):
+            inter_class_hd(np.zeros((1, 4), dtype=int))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ReproError):
+            inter_class_hd(np.full((2, 4), 2))
+
+
+class TestIntraClassHD:
+    def test_no_stress_change_gives_zero(self):
+        reference = np.array([[0, 1, 1], [1, 0, 0]])
+        stressed = np.stack([reference, reference])
+        assert intra_class_hd(reference, stressed).mean == 0.0
+
+    def test_counts_flipped_bits(self):
+        reference = np.array([[0, 0, 0, 0]])
+        stressed = np.array([[[1, 0, 0, 0]]])
+        assert intra_class_hd(reference, stressed).mean == pytest.approx(0.25)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            intra_class_hd(np.zeros((2, 4), dtype=int), np.zeros((3, 2, 5), dtype=int))
+
+
+class TestUniformityRandomness:
+    def test_uniformity_per_instance(self):
+        responses = np.array([[1, 1, 1, 1], [0, 0, 1, 1]])
+        summary = uniformity(responses)
+        assert summary.samples.tolist() == [1.0, 0.5]
+
+    def test_randomness_per_challenge(self):
+        responses = np.array([[1, 0], [1, 0], [0, 0], [1, 0]])
+        summary = randomness(responses)
+        assert summary.samples.tolist() == [0.75, 0.0]
+
+    def test_randomness_needs_two_instances(self):
+        with pytest.raises(ReproError):
+            randomness(np.zeros((1, 4), dtype=int))
+
+
+class TestFlipProbability:
+    def test_zero_distance_never_flips(self, small_ppuf, rng):
+        assert flip_probability(small_ppuf, 0, rng, trials=5) == 0.0
+
+    def test_probability_in_unit_interval(self, small_ppuf, rng):
+        probability = flip_probability(small_ppuf, 3, rng, trials=10)
+        assert 0.0 <= probability <= 1.0
+
+    def test_distance_validation(self, small_ppuf, rng):
+        with pytest.raises(ReproError):
+            flip_probability(small_ppuf, 1000, rng)
+        with pytest.raises(ReproError):
+            flip_probability(small_ppuf, -1, rng)
+        with pytest.raises(ReproError):
+            flip_probability(small_ppuf, 1, rng, trials=0)
+
+    def test_large_distance_flips_more_than_small(self, medium_ppuf):
+        rng = np.random.default_rng(77)
+        small_d = flip_probability(medium_ppuf, 1, rng, trials=60)
+        large_d = flip_probability(medium_ppuf, 12, rng, trials=60)
+        assert large_d > small_d

@@ -1,0 +1,52 @@
+"""Technology sweep framework."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    requirement2_metric,
+    sweep_technology,
+    uniqueness_metric,
+)
+from repro.errors import ReproError
+
+
+class TestSweepFramework:
+    def test_generic_sweep_collects_metrics(self):
+        def metric(tech):
+            return {"double_lambda": 2 * tech.lam}
+
+        sweep = sweep_technology("lam", [0.1, 0.2], metric)
+        assert sweep.metric("double_lambda") == pytest.approx([0.2, 0.4])
+        assert sweep.values == [0.1, 0.2]
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ReproError):
+            sweep_technology("not_a_field", [1.0], lambda tech: {})
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ReproError):
+            sweep_technology("lam", [], lambda tech: {})
+
+    def test_unknown_metric_name(self):
+        sweep = sweep_technology("lam", [0.1], lambda tech: {"a": 1.0})
+        with pytest.raises(ReproError):
+            sweep.metric("b")
+
+
+class TestCannedMetrics:
+    def test_req2_ratio_degrades_with_lambda(self):
+        sweep = sweep_technology(
+            "lam", [0.05, 0.5], requirement2_metric(samples=300, seed=2)
+        )
+        ratios = sweep.metric("req2_ratio")
+        assert ratios[0] > ratios[1]
+        drifts = sweep.metric("sce_change")
+        assert drifts[1] > drifts[0]
+
+    def test_uniqueness_metric_near_half_at_itrs_sigma(self):
+        sweep = sweep_technology(
+            "sigma_vt",
+            [0.035],
+            uniqueness_metric(n=10, l=3, instances=4, challenges=15, seed=2),
+        )
+        assert 0.3 < sweep.metric("inter_class_hd")[0] < 0.7

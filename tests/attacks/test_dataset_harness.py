@@ -1,0 +1,109 @@
+"""Attack datasets and the Fig. 10 harness."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.dataset import (
+    AttackDataset,
+    build_attack_dataset,
+    build_ppuf_attack_dataset,
+    challenge_features,
+)
+from repro.attacks.harness import KNN_KS, attack_curve, best_prediction_error
+from repro.errors import AttackError
+
+
+def parity_responder(words):
+    return (np.sum(words, axis=1) % 2).astype(np.uint8)
+
+
+class TestBuildAttackDataset:
+    def test_shapes_and_encoding(self, rng):
+        dataset = build_attack_dataset(parity_responder, 6, 40, 20, rng)
+        assert dataset.num_train == 40
+        assert dataset.num_test == 20
+        assert set(np.unique(dataset.train_x)) <= {-1.0, 1.0}
+        assert set(np.unique(dataset.train_y)) <= {-1.0, 1.0}
+
+    def test_feature_map_applied(self, rng):
+        def doubler(words):
+            return np.hstack([words, words]).astype(np.float64)
+
+        dataset = build_attack_dataset(parity_responder, 6, 10, 5, rng, feature_map=doubler)
+        assert dataset.train_x.shape == (10, 12)
+
+    def test_bad_responder_shape_rejected(self, rng):
+        with pytest.raises(AttackError):
+            build_attack_dataset(lambda w: np.zeros(3), 6, 10, 5, rng)
+
+    def test_truncation_keeps_test_set(self, rng):
+        dataset = build_attack_dataset(parity_responder, 6, 40, 20, rng)
+        small = dataset.truncated(10)
+        assert small.num_train == 10
+        assert np.array_equal(small.test_x, dataset.test_x)
+
+    def test_truncation_validation(self, rng):
+        dataset = build_attack_dataset(parity_responder, 6, 10, 5, rng)
+        with pytest.raises(AttackError):
+            dataset.truncated(0)
+        with pytest.raises(AttackError):
+            dataset.truncated(11)
+
+
+class TestChallengeFeatures:
+    def test_layout(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        features = challenge_features(challenge, small_ppuf.n)
+        n = small_ppuf.n
+        assert features.size == 2 * n + challenge.num_bits
+        assert features[:n].sum() == 1.0  # one-hot source
+        assert features[n:2 * n].sum() == 1.0  # one-hot sink
+
+
+class TestPpufAttackDataset:
+    def test_full_challenge_dataset(self, small_ppuf, rng):
+        dataset = build_ppuf_attack_dataset(small_ppuf, 30, 10, rng)
+        assert dataset.train_x.shape == (30, 2 * small_ppuf.n + 9)
+
+    def test_fixed_terminals_reduce_feature_variety(self, small_ppuf, rng):
+        dataset = build_ppuf_attack_dataset(small_ppuf, 20, 5, rng, fixed_terminals=True)
+        n = small_ppuf.n
+        # The one-hot terminal fields are constant across samples.
+        assert np.all(dataset.train_x[:, :2 * n] == dataset.train_x[0, :2 * n])
+
+
+class TestHarness:
+    def test_best_error_keys(self, rng):
+        dataset = build_attack_dataset(parity_responder, 5, 60, 30, rng)
+        errors = best_prediction_error(dataset)
+        assert {"svm", "knn", "best"} <= set(errors)
+        assert errors["best"] <= min(errors["svm"], errors["knn"])
+
+    def test_curve_is_per_size(self, rng):
+        dataset = build_attack_dataset(parity_responder, 5, 80, 30, rng)
+        points = attack_curve(dataset, [10, 40, 80])
+        assert [p.num_crps for p in points] == [10, 40, 80]
+        for point in points:
+            assert 0.0 <= point.best_error <= 1.0
+
+    def test_knn_sweep_matches_paper(self):
+        assert KNN_KS == tuple(range(1, 22, 2))
+
+    def test_minimum_training_size(self, rng):
+        dataset = build_attack_dataset(parity_responder, 5, 10, 5, rng)
+        with pytest.raises(AttackError):
+            best_prediction_error(dataset.truncated(1))
+
+    def test_learnable_target_improves_with_data(self, rng):
+        """A linearly separable target: error decreases with more CRPs."""
+
+        weights = rng.normal(size=8)
+
+        def linear_target(words):
+            signs = words * 2.0 - 1.0
+            return (signs @ weights > 0).astype(np.uint8)
+
+        dataset = build_attack_dataset(linear_target, 8, 600, 300, rng)
+        points = attack_curve(dataset, [20, 600])
+        assert points[-1].best_error < points[0].best_error
+        assert points[-1].best_error < 0.1

@@ -1,0 +1,170 @@
+"""The attack learners: kernels, LS-SVM, linear ridge, RFF, KNN."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.kernels import linear_kernel, median_heuristic_gamma, rbf_kernel
+from repro.attacks.knn import KNNClassifier
+from repro.attacks.linear import LinearRidgeClassifier
+from repro.attacks.lssvm import LSSVM
+from repro.attacks.rff import RFFRidge
+from repro.errors import AttackError
+
+
+def blob_dataset(rng, n=120, separation=3.0):
+    """Two Gaussian blobs in 4 dims, linearly separable."""
+    half = n // 2
+    x = np.vstack(
+        [
+            rng.normal(-separation / 2, 1.0, size=(half, 4)),
+            rng.normal(separation / 2, 1.0, size=(half, 4)),
+        ]
+    )
+    y = np.concatenate([-np.ones(half), np.ones(half)])
+    order = rng.permutation(n)
+    return x[order], y[order]
+
+
+def xor_dataset(rng, n=200):
+    """The XOR problem: not linearly separable, RBF/KNN territory."""
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where(x[:, 0] * x[:, 1] > 0, 1.0, -1.0)
+    return x, y
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self, rng):
+        x = rng.normal(size=(5, 3))
+        kernel = rbf_kernel(x, x, gamma=0.5)
+        assert np.allclose(np.diag(kernel), 1.0)
+
+    def test_rbf_decays_with_distance(self):
+        x = np.array([[0.0], [1.0], [5.0]])
+        kernel = rbf_kernel(x, x, gamma=1.0)
+        assert kernel[0, 1] > kernel[0, 2]
+
+    def test_rbf_gamma_validation(self, rng):
+        x = rng.normal(size=(3, 2))
+        with pytest.raises(AttackError):
+            rbf_kernel(x, x, gamma=0.0)
+
+    def test_linear_kernel_is_gram(self, rng):
+        x = rng.normal(size=(4, 3))
+        assert np.allclose(linear_kernel(x, x), x @ x.T)
+
+    def test_median_heuristic_positive(self, rng):
+        x = rng.normal(size=(50, 4))
+        assert median_heuristic_gamma(x) > 0
+
+    def test_median_heuristic_degenerate(self):
+        x = np.zeros((10, 3))
+        with pytest.raises(AttackError):
+            median_heuristic_gamma(x)
+
+
+class TestLSSVM:
+    def test_learns_separable_blobs(self, rng):
+        x, y = blob_dataset(rng)
+        model = LSSVM().fit(x[:80], y[:80])
+        assert model.error_rate(x[80:], y[80:]) < 0.1
+
+    def test_rbf_learns_xor(self, rng):
+        x, y = xor_dataset(rng)
+        model = LSSVM().fit(x[:150], y[:150])
+        assert model.error_rate(x[150:], y[150:]) < 0.25
+
+    def test_linear_kernel_fails_xor(self, rng):
+        x, y = xor_dataset(rng)
+        model = LSSVM(kernel="linear").fit(x[:150], y[:150])
+        assert model.error_rate(x[150:], y[150:]) > 0.3
+
+    def test_constant_labels_degenerate_fit(self, rng):
+        x = rng.normal(size=(10, 3))
+        model = LSSVM().fit(x, np.ones(10))
+        assert np.all(model.predict(x) == 1.0)
+
+    def test_label_validation(self, rng):
+        x = rng.normal(size=(6, 2))
+        with pytest.raises(AttackError):
+            LSSVM().fit(x, np.array([0, 1, 0, 1, 0, 1]))
+
+    def test_unfitted_predict_rejected(self, rng):
+        with pytest.raises(AttackError):
+            LSSVM().predict(rng.normal(size=(2, 2)))
+
+    def test_unknown_kernel(self, rng):
+        x, y = blob_dataset(rng, n=20)
+        with pytest.raises(AttackError):
+            LSSVM(kernel="poly").fit(x, y)
+
+
+class TestLinearRidge:
+    def test_learns_separable_blobs(self, rng):
+        x, y = blob_dataset(rng)
+        model = LinearRidgeClassifier().fit(x[:80], y[:80])
+        assert model.error_rate(x[80:], y[80:]) < 0.1
+
+    def test_scales_to_large_n(self, rng):
+        x, y = blob_dataset(rng, n=5000)
+        model = LinearRidgeClassifier().fit(x, y)
+        assert model.error_rate(x, y) < 0.1
+
+    def test_validation(self, rng):
+        with pytest.raises(AttackError):
+            LinearRidgeClassifier(ridge=0.0).fit(rng.normal(size=(4, 2)), np.ones(4))
+
+
+class TestRFF:
+    def test_approximates_rbf_on_xor(self, rng):
+        x, y = xor_dataset(rng, n=400)
+        model = RFFRidge(num_features=512, seed=1).fit(x[:300], y[:300])
+        assert model.error_rate(x[300:], y[300:]) < 0.25
+
+    def test_agrees_with_exact_lssvm_on_blobs(self, rng):
+        x, y = blob_dataset(rng, n=160)
+        exact = LSSVM().fit(x[:120], y[:120])
+        approx = RFFRidge(num_features=1024, seed=2).fit(x[:120], y[:120])
+        exact_err = exact.error_rate(x[120:], y[120:])
+        approx_err = approx.error_rate(x[120:], y[120:])
+        assert abs(exact_err - approx_err) < 0.15
+
+    def test_deterministic_per_seed(self, rng):
+        x, y = blob_dataset(rng, n=60)
+        a = RFFRidge(seed=9).fit(x, y).decision_function(x)
+        b = RFFRidge(seed=9).fit(x, y).decision_function(x)
+        assert np.allclose(a, b)
+
+    def test_validation(self, rng):
+        x, y = blob_dataset(rng, n=20)
+        with pytest.raises(AttackError):
+            RFFRidge(num_features=0).fit(x, y)
+        with pytest.raises(AttackError):
+            RFFRidge(ridge=0.0).fit(x, y)
+
+
+class TestKNN:
+    def test_one_nn_memorises_training_set(self, rng):
+        x, y = blob_dataset(rng, n=60)
+        model = KNNClassifier(k=1).fit(x, y)
+        assert model.error_rate(x, y) == 0.0
+
+    def test_learns_xor(self, rng):
+        x, y = xor_dataset(rng, n=400)
+        model = KNNClassifier(k=5).fit(x[:300], y[:300])
+        assert model.error_rate(x[300:], y[300:]) < 0.25
+
+    def test_k_larger_than_train_rejected(self, rng):
+        x, y = blob_dataset(rng, n=10)
+        with pytest.raises(AttackError):
+            KNNClassifier(k=11).fit(x, y)
+
+    def test_even_k_tie_break_is_nearest(self):
+        x = np.array([[0.0], [1.0]])
+        y = np.array([-1.0, 1.0])
+        model = KNNClassifier(k=2).fit(x, y)
+        assert model.predict(np.array([[0.1]]))[0] == -1.0
+        assert model.predict(np.array([[0.9]]))[0] == 1.0
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(AttackError):
+            KNNClassifier().predict(np.zeros((1, 2)))

@@ -1,0 +1,52 @@
+"""Logistic-regression attacker."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.logistic import LogisticAttacker
+from repro.errors import AttackError
+
+from tests.attacks.test_learners import blob_dataset, xor_dataset
+
+
+class TestLogistic:
+    def test_learns_separable_blobs(self, rng):
+        x, y = blob_dataset(rng)
+        model = LogisticAttacker().fit(x[:80], y[:80])
+        assert model.error_rate(x[80:], y[80:]) < 0.1
+
+    def test_cannot_learn_xor(self, rng):
+        x, y = xor_dataset(rng)
+        model = LogisticAttacker().fit(x[:150], y[:150])
+        assert model.error_rate(x[150:], y[150:]) > 0.3
+
+    def test_breaks_arbiter_on_parity_features(self, rng):
+        from repro.baselines import ArbiterPuf
+
+        puf = ArbiterPuf(16, rng)
+        challenges = rng.integers(0, 2, size=(2000, 16), dtype=np.uint8)
+        features = ArbiterPuf.parity_features(challenges)
+        labels = puf.respond(challenges) * 2.0 - 1.0
+        model = LogisticAttacker().fit(features[:1500], labels[:1500])
+        assert model.error_rate(features[1500:], labels[1500:]) < 0.06
+
+    def test_constant_labels_degenerate(self, rng):
+        x = rng.normal(size=(10, 3))
+        model = LogisticAttacker().fit(x, -np.ones(10))
+        assert np.all(model.predict(x) == -1.0)
+
+    def test_validation(self, rng):
+        x = rng.normal(size=(6, 2))
+        with pytest.raises(AttackError):
+            LogisticAttacker().fit(x, np.zeros(6))
+        with pytest.raises(AttackError):
+            LogisticAttacker(ridge=0.0).fit(x, np.array([1.0, -1, 1, -1, 1, -1]))
+        with pytest.raises(AttackError):
+            LogisticAttacker().predict(x)
+
+    def test_decision_function_is_calibrated_sign(self, rng):
+        x, y = blob_dataset(rng, n=100)
+        model = LogisticAttacker().fit(x, y)
+        scores = model.decision_function(x)
+        predictions = model.predict(x)
+        assert np.all((scores >= 0) == (predictions == 1.0))

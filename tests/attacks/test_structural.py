@@ -1,0 +1,52 @@
+"""The structural-simulator attacker."""
+
+import pytest
+
+from repro.attacks import StructuralSimulator
+from repro.errors import AttackError
+from repro.ppuf.delay import lin_mead_delay_bound
+
+
+class TestStructuralSimulator:
+    def test_perfect_prediction_on_public_model(self, small_ppuf, rng):
+        challenges = small_ppuf.challenge_space().random_batch(8, rng)
+        references = small_ppuf.response_bits(challenges)
+        attacker = StructuralSimulator(small_ppuf)
+        assert attacker.prediction_error(challenges, references) == 0.0
+
+    def test_latency_recorded_per_query(self, small_ppuf, rng):
+        attacker = StructuralSimulator(small_ppuf)
+        challenges = small_ppuf.challenge_space().random_batch(3, rng)
+        for challenge in challenges:
+            attacker.predict(challenge)
+        assert len(attacker.query_seconds) == 3
+        assert attacker.mean_query_seconds > 0
+
+    def test_latency_ratio_vs_device(self, small_ppuf, rng):
+        attacker = StructuralSimulator(small_ppuf)
+        attacker.predict(small_ppuf.challenge_space().random(rng))
+        ratio = attacker.latency_ratio(lin_mead_delay_bound(small_ppuf.n))
+        # Even a tiny 10-node device outruns software simulation by orders
+        # of magnitude.
+        assert ratio > 100
+
+    def test_validation(self, small_ppuf, rng):
+        attacker = StructuralSimulator(small_ppuf)
+        with pytest.raises(AttackError):
+            attacker.mean_query_seconds
+        with pytest.raises(AttackError):
+            attacker.prediction_error([], [])
+        challenge = small_ppuf.challenge_space().random(rng)
+        with pytest.raises(AttackError):
+            attacker.prediction_error([challenge], [0, 1])
+        attacker.predict(challenge)
+        with pytest.raises(AttackError):
+            attacker.latency_ratio(0.0)
+
+    def test_solver_choice_does_not_change_predictions(self, small_ppuf, rng):
+        challenges = small_ppuf.challenge_space().random_batch(5, rng)
+        fast = StructuralSimulator(small_ppuf, algorithm="push_relabel")
+        slow = StructuralSimulator(small_ppuf, algorithm="edmonds_karp")
+        assert [fast.predict(c) for c in challenges] == [
+            slow.predict(c) for c in challenges
+        ]

@@ -1,0 +1,85 @@
+"""Arbiter PUF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.dataset import build_attack_dataset
+from repro.attacks.harness import best_prediction_error
+from repro.baselines import ArbiterPuf
+from repro.errors import ChallengeError
+
+
+class TestModel:
+    def test_responses_binary(self, rng):
+        puf = ArbiterPuf(16, rng)
+        challenges = rng.integers(0, 2, size=(50, 16), dtype=np.uint8)
+        responses = puf.respond(challenges)
+        assert set(responses.tolist()) <= {0, 1}
+
+    def test_deterministic(self, rng):
+        puf = ArbiterPuf(16, rng)
+        challenge = rng.integers(0, 2, size=(1, 16), dtype=np.uint8)
+        assert puf.respond(challenge)[0] == puf.respond(challenge)[0]
+
+    def test_different_instances_differ(self):
+        rng = np.random.default_rng(0)
+        puf_a = ArbiterPuf(32, rng)
+        puf_b = ArbiterPuf(32, rng)
+        challenges = rng.integers(0, 2, size=(200, 32), dtype=np.uint8)
+        assert np.mean(puf_a.respond(challenges) != puf_b.respond(challenges)) > 0.2
+
+    def test_roughly_uniform(self, rng):
+        puf = ArbiterPuf(24, rng)
+        challenges = rng.integers(0, 2, size=(1000, 24), dtype=np.uint8)
+        assert 0.25 < puf.respond(challenges).mean() < 0.75
+
+    def test_challenge_validation(self, rng):
+        puf = ArbiterPuf(8, rng)
+        with pytest.raises(ChallengeError):
+            puf.respond(np.zeros((2, 9), dtype=np.uint8))
+        with pytest.raises(ChallengeError):
+            puf.respond(np.full((2, 8), 3, dtype=np.uint8))
+
+    def test_constructor_validation(self, rng):
+        with pytest.raises(ChallengeError):
+            ArbiterPuf(0, rng)
+        with pytest.raises(ChallengeError):
+            ArbiterPuf(8, rng, sigma=0.0)
+
+
+class TestParityFeatures:
+    def test_features_are_pm1(self, rng):
+        challenges = rng.integers(0, 2, size=(10, 6), dtype=np.uint8)
+        features = ArbiterPuf.parity_features(challenges)
+        assert set(np.unique(features)) <= {-1.0, 1.0}
+
+    def test_suffix_product_structure(self):
+        challenge = np.array([[1, 0, 1]])
+        features = ArbiterPuf.parity_features(challenge)
+        signs = 1 - 2 * challenge[0]
+        expected = [
+            signs[0] * signs[1] * signs[2],
+            signs[1] * signs[2],
+            signs[2],
+        ]
+        assert features[0].tolist() == expected
+
+    def test_linear_in_parity_space(self, rng):
+        """The delay difference is exactly linear in the parity features."""
+        puf = ArbiterPuf(12, rng)
+        challenges = rng.integers(0, 2, size=(100, 12), dtype=np.uint8)
+        features = ArbiterPuf.parity_features(challenges)
+        deltas = puf.delay_difference(challenges)
+        residual = features @ puf._weights + puf._bias - deltas
+        assert np.max(np.abs(residual)) < 1e-12
+
+
+class TestLearnability:
+    def test_arbiter_falls_to_model_building(self, rng):
+        """The Fig. 10 contrast: the arbiter PUF is quickly learned."""
+        puf = ArbiterPuf(16, rng)
+        dataset = build_attack_dataset(
+            puf.respond, 16, 1500, 500, rng, feature_map=ArbiterPuf.parity_features
+        )
+        errors = best_prediction_error(dataset)
+        assert errors["best"] < 0.08

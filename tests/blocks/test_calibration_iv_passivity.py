@@ -1,0 +1,99 @@
+"""Bias calibration, I-V sweeps and passivity checks."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.calibration import balance_bias, block_saturation_current
+from repro.blocks.designs import build_design
+from repro.blocks.edge import EdgeBlock
+from repro.blocks.iv import IVCurve, isat_vs_gate_bias, iv_sweep, iv_sweep_all
+from repro.blocks.passivity import is_incrementally_passive, passivity_margin
+from repro.errors import DeviceError
+
+
+class TestCalibration:
+    def test_balanced_pair_has_equal_currents(self, tech, conditions):
+        balanced = balance_bias(tech, conditions)
+        target = block_saturation_current(conditions.vgs_bit1, tech, conditions)
+        assert block_saturation_current(balanced, tech, conditions) == pytest.approx(
+            target, rel=1e-6
+        )
+
+    def test_balanced_bias_above_tent_peak(self, tech, conditions):
+        balanced = balance_bias(tech, conditions)
+        assert balanced > conditions.v_c / 2.0
+
+    def test_symmetric_model_balances_at_complement(self, tech, conditions):
+        balanced = balance_bias(tech, conditions)
+        assert balanced == pytest.approx(conditions.v_c - conditions.vgs_bit1, abs=1e-6)
+
+    def test_rejects_bias_beyond_peak(self, tech, conditions):
+        with pytest.raises(DeviceError):
+            balance_bias(tech, conditions, vgs_bit1=conditions.v_c / 2 + 0.01)
+
+    def test_tent_curve_peaks_at_half_vc(self, tech, conditions):
+        biases, currents = isat_vs_gate_bias(tech, conditions)
+        peak = biases[np.argmax(currents)]
+        assert peak == pytest.approx(conditions.v_c / 2.0, abs=0.02)
+
+
+class TestIVSweeps:
+    def test_sweep_shapes(self, tech, conditions):
+        curve = iv_sweep("sd2", tech, conditions, points=21)
+        assert curve.voltages.shape == (21,)
+        assert curve.currents.shape == (21,)
+        assert curve.label == "sd2"
+
+    def test_sweep_all_covers_designs(self, tech, conditions):
+        curves = iv_sweep_all(tech, conditions, points=11)
+        assert set(curves) == {"bare", "sd1", "sd2"}
+
+    def test_flatness_metric_orders_designs(self, tech, conditions):
+        curves = iv_sweep_all(tech, conditions, points=41)
+        flatness = {
+            name: curve.saturation_flatness(1.2, 2.0) for name, curve in curves.items()
+        }
+        assert flatness["sd2"] < flatness["sd1"] < flatness["bare"]
+
+    def test_flatness_rejects_dead_curve(self):
+        dead = IVCurve("dead", np.linspace(0, 2, 5), np.zeros(5))
+        with pytest.raises(DeviceError):
+            dead.saturation_flatness()
+
+    def test_minimum_points_enforced(self, tech, conditions):
+        with pytest.raises(DeviceError):
+            iv_sweep("sd2", tech, conditions, points=1)
+
+
+class TestPassivity:
+    def test_edge_block_is_passive(self, tech, conditions):
+        block = EdgeBlock(tech, conditions, bit=1)
+        assert is_incrementally_passive(block.current)
+
+    def test_all_designs_are_passive(self, tech, conditions):
+        for name in ("bare", "sd1", "sd2"):
+            design = build_design(name, tech, conditions)
+            assert is_incrementally_passive(design.current, points=80)
+
+    def test_margin_non_negative_for_real_block(self, tech, conditions):
+        block = EdgeBlock(tech, conditions, bit=0)
+        assert passivity_margin(block.current, points=80) >= 0.0
+
+    def test_detects_non_passive_element(self):
+        def tunnel_diode(voltage):
+            # Negative differential resistance region.
+            return voltage - 0.8 * np.sin(voltage * 3)
+
+        assert not is_incrementally_passive(tunnel_diode, v_min=0.0, points=100)
+
+    def test_detects_reverse_leak(self):
+        def leaky(voltage):
+            return voltage + 1.0  # conducts at zero/negative voltage
+
+        assert not is_incrementally_passive(leaky, v_min=-0.5, points=50)
+
+    def test_input_validation(self):
+        with pytest.raises(DeviceError):
+            is_incrementally_passive(lambda v: v, points=2)
+        with pytest.raises(DeviceError):
+            is_incrementally_passive(lambda v: v, v_min=1.0, v_max=0.0)

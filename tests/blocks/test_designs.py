@@ -1,0 +1,74 @@
+"""Block design variants (Fig. 2a-c) and the SD narrative."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.designs import BlockDesign, build_design
+from repro.errors import DeviceError
+
+
+class TestFactory:
+    def test_known_designs(self, tech, conditions):
+        for name, levels in (("bare", 0), ("sd1", 1), ("sd2", 2)):
+            design = build_design(name, tech, conditions)
+            assert design.sd_levels == levels
+
+    def test_unknown_design_rejected(self, tech, conditions):
+        with pytest.raises(DeviceError, match="unknown block design"):
+            build_design("sd3", tech, conditions)
+
+    def test_default_gate_bias_is_bit1(self, tech, conditions):
+        design = build_design("sd2", tech, conditions)
+        assert design.gate_bias == conditions.vgs_bit1
+
+
+class TestCharacteristics:
+    def test_current_voltage_roundtrip(self, tech, conditions):
+        design = build_design("sd2", tech, conditions)
+        for voltage in (0.5, 1.0, 1.8):
+            current = design.current(voltage)
+            assert design.voltage(current) == pytest.approx(voltage, rel=1e-6)
+
+    def test_zero_voltage_zero_current(self, tech, conditions):
+        for name in ("bare", "sd1", "sd2"):
+            assert build_design(name, tech, conditions).current(0.0) == 0.0
+
+    def test_negative_current_rejected(self, tech, conditions):
+        with pytest.raises(DeviceError):
+            build_design("sd2", tech, conditions).voltage(-1e-9)
+
+    def test_monotone_current(self, tech, conditions):
+        design = build_design("sd2", tech, conditions)
+        voltages = np.linspace(0.0, 2.0, 41)
+        currents = [design.current(v) for v in voltages]
+        assert np.all(np.diff(currents) >= 0)
+
+
+class TestRequirement1And2Narrative:
+    def test_gate_bias_controls_saturation_current(self, tech, conditions):
+        low = build_design("sd2", tech, conditions, gate_bias=0.45)
+        high = build_design("sd2", tech, conditions, gate_bias=0.55)
+        assert high.saturation_current() > low.saturation_current()
+
+    def test_sd_levels_progressively_flatten(self, tech, conditions):
+        """The Fig. 3a story: each SD level reduces the saturation drift."""
+        drifts = {}
+        for name in ("bare", "sd1", "sd2"):
+            design = build_design(name, tech, conditions)
+            drifts[name] = design.saturation_drift(1.2, 2.0) / design.current(2.0)
+        assert drifts["bare"] > drifts["sd1"] > drifts["sd2"]
+
+    def test_two_level_sd_drift_below_half_percent(self, tech, conditions):
+        design = build_design("sd2", tech, conditions)
+        relative = design.saturation_drift(1.2, 2.0) / design.current(2.0)
+        assert relative < 5e-3
+
+    def test_vt_shift_moves_saturation_current(self, tech, conditions):
+        nominal = build_design("sd2", tech, conditions)
+        slow = build_design("sd2", tech, conditions, delta_vt_bottom=0.035)
+        assert slow.saturation_current() < nominal.saturation_current()
+
+    def test_drift_window_validated(self, tech, conditions):
+        design = build_design("sd2", tech, conditions)
+        with pytest.raises(DeviceError):
+            design.saturation_drift(1.5, 1.0)

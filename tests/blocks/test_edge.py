@@ -1,0 +1,122 @@
+"""The dual-stack edge block (Fig. 2d)."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.edge import (
+    EdgeBlock,
+    edge_capacities,
+    edge_currents_at_voltage,
+    edge_saturation_scale,
+    edge_voltage,
+)
+from repro.circuit.variation import VariationModel, VariationSample
+from repro.errors import ChallengeError, DeviceError
+
+
+class TestEdgeVoltage:
+    def test_zero_current_zero_voltage_minus_diodes(self, tech, conditions):
+        sample = VariationSample.nominal(3)
+        bits = np.array([0, 1, 1], dtype=np.uint8)
+        voltage = edge_voltage(np.zeros(3), bits, sample, tech, conditions)
+        assert np.allclose(voltage, 0.0)
+
+    def test_rejects_non_binary_bits(self, tech, conditions):
+        sample = VariationSample.nominal(2)
+        with pytest.raises(ChallengeError):
+            edge_voltage(np.zeros(2), np.array([0, 2]), sample, tech, conditions)
+
+    def test_broadcast_matrix_form(self, tech, conditions):
+        sample = VariationSample.nominal(4)
+        bits = np.array([0, 1, 0, 1], dtype=np.uint8)
+        currents = np.linspace(0, 1e-8, 7)[None, :] * np.ones((4, 1))
+        voltage = edge_voltage(currents, bits, sample, tech, conditions)
+        assert voltage.shape == (4, 7)
+        assert np.all(np.diff(voltage, axis=1) > 0)
+
+
+class TestCapacities:
+    def test_nominal_bits_have_equal_capacity(self, tech, conditions):
+        """Requirement 3: balanced biases give equal nominal currents."""
+        block0 = EdgeBlock(tech, conditions, bit=0)
+        block1 = EdgeBlock(tech, conditions, bit=1)
+        assert block0.capacity() == pytest.approx(block1.capacity(), rel=1e-3)
+
+    def test_variation_decorrelates_bit_capacities(self, tech, conditions, rng):
+        """The limiting stack differs per bit, so cap0 and cap1 of the same
+        varied block are nearly uncorrelated — the unpredictability core."""
+        sample = VariationModel(tech).sample(400, rng)
+        cap0 = edge_capacities(np.zeros(400, dtype=np.uint8), sample, tech, conditions)
+        cap1 = edge_capacities(np.ones(400, dtype=np.uint8), sample, tech, conditions)
+        correlation = np.corrcoef(cap0, cap1)[0, 1]
+        assert abs(correlation) < 0.35
+
+    def test_capacity_positive_under_extreme_variation(self, tech, conditions):
+        sample = VariationSample(
+            delta_vt=np.full((2, 4), 0.15), systematic=np.zeros(2)
+        )
+        caps = edge_capacities(np.ones(2, dtype=np.uint8), sample, tech, conditions)
+        assert np.all(caps > 0)
+
+    def test_vectorised_matches_scalar(self, tech, conditions, rng):
+        sample = VariationModel(tech).sample(3, rng)
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        vector = edge_capacities(bits, sample, tech, conditions)
+        for index in range(3):
+            block = EdgeBlock(
+                tech, conditions, bit=int(bits[index]),
+                delta_vt=tuple(sample.total(c)[index] for c in range(4)),
+            )
+            assert vector[index] == pytest.approx(block.capacity(), rel=1e-6)
+
+
+class TestCurrentsAtVoltage:
+    def test_zero_voltage(self, tech, conditions):
+        sample = VariationSample.nominal(2)
+        currents = edge_currents_at_voltage(
+            0.0, np.ones(2, dtype=np.uint8), sample, tech, conditions
+        )
+        assert np.all(currents == 0.0)
+
+    def test_negative_voltage_rejected(self, tech, conditions):
+        sample = VariationSample.nominal(2)
+        with pytest.raises(DeviceError):
+            edge_currents_at_voltage(
+                -0.1, np.ones(2, dtype=np.uint8), sample, tech, conditions
+            )
+
+    def test_monotone_in_voltage(self, tech, conditions, rng):
+        sample = VariationModel(tech).sample(5, rng)
+        bits = np.ones(5, dtype=np.uint8)
+        previous = np.zeros(5)
+        for voltage in (0.3, 0.6, 1.0, 1.5, 2.0):
+            current = edge_currents_at_voltage(voltage, bits, sample, tech, conditions)
+            assert np.all(current >= previous - 1e-15)
+            previous = current
+
+    def test_saturation_scale_brackets_capacity(self, tech, conditions, rng):
+        sample = VariationModel(tech).sample(50, rng)
+        bits = rng.integers(0, 2, 50).astype(np.uint8)
+        scale = edge_saturation_scale(bits, sample, tech, conditions)
+        caps = edge_capacities(bits, sample, tech, conditions)
+        assert np.all(caps <= scale * 1.5)
+        assert np.all(caps >= scale * 0.2)
+
+
+class TestEdgeBlockObject:
+    def test_roundtrip(self, tech, conditions):
+        block = EdgeBlock(tech, conditions, bit=1)
+        current = block.current(1.0)
+        assert block.voltage(current) == pytest.approx(1.0, rel=1e-6)
+
+    def test_bit_changes_which_stack_limits(self, tech, conditions):
+        """Shift M2 (bit-1 limiter): bit-1 capacity moves, bit-0 barely."""
+        shifted = (0.0, 0.05, 0.0, 0.0)  # M2 slower
+        bit1 = EdgeBlock(tech, conditions, bit=1, delta_vt=shifted)
+        bit0 = EdgeBlock(tech, conditions, bit=0, delta_vt=shifted)
+        nominal1 = EdgeBlock(tech, conditions, bit=1)
+        nominal0 = EdgeBlock(tech, conditions, bit=0)
+        drop1 = 1 - bit1.capacity() / nominal1.capacity()
+        drop0 = 1 - bit0.capacity() / nominal0.capacity()
+        assert drop1 > 0.2
+        assert abs(drop0) < 0.05

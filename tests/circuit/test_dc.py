@@ -1,0 +1,128 @@
+"""Nonlinear DC solver: correctness on analytically solvable networks."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.dc import solve_dc
+from repro.circuit.table import EdgeTable
+from repro.errors import GraphError
+
+
+def ohmic_table(resistances, v_max=2.0):
+    resistances = np.asarray(resistances, dtype=np.float64)
+
+    def v_of_i(current_matrix):
+        return current_matrix * resistances[:, None]
+
+    scales = v_max / resistances * 1.5
+    return EdgeTable.build(v_of_i, scales, v_max=v_max, num_points=401)
+
+
+class TestResistiveNetworks:
+    def test_two_resistor_divider(self):
+        # source -0- R=1 -1- R=1 -2- sink: middle node at half supply.
+        table = ohmic_table([1.0, 1.0])
+        solution = solve_dc(
+            3,
+            np.array([0, 1]),
+            np.array([1, 2]),
+            table,
+            source=0,
+            sink=2,
+            v_supply=2.0,
+        )
+        assert solution.voltages[1] == pytest.approx(1.0, abs=1e-6)
+        assert solution.source_current == pytest.approx(1.0, rel=1e-6)
+
+    def test_unequal_divider(self):
+        table = ohmic_table([1.0, 3.0])
+        solution = solve_dc(
+            3,
+            np.array([0, 1]),
+            np.array([1, 2]),
+            table,
+            source=0,
+            sink=2,
+            v_supply=2.0,
+        )
+        # I = 2 / 4 = 0.5; node 1 at 2 - 0.5 = 1.5.
+        assert solution.voltages[1] == pytest.approx(1.5, abs=1e-6)
+        assert solution.source_current == pytest.approx(0.5, rel=1e-6)
+
+    def test_parallel_paths_add(self):
+        # Two disjoint unit-resistor 2-hop paths: total I = 2 * (2/2) = 2.
+        table = ohmic_table([1.0, 1.0, 1.0, 1.0])
+        solution = solve_dc(
+            4,
+            np.array([0, 1, 0, 2]),
+            np.array([1, 3, 2, 3]),
+            table,
+            source=0,
+            sink=3,
+            v_supply=2.0,
+        )
+        assert solution.source_current == pytest.approx(2.0, rel=1e-6)
+
+    def test_wheatstone_bridge_balance(self):
+        # Balanced bridge: no current through the cross edge.
+        table = ohmic_table([1.0, 1.0, 1.0, 1.0, 1.0])
+        src = np.array([0, 0, 1, 2, 1])
+        dst = np.array([1, 2, 3, 3, 2])
+        solution = solve_dc(4, src, dst, table, source=0, sink=3, v_supply=2.0)
+        assert abs(solution.edge_currents[4]) < 1e-9
+        assert solution.voltages[1] == pytest.approx(solution.voltages[2], abs=1e-9)
+
+
+class TestKCL:
+    def test_kcl_holds_at_internal_nodes(self):
+        table = ohmic_table([1.0, 2.0, 3.0, 4.0, 5.0])
+        src = np.array([0, 0, 1, 2, 1])
+        dst = np.array([1, 2, 3, 3, 2])
+        solution = solve_dc(4, src, dst, table, source=0, sink=3, v_supply=2.0)
+        net = np.zeros(4)
+        np.add.at(net, src, solution.edge_currents)
+        np.subtract.at(net, dst, solution.edge_currents)
+        assert abs(net[1]) < 1e-8
+        assert abs(net[2]) < 1e-8
+
+    def test_source_current_equals_sink_current(self):
+        table = ohmic_table([1.0, 1.0, 1.0, 1.0])
+        src = np.array([0, 1, 0, 2])
+        dst = np.array([1, 3, 2, 3])
+        solution = solve_dc(4, src, dst, table, source=0, sink=3, v_supply=2.0)
+        into_sink = solution.edge_currents[np.asarray(dst) == 3].sum()
+        assert solution.source_current == pytest.approx(into_sink, rel=1e-9)
+
+
+class TestValidation:
+    def test_rejects_mismatched_edges(self):
+        table = ohmic_table([1.0, 1.0])
+        with pytest.raises(GraphError):
+            solve_dc(3, np.array([0]), np.array([1]), table, source=0, sink=2, v_supply=1.0)
+
+    def test_rejects_equal_terminals(self):
+        table = ohmic_table([1.0, 1.0])
+        with pytest.raises(GraphError):
+            solve_dc(
+                3, np.array([0, 1]), np.array([1, 2]), table,
+                source=0, sink=0, v_supply=1.0,
+            )
+
+    def test_rejects_supply_beyond_table(self):
+        table = ohmic_table([1.0, 1.0], v_max=1.0)
+        with pytest.raises(GraphError):
+            solve_dc(
+                3, np.array([0, 1]), np.array([1, 2]), table,
+                source=0, sink=2, v_supply=2.0,
+            )
+
+
+class TestConvergenceReporting:
+    def test_reports_iterations_and_residual(self):
+        table = ohmic_table([1.0, 1.0])
+        solution = solve_dc(
+            3, np.array([0, 1]), np.array([1, 2]), table,
+            source=0, sink=2, v_supply=2.0,
+        )
+        assert solution.iterations >= 1
+        assert solution.residual_norm < 1e-7 * float(table.currents.max()) + 1e-12

@@ -1,0 +1,149 @@
+"""MOSFET, diode and resistor device models."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.devices.diode import Diode, diode_current, diode_voltage
+from repro.circuit.devices.mosfet import (
+    Mosfet,
+    drain_current,
+    saturation_current,
+    softplus_overdrive,
+    vds_from_current,
+)
+from repro.circuit.devices.resistor import Resistor, resistor_voltage
+from repro.errors import DeviceError
+
+
+class TestSoftplusOverdrive:
+    def test_strong_inversion_approaches_identity(self, tech):
+        theta = tech.subthreshold_theta
+        assert softplus_overdrive(0.5, theta) == pytest.approx(0.5, rel=1e-4)
+
+    def test_below_threshold_stays_positive(self, tech):
+        value = softplus_overdrive(-0.3, tech.subthreshold_theta)
+        assert 0 < value < 1e-2
+
+    def test_deep_off_is_floored_not_zero(self, tech):
+        assert softplus_overdrive(-100.0, tech.subthreshold_theta) > 0
+
+    def test_monotone(self, tech):
+        xs = np.linspace(-0.5, 0.5, 101)
+        ys = softplus_overdrive(xs, tech.subthreshold_theta)
+        assert np.all(np.diff(ys) > 0)
+
+
+class TestMosfetForward:
+    def test_zero_vds_zero_current(self, tech):
+        assert drain_current(0.0, 0.5, tech.vt0, tech) == 0.0
+
+    def test_negative_vds_blocks(self, tech):
+        assert drain_current(-0.5, 0.5, tech.vt0, tech) == 0.0
+
+    def test_saturation_current_square_law(self, tech):
+        # Well above threshold, Isat ~ k * ov^2.
+        vgs = tech.vt0 + 0.3
+        expected = tech.k_prime * 0.3**2
+        assert saturation_current(vgs, tech.vt0, tech) == pytest.approx(expected, rel=0.01)
+
+    def test_current_monotone_in_vds(self, tech):
+        vds = np.linspace(0.0, 2.0, 200)
+        current = drain_current(vds, 0.5, tech.vt0, tech)
+        assert np.all(np.diff(current) >= 0)
+
+    def test_channel_length_modulation_slope(self, tech):
+        vgs = tech.vt0 + 0.1
+        i1 = drain_current(1.0, vgs, tech.vt0, tech)
+        i2 = drain_current(1.5, vgs, tech.vt0, tech)
+        isat = saturation_current(vgs, tech.vt0, tech)
+        assert i2 > i1
+        assert (i2 - i1) == pytest.approx(tech.lam * isat * 0.5, rel=0.05)
+
+    def test_higher_vgs_more_current(self, tech):
+        low = drain_current(1.0, tech.vt0 + 0.05, tech.vt0, tech)
+        high = drain_current(1.0, tech.vt0 + 0.15, tech.vt0, tech)
+        assert high > low
+
+
+class TestMosfetInverse:
+    def test_roundtrip_triode(self, tech):
+        vgs = tech.vt0 + 0.2
+        isat = saturation_current(vgs, tech.vt0, tech)
+        for fraction in (0.1, 0.5, 0.9):
+            current = fraction * isat
+            vds = vds_from_current(current, vgs, tech.vt0, tech)
+            assert drain_current(vds, vgs, tech.vt0, tech) == pytest.approx(
+                current, rel=1e-9
+            )
+
+    def test_roundtrip_saturation(self, tech):
+        vgs = tech.vt0 + 0.2
+        isat = saturation_current(vgs, tech.vt0, tech)
+        current = 1.02 * isat
+        vds = vds_from_current(current, vgs, tech.vt0, tech)
+        assert drain_current(vds, vgs, tech.vt0, tech) == pytest.approx(current, rel=1e-9)
+
+    def test_inverse_monotone(self, tech):
+        vgs = tech.vt0 + 0.1
+        isat = saturation_current(vgs, tech.vt0, tech)
+        currents = np.linspace(0.0, 1.3, 300) * isat
+        vds = vds_from_current(currents, vgs, tech.vt0, tech)
+        assert np.all(np.diff(vds) > 0)
+
+    def test_negative_current_rejected(self, tech):
+        with pytest.raises(DeviceError):
+            vds_from_current(-1e-9, 0.5, tech.vt0, tech)
+
+    def test_object_wrapper(self, tech):
+        device = Mosfet(tech, delta_vt=0.01)
+        assert device.vt == pytest.approx(tech.vt0 + 0.01)
+        assert device.isat(0.5) > 0
+        vds = device.vds(device.isat(0.5) * 0.5, 0.5)
+        assert device.current(vds, 0.5) == pytest.approx(device.isat(0.5) * 0.5, rel=1e-9)
+
+
+class TestDiode:
+    def test_forward_drop_scale(self, tech):
+        # Tens of nA through the scaled diode: a few hundred mV.
+        drop = diode_voltage(20e-9, tech)
+        assert 0.1 < drop < 0.4
+
+    def test_voltage_current_roundtrip(self, tech):
+        for current in (1e-12, 1e-9, 1e-6):
+            voltage = diode_voltage(current, tech)
+            assert diode_current(voltage, tech) == pytest.approx(current, rel=1e-6)
+
+    def test_reverse_bias_blocks(self, tech):
+        assert diode_current(-0.5, tech) == 0.0
+
+    def test_negative_current_rejected(self, tech):
+        with pytest.raises(DeviceError):
+            diode_voltage(-1e-9, tech)
+
+    def test_temperature_raises_thermal_voltage(self, tech):
+        cold = diode_voltage(1e-9, tech, temperature_k=250.0)
+        hot = diode_voltage(1e-9, tech, temperature_k=350.0)
+        assert hot > cold
+
+    def test_object_wrapper(self, tech):
+        diode = Diode(tech)
+        assert diode.current(diode.voltage(5e-9)) == pytest.approx(5e-9, rel=1e-6)
+
+
+class TestResistor:
+    def test_ohms_law(self):
+        assert resistor_voltage(2e-9, 1e6) == pytest.approx(2e-3)
+
+    def test_negative_resistance_rejected(self):
+        with pytest.raises(DeviceError):
+            resistor_voltage(1.0, -1.0)
+        with pytest.raises(DeviceError):
+            Resistor(-5.0)
+
+    def test_object_roundtrip(self):
+        resistor = Resistor(2e6)
+        assert resistor.current(resistor.voltage(3e-9)) == pytest.approx(3e-9)
+
+    def test_zero_ohm_current_undefined(self):
+        with pytest.raises(DeviceError):
+            Resistor(0.0).current(1.0)

@@ -1,0 +1,103 @@
+"""Property test: the nonlinear DC solver against direct linear algebra.
+
+For *linear* (ohmic) edge tables the co-content minimum is the solution of
+the conductance-Laplacian linear system, which we can compute directly.
+The Newton solver must land on it for arbitrary random resistive networks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.dc import solve_dc
+from repro.circuit.table import EdgeTable
+
+
+@st.composite
+def resistive_networks(draw):
+    """Random connected resistive networks with a ring backbone."""
+    n = draw(st.integers(min_value=3, max_value=8))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = np.random.default_rng(seed)
+    # Ring backbone guarantees connectivity; extra random chords.
+    src = list(range(n))
+    dst = [(v + 1) % n for v in src]
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u != v:
+            src.append(u)
+            dst.append(v)
+    resistances = rng.uniform(0.5, 5.0, size=len(src))
+    return n, np.array(src), np.array(dst), resistances
+
+
+@given(resistive_networks())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dc_solution_satisfies_kcl_and_bounds(network):
+    n, src, dst, resistances = network
+
+    def v_of_i(current_matrix):
+        return current_matrix * resistances[:, None]
+
+    table = EdgeTable.build(v_of_i, 2.0 / resistances * 2, v_max=2.0, num_points=201)
+    solution = solve_dc(n, src, dst, table, source=0, sink=n - 1, v_supply=2.0)
+
+    # KCL at every internal node.
+    net = np.zeros(n)
+    np.add.at(net, src, solution.edge_currents)
+    np.subtract.at(net, dst, solution.edge_currents)
+    internal = [v for v in range(n) if v not in (0, n - 1)]
+    scale = float(np.abs(solution.edge_currents).max()) + 1e-12
+    for vertex in internal:
+        assert abs(net[vertex]) < 1e-6 * scale + 1e-12
+
+    # Node voltages inside the supply range; terminals pinned.
+    assert solution.voltages[0] == pytest.approx(2.0)
+    assert solution.voltages[n - 1] == pytest.approx(0.0)
+    assert solution.voltages.min() >= -1e-9
+    assert solution.voltages.max() <= 2.0 + 1e-9
+
+    # Source delivers what the sink absorbs.
+    into_sink = float(
+        solution.edge_currents[dst == n - 1].sum()
+        - solution.edge_currents[src == n - 1].sum()
+    )
+    assert solution.source_current == pytest.approx(into_sink, rel=1e-6, abs=1e-12)
+
+
+@given(resistive_networks())
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_dc_matches_bidirectional_laplacian_when_symmetric(network):
+    """With both edge directions present, forward-conducting tables behave
+    like bidirectional resistors, and the direct Laplacian solve applies."""
+    n, src, dst, resistances = network
+    # Symmetrise: add the reverse of every edge with the same resistance.
+    src2 = np.concatenate([src, dst])
+    dst2 = np.concatenate([dst, src])
+    resistances2 = np.concatenate([resistances, resistances])
+
+    def v_of_i(current_matrix):
+        return current_matrix * resistances2[:, None]
+
+    table = EdgeTable.build(v_of_i, 2.0 / resistances2 * 2, v_max=2.0, num_points=201)
+    solution = solve_dc(n, src2, dst2, table, source=0, sink=n - 1, v_supply=2.0)
+
+    conductances = 1.0 / resistances
+    laplacian = np.zeros((n, n))
+    np.add.at(laplacian, (src, src), conductances)
+    np.add.at(laplacian, (dst, dst), conductances)
+    np.subtract.at(laplacian, (src, dst), conductances)
+    np.subtract.at(laplacian, (dst, src), conductances)
+
+    keep = [v for v in range(n) if v not in (0, n - 1)]
+    voltages = np.zeros(n)
+    voltages[0] = 2.0
+    if keep:
+        rhs = -laplacian[np.ix_(keep, [0])] @ np.array([2.0])
+        reduced = laplacian[np.ix_(keep, keep)]
+        voltages[keep] = np.linalg.solve(reduced, rhs.ravel())
+
+    assert np.allclose(solution.voltages, voltages, atol=2e-3)

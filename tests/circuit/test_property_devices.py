@@ -1,0 +1,82 @@
+"""Property-based tests on device characteristics (hypothesis).
+
+The whole ESG argument rests on incremental passivity, which in turn rests
+on every composed characteristic being strictly monotone.  These properties
+are checked over randomly drawn bias points and variation shifts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit.devices.diode import diode_current, diode_voltage
+from repro.circuit.devices.mosfet import drain_current, vds_from_current
+from repro.circuit.devices.stack import stack_voltage
+from repro.circuit.ptm32 import PTM32
+
+SETTINGS = dict(max_examples=50, deadline=None)
+
+gate_biases = st.floats(min_value=0.35, max_value=0.9)
+vt_shifts = st.floats(min_value=-0.12, max_value=0.12)
+currents = st.floats(min_value=1e-12, max_value=1e-7)
+
+
+@given(gate_biases, vt_shifts, currents)
+@settings(**SETTINGS)
+def test_mosfet_inverse_roundtrip(vgs, dvt, current):
+    vt = PTM32.vt0 + dvt
+    vds = float(vds_from_current(current, vgs, vt, PTM32))
+    assert vds > 0
+    recovered = float(drain_current(vds, vgs, vt, PTM32))
+    assert recovered == pytest.approx(current, rel=1e-6)
+
+
+@given(gate_biases, vt_shifts)
+@settings(**SETTINGS)
+def test_mosfet_inverse_strictly_monotone(vgs, dvt):
+    vt = PTM32.vt0 + dvt
+    grid = np.geomspace(1e-12, 1e-7, 60)
+    vds = vds_from_current(grid, vgs, vt, PTM32)
+    assert np.all(np.diff(vds) > 0)
+
+
+@given(currents)
+@settings(**SETTINGS)
+def test_diode_roundtrip(current):
+    voltage = float(diode_voltage(current, PTM32))
+    recovered = float(diode_current(voltage, PTM32))
+    assert recovered == pytest.approx(current, rel=1e-6)
+
+
+@given(gate_biases, vt_shifts, vt_shifts, st.integers(min_value=0, max_value=2))
+@settings(**SETTINGS)
+def test_stack_voltage_strictly_monotone(vgs, dvt_bottom, dvt_top, sd_levels):
+    grid = np.geomspace(1e-12, 5e-8, 80)
+    voltages = stack_voltage(
+        grid,
+        vgs,
+        PTM32,
+        sd_levels=sd_levels,
+        delta_vt_bottom=dvt_bottom,
+        delta_vt_top=dvt_top,
+    )
+    assert np.all(np.diff(voltages) > 0)
+    assert np.all(voltages > 0)
+
+
+@given(gate_biases, vt_shifts)
+@settings(max_examples=25, deadline=None)
+def test_edge_block_incrementally_passive(vgs, dvt):
+    """Random-bias edge blocks pass the passivity check."""
+    import dataclasses
+
+    from repro.blocks.edge import EdgeBlock
+    from repro.blocks.passivity import is_incrementally_passive
+    from repro.circuit.ptm32 import NOMINAL_CONDITIONS
+
+    conditions = dataclasses.replace(
+        NOMINAL_CONDITIONS, vgs_bit1=min(vgs, NOMINAL_CONDITIONS.v_c - 0.05)
+    )
+    block = EdgeBlock(PTM32, conditions, bit=1, delta_vt=(dvt, -dvt, dvt / 2, 0.0))
+    assert is_incrementally_passive(block.current, points=60)

@@ -1,0 +1,95 @@
+"""Technology card and operating conditions."""
+
+import dataclasses
+
+import pytest
+
+from repro.circuit.ptm32 import (
+    CAPACITY_REFERENCE_VOLTAGE,
+    NOMINAL_CONDITIONS,
+    OperatingConditions,
+    PTM32,
+    Technology,
+)
+from repro.errors import DeviceError
+from repro.units import celsius
+
+
+class TestTechnology:
+    def test_default_card_is_valid(self):
+        assert PTM32.vt0 > 0
+        assert PTM32.k_prime > 0
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("k_prime", 0.0),
+            ("lam", -0.1),
+            ("subthreshold_theta", 0.0),
+            ("diode_is", 0.0),
+            ("r_degeneration", -1.0),
+            ("sigma_vt", -0.001),
+            ("c_edge", 0.0),
+            ("temperature", 0.0),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(DeviceError):
+            dataclasses.replace(PTM32, **{field: value})
+
+    def test_at_temperature_shifts_vt_down_when_hot(self):
+        hot = PTM32.at_temperature(PTM32.temperature + 50.0)
+        assert hot.vt0 < PTM32.vt0
+        assert hot.temperature == PTM32.temperature + 50.0
+
+    def test_at_temperature_reduces_mobility_when_hot(self):
+        hot = PTM32.at_temperature(PTM32.temperature + 50.0)
+        assert hot.k_prime < PTM32.k_prime
+
+    def test_at_temperature_roundtrip_is_identity(self):
+        there = PTM32.at_temperature(350.0)
+        back = there.at_temperature(PTM32.temperature)
+        assert back.vt0 == pytest.approx(PTM32.vt0)
+        assert back.k_prime == pytest.approx(PTM32.k_prime, rel=1e-12)
+
+    def test_at_temperature_rejects_nonpositive(self):
+        with pytest.raises(DeviceError):
+            PTM32.at_temperature(-1.0)
+
+
+class TestOperatingConditions:
+    def test_defaults_match_paper_section5(self):
+        assert NOMINAL_CONDITIONS.v_supply == 2.0
+        assert NOMINAL_CONDITIONS.v_b == 0.1
+        assert NOMINAL_CONDITIONS.v_c == 1.2
+        assert NOMINAL_CONDITIONS.vgs_bit1 == 0.5
+
+    def test_gate_biases_sum_to_vc(self):
+        for bit in (0, 1):
+            vgs0, vgs1 = NOMINAL_CONDITIONS.gate_biases(bit)
+            assert vgs0 + vgs1 == pytest.approx(NOMINAL_CONDITIONS.v_c)
+
+    def test_gate_biases_differ_per_bit(self):
+        assert NOMINAL_CONDITIONS.gate_biases(0) != NOMINAL_CONDITIONS.gate_biases(1)
+
+    def test_gate_biases_reject_non_binary(self):
+        with pytest.raises(DeviceError):
+            NOMINAL_CONDITIONS.gate_biases(2)
+
+    def test_supply_scaling(self):
+        scaled = NOMINAL_CONDITIONS.with_supply_scale(1.1)
+        assert scaled.v_supply == pytest.approx(2.2)
+        with pytest.raises(DeviceError):
+            NOMINAL_CONDITIONS.with_supply_scale(0.0)
+
+    def test_temperature_corner(self):
+        cold = NOMINAL_CONDITIONS.with_temperature_celsius(-20.0)
+        assert cold.temperature == pytest.approx(celsius(-20.0))
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(DeviceError):
+            OperatingConditions(vgs_bit1=1.5)
+
+
+def test_capacity_reference_inside_supply():
+    assert 0 < CAPACITY_REFERENCE_VOLTAGE < NOMINAL_CONDITIONS.v_supply

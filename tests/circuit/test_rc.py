@@ -1,0 +1,77 @@
+"""Linearised RC settling and small-signal extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.linearize import conductance_laplacian
+from repro.circuit.rc import node_capacitances, settling_time_linearized
+from repro.errors import GraphError, SolverError
+
+
+class TestNodeCapacitances:
+    def test_linear_growth_with_incident_edges(self):
+        counts = np.array([2, 4, 8])
+        caps = node_capacitances(3, counts, c_edge=1e-15, c_node0=2e-15)
+        assert caps == pytest.approx([4e-15, 6e-15, 10e-15])
+
+    def test_shape_validation(self):
+        with pytest.raises(GraphError):
+            node_capacitances(3, np.array([1, 2]), 1e-15, 0.0)
+
+    def test_positive_capacitance_required(self):
+        with pytest.raises(GraphError):
+            node_capacitances(2, np.array([1, 1]), 0.0, 0.0)
+
+
+class TestConductanceLaplacian:
+    def test_laplacian_rows_sum_to_zero(self):
+        src = np.array([0, 1, 0])
+        dst = np.array([1, 2, 2])
+        g = np.array([1.0, 2.0, 3.0])
+        laplacian = conductance_laplacian(3, src, dst, g)
+        assert np.allclose(laplacian.sum(axis=1), 0.0)
+        assert np.allclose(laplacian, laplacian.T)
+
+    def test_diagonal_is_incident_sum(self):
+        src = np.array([0, 1])
+        dst = np.array([1, 2])
+        g = np.array([1.5, 2.5])
+        laplacian = conductance_laplacian(3, src, dst, g)
+        assert laplacian[1, 1] == pytest.approx(4.0)
+
+
+class TestSettlingTime:
+    def _rc_chain(self, g, c):
+        """source - g - node - g - sink: single time constant c / (2g)."""
+        laplacian = conductance_laplacian(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([g, g])
+        )
+        capacitance = np.full(3, c)
+        return laplacian, capacitance
+
+    def test_single_pole_time_constant(self):
+        g, c = 1e-6, 1e-12
+        laplacian, capacitance = self._rc_chain(g, c)
+        settle = settling_time_linearized(
+            laplacian, capacitance, pinned=(0, 2), settle_ratio=np.exp(-1)
+        )
+        assert settle == pytest.approx(c / (2 * g), rel=1e-9)
+
+    def test_settle_ratio_scales_logarithmically(self):
+        laplacian, capacitance = self._rc_chain(1e-6, 1e-12)
+        t3 = settling_time_linearized(laplacian, capacitance, pinned=(0, 2), settle_ratio=1e-3)
+        t6 = settling_time_linearized(laplacian, capacitance, pinned=(0, 2), settle_ratio=1e-6)
+        assert t6 == pytest.approx(2 * t3, rel=1e-9)
+
+    def test_disconnected_node_raises(self):
+        laplacian = np.zeros((3, 3))
+        capacitance = np.full(3, 1e-12)
+        with pytest.raises(SolverError):
+            settling_time_linearized(laplacian, capacitance, pinned=(0,))
+
+    def test_validation(self):
+        laplacian, capacitance = self._rc_chain(1e-6, 1e-12)
+        with pytest.raises(GraphError):
+            settling_time_linearized(laplacian, capacitance, pinned=(0, 1, 2))
+        with pytest.raises(GraphError):
+            settling_time_linearized(laplacian, capacitance, pinned=(0,), settle_ratio=2.0)

@@ -1,0 +1,86 @@
+"""Spatially correlated systematic-variation fields."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.spatial import SpatialField, correlation_vs_distance
+from repro.circuit.variation import VariationModel
+from repro.errors import DeviceError
+
+
+class TestSpatialField:
+    def test_marginal_std_close_to_sigma(self, rng):
+        field = SpatialField.sample(0.05, rng, modes=12)
+        points = rng.uniform(0, 1, size=(5000, 2))
+        assert field(points).std() == pytest.approx(0.05, rel=0.35)
+
+    def test_zero_sigma_gives_zero_field(self, rng):
+        field = SpatialField.sample(0.0, rng)
+        points = rng.uniform(0, 1, size=(10, 2))
+        assert np.all(field(points) == 0.0)
+
+    def test_smooth_nearby_points_correlated(self, rng):
+        field = SpatialField.sample(0.05, rng)
+        near = correlation_vs_distance(field, rng, distance=0.02)
+        far = correlation_vs_distance(field, rng, distance=0.5)
+        assert near > 0.9
+        assert near > far
+
+    def test_deterministic_per_rng(self):
+        a = SpatialField.sample(0.05, np.random.default_rng(3))
+        b = SpatialField.sample(0.05, np.random.default_rng(3))
+        points = np.random.default_rng(4).uniform(0, 1, size=(20, 2))
+        assert np.array_equal(a(points), b(points))
+
+    def test_validation(self, rng):
+        with pytest.raises(DeviceError):
+            SpatialField.sample(-1.0, rng)
+        with pytest.raises(DeviceError):
+            SpatialField.sample(0.1, rng, modes=0)
+        field = SpatialField.sample(0.1, rng)
+        with pytest.raises(DeviceError):
+            field(np.zeros((3, 3)))
+        with pytest.raises(DeviceError):
+            correlation_vs_distance(field, rng, distance=2.0)
+
+
+class TestVariationWithPositions:
+    def test_positions_give_correlated_systematic(self, tech, rng):
+        # Blocks at nearly identical positions see nearly identical shifts.
+        positions = np.zeros((100, 2))
+        positions[:50] = [0.1, 0.1]
+        positions[50:] = [0.9, 0.9]
+        sample = VariationModel(tech).sample(100, rng, positions=positions)
+        group_a = sample.systematic[:50]
+        group_b = sample.systematic[50:]
+        assert group_a.std() < 1e-12
+        assert group_b.std() < 1e-12
+
+    def test_pair_with_positions_shares_field_when_side_by_side(self, tech, rng):
+        positions = rng.uniform(0, 1, size=(60, 2))
+        a, b = VariationModel(tech).sample_pair(
+            60, rng, side_by_side=True, positions=positions
+        )
+        assert np.array_equal(a.systematic, b.systematic)
+
+    def test_pair_without_side_by_side_differs(self, tech, rng):
+        positions = rng.uniform(0, 1, size=(60, 2))
+        a, b = VariationModel(tech).sample_pair(
+            60, rng, side_by_side=False, positions=positions
+        )
+        assert not np.array_equal(a.systematic, b.systematic)
+
+    def test_ppuf_create_uses_block_positions(self, rng):
+        """Crossbar neighbours (same row/col band) get correlated shifts."""
+        from repro.ppuf import Ppuf
+
+        ppuf = Ppuf.create(12, 3, rng)
+        crossbar = ppuf.crossbar
+        positions = crossbar.block_positions()
+        systematic = ppuf.network_a.sample.systematic
+        # Correlation between the systematic value and a smooth function of
+        # position should be visible; compare close-pair vs far-pair spread.
+        distance = np.linalg.norm(positions[:, None, :] - positions[None, :, :], axis=2)
+        close = np.abs(systematic[:, None] - systematic[None, :])[distance < 0.1]
+        far = np.abs(systematic[:, None] - systematic[None, :])[distance > 0.8]
+        assert close.mean() < far.mean()

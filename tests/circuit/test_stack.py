@@ -1,0 +1,97 @@
+"""Series-stack composition and source degeneration."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.devices.stack import (
+    SeriesStack,
+    stack_saturation_current,
+    stack_voltage,
+)
+from repro.errors import DeviceError
+
+
+class TestStackVoltage:
+    def test_zero_current_zero_voltage(self, tech):
+        assert stack_voltage(0.0, 0.5, tech, sd_levels=2) == pytest.approx(0.0)
+
+    def test_monotone_in_current(self, tech):
+        currents = np.linspace(0.0, 3e-8, 200)
+        for levels in (0, 1, 2):
+            voltages = stack_voltage(currents, 0.5, tech, sd_levels=levels)
+            assert np.all(np.diff(voltages) > 0), f"sd_levels={levels}"
+
+    def test_more_sd_levels_more_voltage(self, tech):
+        current = 1e-8
+        v0 = stack_voltage(current, 0.5, tech, sd_levels=0)
+        v1 = stack_voltage(current, 0.5, tech, sd_levels=1)
+        v2 = stack_voltage(current, 0.5, tech, sd_levels=2)
+        assert v0 < v1 < v2
+
+    def test_invalid_sd_levels(self, tech):
+        with pytest.raises(DeviceError):
+            stack_voltage(1e-9, 0.5, tech, sd_levels=3)
+
+    def test_broadcasts_edge_by_current_grids(self, tech):
+        currents = np.linspace(0, 2e-8, 10)[None, :] * np.ones((5, 1))
+        shifts = np.linspace(-0.02, 0.02, 5)[:, None]
+        voltages = stack_voltage(
+            currents, 0.5, tech, sd_levels=2, delta_vt_bottom=shifts
+        )
+        assert voltages.shape == (5, 10)
+
+    def test_higher_vt_more_voltage_needed(self, tech):
+        current = 1e-8
+        nominal = stack_voltage(current, 0.5, tech, sd_levels=2)
+        shifted = stack_voltage(current, 0.5, tech, sd_levels=2, delta_vt_bottom=0.05)
+        assert shifted > nominal
+
+
+class TestStackSaturationCurrent:
+    def test_degeneration_reduces_current(self, tech):
+        bare = stack_saturation_current(0.5, tech, sd_levels=0)
+        degenerated = stack_saturation_current(0.5, tech, sd_levels=1)
+        assert degenerated < bare
+
+    def test_fixed_point_self_consistency(self, tech):
+        from repro.circuit.devices.mosfet import saturation_current
+
+        isat = float(stack_saturation_current(0.5, tech, sd_levels=2))
+        implied = float(
+            saturation_current(0.5 - isat * tech.r_degeneration, tech.vt0, tech)
+        )
+        assert isat == pytest.approx(implied, rel=1e-6)
+
+    def test_monotone_in_gate_bias(self, tech):
+        biases = np.linspace(0.45, 0.65, 9)
+        currents = stack_saturation_current(biases, tech, sd_levels=2)
+        assert np.all(np.diff(currents) > 0)
+
+    def test_vectorised_over_vt_shifts(self, tech):
+        shifts = np.array([-0.05, 0.0, 0.05])
+        currents = stack_saturation_current(0.5, tech, delta_vt_bottom=shifts)
+        assert currents.shape == (3,)
+        assert currents[0] > currents[1] > currents[2]
+
+
+class TestSeriesStackObject:
+    def test_current_voltage_roundtrip(self, tech):
+        stack = SeriesStack(tech=tech, gate_bias=0.5)
+        isat = stack.saturation_current()
+        for fraction in (0.3, 0.9, 1.01):
+            current = fraction * isat
+            voltage = stack.voltage(current)
+            assert stack.current(voltage) == pytest.approx(current, rel=1e-6)
+
+    def test_zero_and_negative_voltage_give_zero_current(self, tech):
+        stack = SeriesStack(tech=tech, gate_bias=0.5)
+        assert stack.current(0.0) == 0.0
+        assert stack.current(-0.3) == 0.0
+
+    def test_saturation_region_is_flat(self, tech):
+        stack = SeriesStack(tech=tech, gate_bias=0.5)
+        isat = stack.saturation_current()
+        i_low = stack.current(0.8)
+        i_high = stack.current(1.6)
+        assert i_low == pytest.approx(isat, rel=0.05)
+        assert (i_high - i_low) / i_high < 0.01

@@ -1,0 +1,111 @@
+"""Shared-voltage-grid edge tables."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.table import GMIN, EdgeTable
+from repro.errors import DeviceError
+
+
+def linear_v_of_i(resistances):
+    """Simple ohmic test elements: V = I * R per edge row."""
+
+    def v_of_i(current_matrix):
+        return current_matrix * resistances[:, None]
+
+    return v_of_i
+
+
+@pytest.fixture
+def ohmic_table():
+    resistances = np.array([1.0, 2.0, 4.0])
+    scales = np.array([3.0, 1.5, 0.75])  # I at V = v_max per edge roughly
+    return (
+        EdgeTable.build(linear_v_of_i(resistances), scales, v_max=2.0, num_points=201),
+        resistances,
+    )
+
+
+class TestBuild:
+    def test_shapes(self, ohmic_table):
+        table, _ = ohmic_table
+        assert table.num_edges == 3
+        assert table.v_grid[0] == 0.0
+        assert table.v_max == 2.0
+        assert table.currents.shape == table.cocontent.shape
+
+    def test_linear_elements_reproduced(self, ohmic_table):
+        table, resistances = ohmic_table
+        dv = np.array([0.5, 1.0, 1.5])
+        current, conductance, _ = table.evaluate(dv)
+        assert current == pytest.approx(dv / resistances, rel=1e-6)
+        assert conductance == pytest.approx(1.0 / resistances, rel=1e-6)
+
+    def test_cocontent_is_quadratic_for_ohmic(self, ohmic_table):
+        table, resistances = ohmic_table
+        dv = np.array([1.0, 1.0, 1.0])
+        _, _, cocontent = table.evaluate(dv)
+        assert cocontent == pytest.approx(0.5 * dv**2 / resistances, rel=1e-4)
+
+    def test_monotone_currents(self, ohmic_table):
+        table, _ = ohmic_table
+        assert np.all(np.diff(table.currents, axis=1) >= 0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DeviceError):
+            EdgeTable.build(lambda i: i, np.array([0.0]), v_max=1.0)
+        with pytest.raises(DeviceError):
+            EdgeTable.build(lambda i: i, np.array([1.0]), v_max=-1.0)
+
+
+class TestEvaluate:
+    def test_zero_voltage(self, ohmic_table):
+        table, _ = ohmic_table
+        current, conductance, cocontent = table.evaluate(np.zeros(3))
+        assert np.all(current == 0.0)
+        assert np.all(conductance >= GMIN)
+        assert np.all(cocontent == 0.0)
+
+    def test_negative_voltage_gmin_leak(self, ohmic_table):
+        table, _ = ohmic_table
+        current, conductance, cocontent = table.evaluate(np.array([-1.0, -0.5, 0.0]))
+        assert current[0] == pytest.approx(-GMIN)
+        assert conductance[0] == GMIN
+        assert cocontent[0] == pytest.approx(0.5 * GMIN)
+
+    def test_wrong_shape_rejected(self, ohmic_table):
+        table, _ = ohmic_table
+        with pytest.raises(DeviceError):
+            table.evaluate(np.zeros(4))
+
+    def test_conductance_floor(self):
+        # A flat element (zero slope) still reports GMIN.
+        def flat(current_matrix):
+            return current_matrix * 1e12  # immediately saturates the grid
+
+        table = EdgeTable.build(flat, np.array([1e-9]), v_max=1.0, num_points=51)
+        _, conductance, _ = table.evaluate(np.array([0.9]))
+        assert conductance[0] >= GMIN
+
+
+class TestAgainstRealEdges:
+    def test_table_matches_exact_block(self, tech, conditions):
+        """The tabulated edge agrees with the exact Brent-solved block."""
+        from repro.blocks.edge import EdgeBlock, edge_saturation_scale, edge_voltage
+        from repro.circuit.variation import VariationSample
+
+        sample = VariationSample.nominal(1)
+        bits = np.ones(1, dtype=np.uint8)
+
+        def v_of_i(current_matrix):
+            return edge_voltage(current_matrix, bits, sample, tech, conditions)
+
+        scale = edge_saturation_scale(bits, sample, tech, conditions)
+        table = EdgeTable.build(v_of_i, scale, v_max=conditions.v_supply)
+        block = EdgeBlock(tech, conditions, bit=1)
+        # Tight in the saturated operating region; looser in the diode
+        # exponential region where linear interpolation rounds corners.
+        for voltage, rel in ((0.2, 0.1), (0.6, 2e-3), (1.0, 2e-3), (1.5, 2e-3), (1.95, 2e-3)):
+            tabulated, _, _ = table.evaluate(np.array([voltage]))
+            exact = block.current(voltage)
+            assert tabulated[0] == pytest.approx(exact, rel=rel, abs=1e-12)

@@ -1,0 +1,66 @@
+"""Process-variation sampling."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.variation import (
+    M1_TOP,
+    M2_BOTTOM,
+    VariationModel,
+    VariationSample,
+)
+from repro.errors import DeviceError
+
+
+class TestVariationSample:
+    def test_nominal_sample_is_zero(self):
+        sample = VariationSample.nominal(7)
+        assert sample.num_edges == 7
+        assert np.all(sample.delta_vt == 0)
+        assert np.all(sample.systematic == 0)
+
+    def test_total_adds_systematic(self):
+        sample = VariationSample(
+            delta_vt=np.ones((3, 4)) * 0.01,
+            systematic=np.full(3, 0.005),
+        )
+        assert np.allclose(sample.total(M1_TOP), 0.015)
+
+    def test_shape_validation(self):
+        with pytest.raises(DeviceError):
+            VariationSample(delta_vt=np.zeros((3, 3)), systematic=np.zeros(3))
+        with pytest.raises(DeviceError):
+            VariationSample(delta_vt=np.zeros((3, 4)), systematic=np.zeros(2))
+
+
+class TestVariationModel:
+    def test_sample_statistics(self, tech, rng):
+        sample = VariationModel(tech).sample(5000, rng)
+        assert sample.delta_vt.std() == pytest.approx(tech.sigma_vt, rel=0.05)
+        assert sample.systematic.std() == pytest.approx(
+            tech.sigma_vt_systematic, rel=0.1
+        )
+        assert abs(sample.delta_vt.mean()) < tech.sigma_vt / 10
+
+    def test_columns_are_independent(self, tech, rng):
+        sample = VariationModel(tech).sample(5000, rng)
+        correlation = np.corrcoef(sample.delta_vt[:, M1_TOP], sample.delta_vt[:, M2_BOTTOM])
+        assert abs(correlation[0, 1]) < 0.05
+
+    def test_side_by_side_shares_systematic(self, tech, rng):
+        a, b = VariationModel(tech).sample_pair(100, rng, side_by_side=True)
+        assert np.array_equal(a.systematic, b.systematic)
+        assert not np.array_equal(a.delta_vt, b.delta_vt)
+
+    def test_separate_placement_draws_independent_systematic(self, tech, rng):
+        a, b = VariationModel(tech).sample_pair(100, rng, side_by_side=False)
+        assert not np.array_equal(a.systematic, b.systematic)
+
+    def test_invalid_edge_count(self, tech, rng):
+        with pytest.raises(DeviceError):
+            VariationModel(tech).sample(0, rng)
+
+    def test_determinism(self, tech):
+        a = VariationModel(tech).sample(10, np.random.default_rng(3))
+        b = VariationModel(tech).sample(10, np.random.default_rng(3))
+        assert np.array_equal(a.delta_vt, b.delta_vt)

@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+Expensive objects (PPUF instances with their capacity caches) are session
+scoped; tests must not mutate them.  Every fixture takes explicit seeds so
+the whole suite is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuit.ptm32 import NOMINAL_CONDITIONS, PTM32
+from repro.ppuf import Ppuf
+
+
+@pytest.fixture
+def rng():
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def session_rng():
+    return np.random.default_rng(999)
+
+
+@pytest.fixture(scope="session")
+def tech():
+    return PTM32
+
+
+@pytest.fixture(scope="session")
+def conditions():
+    return NOMINAL_CONDITIONS
+
+
+@pytest.fixture(scope="session")
+def small_ppuf():
+    """A 10-node PPUF shared across read-only tests."""
+    return Ppuf.create(10, 3, np.random.default_rng(101))
+
+
+@pytest.fixture(scope="session")
+def medium_ppuf():
+    """A 16-node, l=4 PPUF shared across read-only tests."""
+    return Ppuf.create(16, 4, np.random.default_rng(202))

@@ -1,0 +1,35 @@
+"""Ablation experiment drivers."""
+
+from repro.experiments.ablation import (
+    comparator_noise_ablation,
+    placement_ablation,
+    solver_consistency_ablation,
+)
+
+
+class TestPlacementAblation:
+    def test_separate_placement_widens_uniformity_spread(self):
+        table = placement_ablation(
+            n=12, l=3, instances=10, challenges=15, systematic_sigma=0.12, seed=7
+        )
+        rows = {row["layout"]: row for row in table.rows}
+        assert rows["separate"]["uniformity_std"] > rows["side_by_side"]["uniformity_std"]
+
+
+class TestComparatorNoiseAblation:
+    def test_error_rate_grows_with_noise_and_shrinks_with_votes(self):
+        table = comparator_noise_ablation(
+            n=12, l=3, challenges=20, noise_sigmas=(0.0, 2e-8), votes=(1, 9), seed=7
+        )
+        rows = {
+            (row["noise_sigma_A"], row["votes"]): row["error_rate"]
+            for row in table.rows
+        }
+        assert rows[(0.0, 1)] == 0.0
+        assert rows[(2e-8, 1)] >= rows[(2e-8, 9)]
+
+
+class TestSolverConsistency:
+    def test_all_algorithms_agree(self):
+        table = solver_consistency_ablation(n=10, l=2, challenges=5, seed=7)
+        assert all(row["agreement_with_dinic"] for row in table.rows)

@@ -1,0 +1,20 @@
+"""Aging-reliability and hardware-cost experiment drivers."""
+
+from repro.experiments.aging_reliability import run as run_aging
+from repro.experiments.hardware_cost import run as run_cost
+
+
+class TestAgingExperiment:
+    def test_drift_monotone_and_bounded(self):
+        table = run_aging(n=12, l=3, instances=2, challenges=15, years=(0.0, 5.0), seed=4)
+        drifts = table.column("mean_drift")
+        assert drifts[0] == 0.0
+        assert 0.0 <= drifts[1] < 0.5
+        assert table.column("max_drift")[1] >= drifts[1]
+
+
+class TestHardwareCostExperiment:
+    def test_reduction_monotone_over_default_points(self):
+        table = run_cost()
+        reductions = table.column("reduction")
+        assert all(b > a for a, b in zip(reductions, reductions[1:]))

@@ -1,0 +1,18 @@
+"""Delay-model validation experiment."""
+
+from repro.experiments.delay_models import run
+
+
+class TestDelayModels:
+    def test_positive_and_growing(self):
+        table = run(sizes=(8, 16), seed=3)
+        for row in table.rows:
+            assert row["transient_s"] > 0
+            assert row["linearized_mode_s"] > 0
+            # The two physics measurements agree within an order of
+            # magnitude (which side is slower depends on whether the
+            # binding cut is at the source or the sink).
+            ratio = row["transient_s"] / row["linearized_mode_s"]
+            assert 0.001 < ratio < 10
+        bounds = table.column("lin_mead_bound_s")
+        assert bounds[1] > bounds[0]

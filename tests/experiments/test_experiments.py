@@ -1,0 +1,121 @@
+"""Experiment drivers: each run() produces its table(s) with sane values.
+
+These are scaled-down executions of the same code paths the benchmarks use;
+they assert the *direction* of each paper claim, not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import crpspace, fig3, fig6, fig7, fig8, fig9, fig10, req2, table1
+from repro.experiments.base import ExperimentTable
+from repro.errors import ReproError
+
+
+class TestExperimentTable:
+    def test_add_and_column(self):
+        table = ExperimentTable(title="t", columns=("a", "b"))
+        table.add_row(a=1, b=2.0)
+        assert table.column("a") == [1]
+
+    def test_missing_column_rejected(self):
+        table = ExperimentTable(title="t", columns=("a", "b"))
+        with pytest.raises(ReproError):
+            table.add_row(a=1)
+
+    def test_unknown_column_rejected(self):
+        table = ExperimentTable(title="t", columns=("a",))
+        with pytest.raises(ReproError):
+            table.column("zz")
+
+    def test_text_rendering(self):
+        table = ExperimentTable(title="demo", columns=("x",))
+        table.add_row(x=1.23456)
+        table.notes.append("a note")
+        text = table.to_text()
+        assert "demo" in text
+        assert "1.235" in text
+        assert "note: a note" in text
+
+
+class TestFig3:
+    def test_sd_progression(self, tech, conditions):
+        table_a, table_b = fig3.run(tech, conditions, points=21)
+        drifts = table_a.column("relative_drift")
+        assert drifts[0] > drifts[1] > drifts[2]
+        currents = table_b.column("isat_A")
+        assert max(currents) > 0
+
+
+class TestFig6:
+    def test_inaccuracy_below_one_percent(self):
+        table = fig6.run(sizes=(10,), trials=2, seed=5)
+        assert table.column("mean_inaccuracy")[0] < 0.01
+        assert table.column("current_rel_std")[0] > table.column("mean_inaccuracy")[0]
+
+
+class TestFig7:
+    def test_scaling_and_crossovers(self):
+        table_a, table_b = fig7.run(sizes=(8, 12, 16, 24), repeats=1, seed=5)
+        exe = table_a.column("execution_delay_s")
+        assert all(b > a for a, b in zip(exe, exe[1:]))
+        crossovers = table_b.column("crossover_nodes")
+        # Feedback always reduces the crossover node count.
+        assert crossovers[1] < crossovers[0]
+        assert crossovers[3] < crossovers[2]
+
+
+class TestFig8:
+    def test_current_grows_with_n(self):
+        table, summary = fig8.run(sizes=(8, 12, 16), instances=2, challenges=2, seed=5)
+        currents = table.column("avg_current_A")
+        assert currents[-1] > currents[0]
+        quantities = summary.column("quantity")
+        assert any("energy" in q for q in quantities)
+
+
+class TestFig9:
+    def test_flip_probability_increases(self):
+        table = fig9.run(
+            n=12, l=3, distances=(1, 6), instances=2, trials=15, seed=5
+        )
+        probabilities = table.column("flip_probability")
+        assert probabilities[1] > probabilities[0]
+
+
+class TestFig10:
+    def test_ppuf_beats_arbiter(self):
+        table = fig10.run(
+            ppuf_sizes=((12, 3),),
+            train_sizes=(60, 240),
+            test_count=120,
+            seed=5,
+        )
+        rows = {(row["target"], row["num_crps"]): row["best_error"] for row in table.rows}
+        assert rows[("ppuf_12n", 240)] > rows[("arbiter", 240)]
+
+
+class TestTable1:
+    def test_metrics_near_ideal(self):
+        table = table1.run(sizes=((12, 3),), instances=4, challenges=20, seed=5)
+        rows = {row["metric"]: row for row in table.rows}
+        assert 0.3 < rows["inter_class_hd"]["mean"] < 0.7
+        assert rows["intra_class_hd"]["mean"] < 0.25
+        assert 0.2 < rows["uniformity"]["mean"] < 0.8
+
+
+class TestReq2:
+    def test_ratio_large(self):
+        table, ablation = req2.run(samples=300, seed=5)
+        values = dict(zip(table.column("quantity"), table.column("value")))
+        assert values["ratio"] > 10
+        drifts = ablation.column("relative_drift")
+        assert drifts[0] > drifts[-1]
+
+
+class TestCrpSpace:
+    def test_paper_configuration(self):
+        table = crpspace.run()
+        row = table.rows[0]
+        assert row["nodes"] == 200
+        assert row["n_crp_bound"] == pytest.approx(6.53e35, rel=0.01)

@@ -1,0 +1,66 @@
+"""ASCII plotting utility."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentTable
+from repro.experiments.plotting import ascii_plot, plot_table
+
+
+class TestAsciiPlot:
+    def test_renders_all_series_glyphs(self):
+        text = ascii_plot(
+            [1, 2, 3, 4],
+            {"a": [1, 2, 3, 4], "b": [4, 3, 2, 1]},
+        )
+        assert "o" in text
+        assert "x" in text
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_log_axes_labels(self):
+        text = ascii_plot(
+            [10, 100, 1000],
+            {"t": [1e-3, 1e-1, 1e1]},
+            log_x=True,
+            log_y=True,
+        )
+        assert "1e1.0" in text  # x_min = log10(10)
+        assert "1e3.0" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], {"a": [0.0, 1.0]}, log_y=True)
+
+    def test_monotone_series_touches_corners(self):
+        text = ascii_plot([0, 1], {"a": [0, 1]}, width=20, height=8)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")  # top-right
+        assert rows[-1].split("|")[1].startswith("o")  # bottom-left
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            ascii_plot([1], {"a": [1]})
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], {})
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], {"a": [1, 2, 3]})
+        with pytest.raises(ReproError):
+            ascii_plot([1, 1], {"a": [1, 2]})
+        with pytest.raises(ReproError):
+            ascii_plot([1, 2], {"a": [1, 2]}, width=4)
+
+    def test_flat_series_does_not_crash(self):
+        text = ascii_plot([1, 2, 3], {"a": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+
+class TestPlotTable:
+    def test_plots_table_columns(self):
+        table = ExperimentTable(title="t", columns=("n", "value"))
+        table.add_row(n=10, value=1.0)
+        table.add_row(n=20, value=4.0)
+        table.add_row(n=40, value=16.0)
+        text = plot_table(table, "n", ("value",), log_x=True, log_y=True)
+        assert "(n)" in text
+        assert "o=value" in text

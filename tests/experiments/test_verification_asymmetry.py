@@ -1,0 +1,18 @@
+"""Verification-asymmetry experiment driver."""
+
+from repro.experiments.verification_asymmetry import run
+
+
+class TestVerificationAsymmetry:
+    def test_ratio_grows_with_n(self):
+        table = run(sizes=(10, 40), repeats=2, seed=3)
+        ratios = table.column("measured_ratio")
+        assert ratios[0] > 1.0
+        assert ratios[1] > ratios[0]
+
+    def test_analytic_ratio_is_n_log_n(self):
+        import math
+
+        table = run(sizes=(16,), repeats=1, seed=3)
+        analytic = table.column("analytic_ratio")[0]
+        assert analytic == 16 * math.log2(16)

@@ -1,0 +1,70 @@
+"""The ε-approximate solver: certification and cost-model behaviour."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import approximate_max_flow, random_complete_network, random_sparse_network
+from repro.flow.graph import FlowNetwork
+
+
+class TestCertification:
+    @pytest.mark.parametrize("epsilon", [0.5, 0.1, 0.01])
+    def test_value_within_epsilon_of_optimum(self, epsilon, rng):
+        for _ in range(5):
+            network = random_sparse_network(12, rng, density=0.35)
+            reference = nx.maximum_flow_value(network.to_networkx(), 0, 11)
+            result = approximate_max_flow(network.copy(), 0, 11, epsilon=epsilon)
+            assert result.value >= (1.0 - epsilon) * reference - 1e-12
+            assert result.value <= reference + 1e-9 * max(reference, 1.0)
+
+    def test_upper_bound_is_valid(self, rng):
+        for _ in range(5):
+            network = random_complete_network(8, rng, relative_sigma=0.3)
+            reference = nx.maximum_flow_value(network.to_networkx(), 0, 7)
+            result = approximate_max_flow(network.copy(), 0, 7, epsilon=0.2)
+            assert result.upper_bound >= reference - 1e-9
+
+    def test_certified_error_within_epsilon(self, rng):
+        network = random_complete_network(8, rng)
+        result = approximate_max_flow(network, 0, 7, epsilon=0.1)
+        assert 0.0 <= result.certified_error <= 0.1
+
+    def test_flow_is_feasible(self, rng):
+        network = random_sparse_network(10, rng, density=0.4)
+        result = approximate_max_flow(network, 0, 9, epsilon=0.1)
+        network.flow = result.flow
+        network.check_flow(0, 9)
+
+
+class TestCostModel:
+    def test_work_scales_inverse_epsilon_squared(self, rng):
+        network = random_complete_network(6, rng)
+        coarse = approximate_max_flow(network.copy(), 0, 5, epsilon=0.5)
+        fine = approximate_max_flow(network.copy(), 0, 5, epsilon=0.05)
+        assert fine.modeled_work == pytest.approx(coarse.modeled_work * 100.0)
+
+    def test_tighter_epsilon_never_fewer_augmentations(self, rng):
+        network = random_complete_network(8, rng, relative_sigma=0.4)
+        coarse = approximate_max_flow(network.copy(), 0, 7, epsilon=0.5)
+        fine = approximate_max_flow(network.copy(), 0, 7, epsilon=0.01)
+        assert fine.augmentations >= coarse.augmentations
+
+
+class TestEdgeCases:
+    def test_zero_capacity_instance(self):
+        network = FlowNetwork(3)
+        result = approximate_max_flow(network, 0, 2, epsilon=0.1)
+        assert result.value == 0.0
+        assert result.upper_bound == 0.0
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, 2.0])
+    def test_invalid_epsilon_rejected(self, epsilon, rng):
+        network = random_complete_network(4, rng)
+        with pytest.raises(GraphError):
+            approximate_max_flow(network, 0, 3, epsilon=epsilon)
+
+    def test_equal_terminals_rejected(self, rng):
+        network = random_complete_network(4, rng)
+        with pytest.raises(GraphError):
+            approximate_max_flow(network, 2, 2, epsilon=0.1)

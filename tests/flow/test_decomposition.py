@@ -1,0 +1,100 @@
+"""Flow decomposition into path flows."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FlowError
+from repro.flow import (
+    decompose_flow,
+    decomposition_value,
+    dinic,
+    random_sparse_network,
+    recompose_flow,
+)
+
+
+class TestDecompose:
+    def test_single_path(self):
+        flow = np.zeros((3, 3))
+        flow[0, 1] = 2.0
+        flow[1, 2] = 2.0
+        paths = decompose_flow(flow, 0, 2)
+        assert len(paths) == 1
+        assert paths[0].vertices == (0, 1, 2)
+        assert paths[0].value == pytest.approx(2.0)
+
+    def test_two_parallel_paths(self):
+        flow = np.zeros((4, 4))
+        flow[0, 1] = 1.0
+        flow[1, 3] = 1.0
+        flow[0, 2] = 2.0
+        flow[2, 3] = 2.0
+        paths = decompose_flow(flow, 0, 3)
+        assert decomposition_value(paths) == pytest.approx(3.0)
+        assert len(paths) == 2
+
+    def test_zero_flow_empty_decomposition(self):
+        assert decompose_flow(np.zeros((3, 3)), 0, 2) == []
+
+    def test_conservation_violation_detected(self):
+        flow = np.zeros((3, 3))
+        flow[0, 1] = 2.0  # vanishes at vertex 1
+        with pytest.raises(FlowError, match="dead-ends|conservation"):
+            decompose_flow(flow, 0, 2)
+
+    def test_cycle_detected(self):
+        flow = np.zeros((4, 4))
+        flow[0, 1] = 1.0
+        # cycle 1 -> 2 -> 1 rides on top of nothing reaching the sink
+        flow[1, 2] = 5.0
+        flow[2, 1] = 4.0
+        flow[1, 3] = 1.0
+        with pytest.raises(FlowError):
+            decompose_flow(flow, 0, 3)
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(FlowError):
+            decompose_flow(np.zeros((2, 3)), 0, 1)
+
+
+class TestRecompose:
+    def test_roundtrip_on_solver_output(self, rng):
+        for _ in range(5):
+            network = random_sparse_network(10, rng, density=0.35)
+            result = dinic(network, 0, 9)
+            paths = decompose_flow(result.flow, 0, 9)
+            rebuilt = recompose_flow(paths, 10)
+            assert np.allclose(rebuilt, result.flow, atol=1e-9)
+            assert decomposition_value(paths) == pytest.approx(result.value, abs=1e-9)
+
+    def test_path_count_bounded_by_edges(self, rng):
+        network = random_sparse_network(12, rng, density=0.5)
+        result = dinic(network, 0, 11)
+        paths = decompose_flow(result.flow, 0, 11)
+        assert len(paths) <= network.num_edges
+
+    def test_invalid_paths_rejected(self):
+        from repro.flow.decomposition import PathFlow
+
+        with pytest.raises(FlowError):
+            recompose_flow([PathFlow(vertices=(0, 5), value=1.0)], 3)
+        with pytest.raises(FlowError):
+            recompose_flow([PathFlow(vertices=(0, 1), value=-1.0)], 3)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_property_decomposition_roundtrip(seed):
+    """Solver flows always decompose and recompose exactly."""
+    rng = np.random.default_rng(seed)
+    network = random_sparse_network(9, rng, density=0.4)
+    result = dinic(network, 0, 8)
+    paths = decompose_flow(result.flow, 0, 8)
+    rebuilt = recompose_flow(paths, 9)
+    assert np.allclose(rebuilt, result.flow, atol=1e-9)
+    for path in paths:
+        assert path.vertices[0] == 0
+        assert path.vertices[-1] == 8
+        assert path.value > 0

@@ -1,0 +1,68 @@
+"""Instance generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import (
+    complete_network,
+    dinic,
+    random_complete_network,
+    random_sparse_network,
+)
+
+
+class TestCompleteNetwork:
+    def test_uniform_complete(self):
+        network = complete_network(5, capacity=2.0)
+        assert network.is_complete()
+        assert network.capacity[0, 1] == 2.0
+        assert network.capacity[3, 2] == 2.0
+
+    def test_uniform_complete_max_flow_value(self):
+        # From source, n-1 unit edges leave; interior cannot bottleneck.
+        network = complete_network(6, capacity=1.0)
+        assert dinic(network, 0, 5).value == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(GraphError):
+            complete_network(4, capacity=0.0)
+
+
+class TestRandomCompleteNetwork:
+    def test_statistics(self, rng):
+        network = random_complete_network(20, rng, mean=2.0, relative_sigma=0.1)
+        values = network.capacity[network.adjacency]
+        assert values.mean() == pytest.approx(2.0, rel=0.05)
+        assert values.std() == pytest.approx(0.2, rel=0.3)
+
+    def test_capacities_stay_positive(self, rng):
+        network = random_complete_network(15, rng, mean=1.0, relative_sigma=2.0)
+        assert np.all(network.capacity[network.adjacency] > 0)
+
+    def test_determinism_per_seed(self):
+        a = random_complete_network(8, np.random.default_rng(5))
+        b = random_complete_network(8, np.random.default_rng(5))
+        assert np.array_equal(a.capacity, b.capacity)
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(GraphError):
+            random_complete_network(8, rng, mean=-1.0)
+        with pytest.raises(GraphError):
+            random_complete_network(8, rng, relative_sigma=-0.1)
+
+
+class TestRandomSparseNetwork:
+    def test_has_positive_max_flow(self, rng):
+        for _ in range(10):
+            network = random_sparse_network(10, rng, density=0.2)
+            assert dinic(network, 0, 9).value > 0.0
+
+    def test_density_controls_edge_count(self, rng):
+        sparse = random_sparse_network(30, rng, density=0.1)
+        dense = random_sparse_network(30, rng, density=0.8)
+        assert sparse.num_edges < dense.num_edges
+
+    def test_invalid_density(self, rng):
+        with pytest.raises(GraphError):
+            random_sparse_network(10, rng, density=0.0)

@@ -1,0 +1,190 @@
+"""FlowNetwork structure, validation and interop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError, GraphError
+from repro.flow.graph import FlowNetwork, FlowResult, supersource_reduction
+
+
+class TestConstruction:
+    def test_minimum_size_enforced(self):
+        with pytest.raises(GraphError):
+            FlowNetwork(1)
+
+    def test_new_network_has_no_edges(self):
+        network = FlowNetwork(5)
+        assert network.num_edges == 0
+        assert not network.is_complete()
+
+    def test_add_edge_sets_capacity_and_adjacency(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 2.5)
+        assert network.capacity[0, 1] == 2.5
+        assert network.adjacency[0, 1]
+        assert not network.adjacency[1, 0]
+
+    def test_add_edge_rejects_self_loop(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            network.add_edge(1, 1, 1.0)
+
+    def test_add_edge_rejects_negative_capacity(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            network.add_edge(0, 1, -1.0)
+
+    def test_add_edge_rejects_out_of_range_vertex(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            network.add_edge(0, 3, 1.0)
+
+    def test_from_capacity_matrix_roundtrip(self):
+        matrix = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 2.0], [3.0, 0.0, 0.0]])
+        network = FlowNetwork.from_capacity_matrix(matrix)
+        assert network.num_edges == 3
+        assert list(network.edges()) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_from_capacity_matrix_rejects_nonsquare(self):
+        with pytest.raises(GraphError):
+            FlowNetwork.from_capacity_matrix(np.zeros((2, 3)))
+
+    def test_from_capacity_matrix_rejects_negative(self):
+        matrix = np.zeros((3, 3))
+        matrix[0, 1] = -1.0
+        with pytest.raises(GraphError):
+            FlowNetwork.from_capacity_matrix(matrix)
+
+    def test_from_capacity_matrix_rejects_diagonal(self):
+        matrix = np.zeros((3, 3))
+        matrix[1, 1] = 1.0
+        with pytest.raises(GraphError):
+            FlowNetwork.from_capacity_matrix(matrix)
+
+    def test_copy_is_deep(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 1.0)
+        clone = network.copy()
+        clone.capacity[0, 1] = 9.0
+        assert network.capacity[0, 1] == 1.0
+
+
+class TestQueries:
+    def test_complete_network_detection(self):
+        matrix = np.ones((4, 4))
+        np.fill_diagonal(matrix, 0.0)
+        network = FlowNetwork.from_capacity_matrix(matrix)
+        assert network.is_complete()
+        assert network.num_edges == 12
+
+    def test_successors_and_predecessors(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 1.0)
+        network.add_edge(0, 2, 1.0)
+        network.add_edge(3, 0, 1.0)
+        assert set(network.successors(0)) == {1, 2}
+        assert set(network.predecessors(0)) == {3}
+
+    def test_flow_value_counts_net_flow(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 5.0)
+        network.add_edge(1, 0, 5.0)
+        network.flow[0, 1] = 3.0
+        network.flow[1, 0] = 1.0
+        assert network.flow_value(0) == pytest.approx(2.0)
+
+    def test_reset_flow(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 5.0)
+        network.flow[0, 1] = 3.0
+        network.reset_flow()
+        assert network.flow_value(0) == 0.0
+
+
+class TestCheckFlow:
+    def _chain(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 2.0)
+        network.add_edge(1, 2, 2.0)
+        return network
+
+    def test_valid_flow_passes(self):
+        network = self._chain()
+        network.flow[0, 1] = 1.5
+        network.flow[1, 2] = 1.5
+        network.check_flow(0, 2)
+
+    def test_capacity_violation_raises(self):
+        network = self._chain()
+        network.flow[0, 1] = 3.0
+        network.flow[1, 2] = 3.0
+        with pytest.raises(FlowError, match="exceeds capacity"):
+            network.check_flow(0, 2)
+
+    def test_conservation_violation_raises(self):
+        network = self._chain()
+        network.flow[0, 1] = 2.0
+        network.flow[1, 2] = 0.5
+        with pytest.raises(FlowError, match="conservation"):
+            network.check_flow(0, 2)
+
+    def test_negative_flow_raises(self):
+        network = self._chain()
+        network.flow[0, 1] = -1.0
+        with pytest.raises(FlowError):
+            network.check_flow(0, 2)
+
+
+class TestInterop:
+    def test_to_networkx_preserves_capacities(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 1.25)
+        network.add_edge(1, 2, 2.5)
+        graph = network.to_networkx()
+        assert graph.number_of_edges() == 2
+        assert graph[0][1]["capacity"] == 1.25
+        assert graph[1][2]["capacity"] == 2.5
+
+
+class TestFlowResult:
+    def test_saturated_edges_detection(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 2.0)
+        network.add_edge(1, 2, 4.0)
+        flow = np.zeros((3, 3))
+        flow[0, 1] = 2.0
+        flow[1, 2] = 2.0
+        result = FlowResult(value=2.0, flow=flow, algorithm="manual")
+        assert result.saturated_edges(network) == [(0, 1)]
+
+
+class TestSupersourceReduction:
+    def test_reduces_sets_to_single_terminals(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 2, 1.0)
+        network.add_edge(1, 3, 1.0)
+        reduced, s, t = supersource_reduction(network, [0, 1], [2, 3])
+        assert reduced.n == 6
+        assert s == 4 and t == 5
+        assert reduced.capacity[s, 0] > 0 and reduced.capacity[s, 1] > 0
+        assert reduced.capacity[2, t] > 0 and reduced.capacity[3, t] > 0
+
+    def test_reduced_max_flow_matches_sum(self):
+        from repro.flow import dinic
+
+        network = FlowNetwork(4)
+        network.add_edge(0, 2, 1.0)
+        network.add_edge(1, 3, 2.0)
+        reduced, s, t = supersource_reduction(network, [0, 1], [2, 3])
+        result = dinic(reduced, s, t)
+        assert result.value == pytest.approx(3.0)
+
+    def test_rejects_overlapping_sets(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            supersource_reduction(network, [0, 1], [1, 2])
+
+    def test_rejects_empty_sets(self):
+        network = FlowNetwork(3)
+        with pytest.raises(GraphError):
+            supersource_reduction(network, [], [2])

@@ -1,0 +1,59 @@
+"""Highest-label push-relabel solver."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import (
+    highest_label_push_relabel,
+    random_complete_network,
+    random_sparse_network,
+    solve_max_flow,
+    zigzag_network,
+)
+
+
+class TestHighestLabel:
+    def test_matches_networkx(self, rng):
+        for _ in range(10):
+            network = random_sparse_network(12, rng, density=0.35)
+            reference = nx.maximum_flow_value(network.to_networkx(), 0, 11)
+            result = highest_label_push_relabel(network.copy(), 0, 11)
+            assert result.value == pytest.approx(reference, rel=1e-9, abs=1e-12)
+
+    def test_flow_feasible(self, rng):
+        network = random_complete_network(10, rng, relative_sigma=0.4)
+        highest_label_push_relabel(network, 0, 9)
+        network.check_flow(0, 9)
+
+    def test_dispatch_by_name(self, rng):
+        network = random_complete_network(6, rng)
+        named = solve_max_flow(network.copy(), 0, 5, algorithm="highest_label")
+        direct = highest_label_push_relabel(network.copy(), 0, 5)
+        assert named.value == pytest.approx(direct.value)
+
+    def test_structured_instance(self):
+        network = zigzag_network(4, big=50.0)
+        result = highest_label_push_relabel(network, 0, network.n - 1)
+        assert result.value == pytest.approx(100.0)
+
+    def test_stats_reported(self, rng):
+        network = random_complete_network(8, rng)
+        result = highest_label_push_relabel(network, 0, 7)
+        assert result.stats["pushes"] > 0
+        assert result.stats["edge_inspections"] > 0
+
+    def test_equal_terminals_rejected(self, rng):
+        network = random_complete_network(4, rng)
+        with pytest.raises(GraphError):
+            highest_label_push_relabel(network, 2, 2)
+
+    def test_agrees_with_fifo_variant(self, rng):
+        from repro.flow import push_relabel
+
+        for _ in range(5):
+            network = random_sparse_network(10, rng, density=0.4)
+            fifo = push_relabel(network.copy(), 0, 9)
+            highest = highest_label_push_relabel(network.copy(), 0, 9)
+            assert highest.value == pytest.approx(fifo.value, rel=1e-9, abs=1e-12)

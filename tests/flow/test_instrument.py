@@ -1,0 +1,48 @@
+"""Timing/operation instrumentation."""
+
+import numpy as np
+
+from repro.flow import (
+    OperationCounter,
+    dinic,
+    random_complete_network,
+    time_solver,
+)
+
+
+class TestOperationCounter:
+    def test_accumulates_across_runs(self):
+        counter = OperationCounter()
+        counter.add({"pushes": 3, "relabels": 1})
+        counter.add({"pushes": 2, "gap_events": 5})
+        assert counter.counts == {"pushes": 5, "relabels": 1, "gap_events": 5}
+        assert counter.total() == 11
+
+    def test_empty_counter_total(self):
+        assert OperationCounter().total() == 0
+
+
+class TestTimeSolver:
+    def test_collects_samples_per_size(self):
+        rng = np.random.default_rng(0)
+
+        def make(n):
+            return random_complete_network(n, rng)
+
+        samples = time_solver(dinic, make, sizes=(4, 8), repeats=2)
+        assert [s.n for s in samples] == [4, 8]
+        for sample in samples:
+            assert len(sample.seconds) == 2
+            assert all(t >= 0 for t in sample.seconds)
+            assert all(ops > 0 for ops in sample.operations)
+            assert sample.mean_seconds >= 0
+            assert sample.mean_operations > 0
+
+    def test_operations_grow_with_size(self):
+        rng = np.random.default_rng(1)
+
+        def make(n):
+            return random_complete_network(n, rng)
+
+        samples = time_solver(dinic, make, sizes=(4, 16), repeats=2)
+        assert samples[1].mean_operations > samples[0].mean_operations

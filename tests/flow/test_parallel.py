@@ -1,0 +1,64 @@
+"""Shiloach–Vishkin PRAM cost model."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import parallel_blocking_flow, random_complete_network
+from repro.flow.parallel import parallel_time_lower_bound, verification_time_bound
+
+
+class TestParallelBlockingFlow:
+    def test_flow_value_matches_sequential(self, rng):
+        import networkx as nx
+
+        network = random_complete_network(10, rng, relative_sigma=0.3)
+        reference = nx.maximum_flow_value(network.to_networkx(), 0, 9)
+        result, cost = parallel_blocking_flow(network, 0, 9, processors=4)
+        assert result.value == pytest.approx(reference, rel=1e-9)
+        assert cost.processors == 4
+
+    def test_processor_count_capped_at_n(self, rng):
+        network = random_complete_network(6, rng)
+        _, cost = parallel_blocking_flow(network, 0, 5, processors=1000)
+        assert cost.processors == 6
+
+    def test_more_processors_fewer_steps(self, rng):
+        network = random_complete_network(10, rng, relative_sigma=0.3)
+        _, serial = parallel_blocking_flow(network.copy(), 0, 9, processors=1)
+        _, parallel = parallel_blocking_flow(network.copy(), 0, 9, processors=10)
+        assert parallel.parallel_steps < serial.parallel_steps
+
+    def test_steps_never_below_floor(self, rng):
+        for n in (6, 10, 14):
+            network = random_complete_network(n, rng, relative_sigma=0.3)
+            _, cost = parallel_blocking_flow(network, 0, n - 1, processors=n)
+            assert cost.parallel_steps >= cost.floor_steps / n  # per-phase floor
+
+    def test_invalid_processor_count(self, rng):
+        network = random_complete_network(4, rng)
+        with pytest.raises(GraphError):
+            parallel_blocking_flow(network, 0, 3, processors=0)
+
+
+class TestAnalyticBounds:
+    def test_lower_bound_is_quadratic_with_max_processors(self):
+        # With p = n, the bound is n^2 log n: quartic growth ratio ~ 4x+ per
+        # doubling.
+        t1 = parallel_time_lower_bound(100, 100)
+        t2 = parallel_time_lower_bound(200, 200)
+        assert t2 / t1 > 4.0
+
+    def test_lower_bound_scales_inverse_p(self):
+        assert parallel_time_lower_bound(64, 2) == pytest.approx(
+            2 * parallel_time_lower_bound(64, 4)
+        )
+
+    def test_verification_much_cheaper_than_simulation(self):
+        n, p = 500, 100
+        assert verification_time_bound(n, p) < parallel_time_lower_bound(n, p) / n
+
+    def test_bounds_validate_inputs(self):
+        with pytest.raises(GraphError):
+            parallel_time_lower_bound(1, 4)
+        with pytest.raises(GraphError):
+            verification_time_bound(10, 0)

@@ -1,0 +1,98 @@
+"""Property-based tests over the max-flow substrate (hypothesis).
+
+Invariants checked on arbitrary random instances:
+
+* all three solvers agree with each other and with networkx;
+* the produced flow is always feasible;
+* max-flow/min-cut duality holds;
+* the verifier accepts exactly the solver's output and rejects scaled-down
+  versions of it;
+* monotonicity: raising any capacity never lowers the max-flow value.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flow import (
+    FlowNetwork,
+    dinic,
+    edmonds_karp,
+    min_cut,
+    push_relabel,
+    verify_max_flow,
+)
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def flow_instances(draw):
+    """Random instances: size 3..9, random density, capacities in [0, 10]."""
+    n = draw(st.integers(min_value=3, max_value=9))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    density = draw(st.floats(min_value=0.2, max_value=1.0))
+    rng = np.random.default_rng(seed)
+    mask = rng.random((n, n)) < density
+    np.fill_diagonal(mask, False)
+    capacities = np.where(mask, rng.uniform(0.0, 10.0, size=(n, n)), 0.0)
+    np.fill_diagonal(capacities, 0.0)
+    return FlowNetwork.from_capacity_matrix(capacities)
+
+
+@given(flow_instances())
+@settings(**SETTINGS)
+def test_solvers_agree_with_networkx(network):
+    reference = nx.maximum_flow_value(network.to_networkx(), 0, network.n - 1)
+    for solver in (edmonds_karp, dinic, push_relabel):
+        value = solver(network.copy(), 0, network.n - 1).value
+        assert value == pytest.approx(reference, rel=1e-9, abs=1e-9)
+
+
+@given(flow_instances())
+@settings(**SETTINGS)
+def test_flows_are_feasible(network):
+    for solver in (edmonds_karp, dinic, push_relabel):
+        candidate = network.copy()
+        solver(candidate, 0, network.n - 1)
+        candidate.check_flow(0, network.n - 1)
+
+
+@given(flow_instances())
+@settings(**SETTINGS)
+def test_min_cut_duality(network):
+    result = dinic(network.copy(), 0, network.n - 1)
+    _, _, cut = min_cut(network, result.flow, 0)
+    assert cut == pytest.approx(result.value, rel=1e-9, abs=1e-9)
+
+
+@given(flow_instances())
+@settings(**SETTINGS)
+def test_verifier_accepts_optimal_rejects_scaled(network):
+    sink = network.n - 1
+    result = dinic(network.copy(), 0, sink)
+    assert verify_max_flow(network, result.flow, [0], [sink])
+    if result.value > 1e-9:
+        # A feasible but strictly smaller flow must be rejected.
+        assert not verify_max_flow(network, result.flow * 0.5, [0], [sink])
+
+
+@given(flow_instances(), st.integers(min_value=0, max_value=2**31))
+@settings(**SETTINGS)
+def test_capacity_monotonicity(network, seed):
+    sink = network.n - 1
+    base = dinic(network.copy(), 0, sink).value
+    rng = np.random.default_rng(seed)
+    boosted = network.copy()
+    edges = list(boosted.edges())
+    if edges:
+        u, v = edges[rng.integers(len(edges))]
+        boosted.add_edge(u, v, boosted.capacity[u, v] + rng.uniform(0.1, 5.0))
+    higher = dinic(boosted, 0, sink).value
+    assert higher >= base - 1e-9

@@ -1,0 +1,117 @@
+"""Residual-graph construction and the verifier's optimality check."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FlowError
+from repro.flow import (
+    FlowNetwork,
+    dinic,
+    residual_capacities,
+    residual_reachable,
+    verify_max_flow,
+)
+
+
+def two_path_network():
+    network = FlowNetwork(4)
+    network.add_edge(0, 1, 2.0)
+    network.add_edge(1, 3, 2.0)
+    network.add_edge(0, 2, 1.0)
+    network.add_edge(2, 3, 1.0)
+    return network
+
+
+class TestResidualCapacities:
+    def test_zero_flow_residual_equals_capacity(self):
+        network = two_path_network()
+        residual = residual_capacities(network, np.zeros((4, 4)))
+        assert np.array_equal(residual, network.capacity)
+
+    def test_forward_flow_creates_reverse_residual(self):
+        network = two_path_network()
+        flow = np.zeros((4, 4))
+        flow[0, 1] = 1.5
+        residual = residual_capacities(network, flow)
+        assert residual[0, 1] == pytest.approx(0.5)
+        assert residual[1, 0] == pytest.approx(1.5)
+
+    def test_negative_roundoff_clipped(self):
+        network = two_path_network()
+        flow = np.zeros((4, 4))
+        flow[0, 1] = 2.0 + 1e-16
+        residual = residual_capacities(network, flow)
+        assert residual[0, 1] >= 0.0
+
+
+class TestReachability:
+    def test_reachable_set_full_residual(self):
+        network = two_path_network()
+        residual = residual_capacities(network, np.zeros((4, 4)))
+        reachable, visits = residual_reachable(residual, 0)
+        assert reachable.all()
+        assert visits > 0
+
+    def test_saturated_cut_blocks_sink(self):
+        network = two_path_network()
+        result = dinic(network.copy(), 0, 3)
+        residual = residual_capacities(network, result.flow)
+        reachable, _ = residual_reachable(residual, 0)
+        assert not reachable[3]
+
+    def test_edge_visit_count_scales_with_frontier(self):
+        network = two_path_network()
+        residual = residual_capacities(network, np.zeros((4, 4)))
+        _, visits = residual_reachable(residual, 0)
+        # 4 dequeued vertices x 4 columns each.
+        assert visits == 16
+
+
+class TestVerifyMaxFlow:
+    def test_accepts_optimal_flow(self):
+        network = two_path_network()
+        result = dinic(network.copy(), 0, 3)
+        assert verify_max_flow(network, result.flow, [0], [3])
+
+    def test_rejects_submaximal_flow(self):
+        network = two_path_network()
+        assert not verify_max_flow(network, np.zeros((4, 4)), [0], [3])
+
+    def test_raises_on_infeasible_flow(self):
+        network = two_path_network()
+        cheat = np.zeros((4, 4))
+        cheat[0, 1] = 5.0  # over capacity
+        cheat[1, 3] = 5.0
+        with pytest.raises(FlowError):
+            verify_max_flow(network, cheat, [0], [3])
+
+    def test_raises_on_conservation_cheat(self):
+        network = two_path_network()
+        cheat = np.zeros((4, 4))
+        cheat[0, 1] = 2.0  # vanishes at vertex 1
+        with pytest.raises(FlowError):
+            verify_max_flow(network, cheat, [0], [3])
+
+    def test_multi_terminal_sets(self):
+        network = FlowNetwork(5)
+        network.add_edge(0, 2, 1.0)
+        network.add_edge(1, 2, 1.0)
+        network.add_edge(2, 3, 1.0)
+        network.add_edge(2, 4, 1.0)
+        flow = np.zeros((5, 5))
+        flow[0, 2] = 1.0
+        flow[1, 2] = 1.0
+        flow[2, 3] = 1.0
+        flow[2, 4] = 1.0
+        assert verify_max_flow(network, flow, [0, 1], [3, 4])
+
+    def test_partial_flow_on_sets_is_rejected(self):
+        network = FlowNetwork(5)
+        network.add_edge(0, 2, 1.0)
+        network.add_edge(1, 2, 1.0)
+        network.add_edge(2, 3, 1.0)
+        network.add_edge(2, 4, 1.0)
+        flow = np.zeros((5, 5))
+        flow[0, 2] = 1.0
+        flow[2, 3] = 1.0
+        assert not verify_max_flow(network, flow, [0, 1], [3, 4])

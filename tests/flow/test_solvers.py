@@ -1,0 +1,146 @@
+"""Cross-solver correctness: all three algorithms against networkx and
+against hand-computed instances; min-cut duality; flow feasibility."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import (
+    FlowNetwork,
+    dinic,
+    edmonds_karp,
+    min_cut,
+    push_relabel,
+    random_complete_network,
+    random_sparse_network,
+    solve_max_flow,
+)
+
+SOLVERS = [edmonds_karp, dinic, push_relabel]
+
+
+def classic_diamond():
+    """The textbook diamond: max flow 2 through two unit paths."""
+    network = FlowNetwork(4)
+    network.add_edge(0, 1, 1.0)
+    network.add_edge(0, 2, 1.0)
+    network.add_edge(1, 3, 1.0)
+    network.add_edge(2, 3, 1.0)
+    network.add_edge(1, 2, 1.0)
+    return network
+
+
+def bottleneck_chain():
+    """Chain with a strict bottleneck in the middle."""
+    network = FlowNetwork(4)
+    network.add_edge(0, 1, 10.0)
+    network.add_edge(1, 2, 3.0)
+    network.add_edge(2, 3, 10.0)
+    return network
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestKnownInstances:
+    def test_diamond(self, solver):
+        result = solver(classic_diamond(), 0, 3)
+        assert result.value == pytest.approx(2.0)
+
+    def test_bottleneck(self, solver):
+        result = solver(bottleneck_chain(), 0, 3)
+        assert result.value == pytest.approx(3.0)
+
+    def test_disconnected_sink_gives_zero(self, solver):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 5.0)
+        result = solver(network, 0, 3)
+        assert result.value == 0.0
+
+    def test_single_edge(self, solver):
+        network = FlowNetwork(2)
+        network.add_edge(0, 1, 7.5)
+        result = solver(network, 0, 1)
+        assert result.value == pytest.approx(7.5)
+
+    def test_antiparallel_edges(self, solver):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 4.0)
+        network.add_edge(1, 0, 9.0)
+        network.add_edge(1, 2, 3.0)
+        result = solver(network, 0, 2)
+        assert result.value == pytest.approx(3.0)
+
+    def test_rejects_equal_terminals(self, solver):
+        with pytest.raises(GraphError):
+            solver(classic_diamond(), 1, 1)
+
+    def test_flow_state_written_to_network(self, solver):
+        network = classic_diamond()
+        solver(network, 0, 3)
+        assert network.flow_value(0) == pytest.approx(2.0)
+        network.check_flow(0, 3)
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestAgainstNetworkx:
+    def test_random_sparse(self, solver, rng):
+        for _ in range(10):
+            network = random_sparse_network(14, rng, density=0.3)
+            reference = nx.maximum_flow_value(network.to_networkx(), 0, 13)
+            result = solver(network.copy(), 0, 13)
+            assert result.value == pytest.approx(reference, rel=1e-9, abs=1e-12)
+
+    def test_random_complete(self, solver, rng):
+        for n in (4, 8, 12):
+            network = random_complete_network(n, rng, relative_sigma=0.4)
+            reference = nx.maximum_flow_value(network.to_networkx(), 0, n - 1)
+            result = solver(network.copy(), 0, n - 1)
+            assert result.value == pytest.approx(reference, rel=1e-9)
+
+    def test_flow_is_feasible(self, solver, rng):
+        for _ in range(5):
+            network = random_sparse_network(12, rng, density=0.4)
+            solver(network, 0, 11)
+            network.check_flow(0, 11)
+
+
+@pytest.mark.parametrize("solver", SOLVERS)
+class TestMinCutDuality:
+    def test_cut_capacity_equals_flow_value(self, solver, rng):
+        for _ in range(5):
+            network = random_sparse_network(12, rng, density=0.35)
+            result = solver(network.copy(), 0, 11)
+            source_side, sink_side, cut = min_cut(network, result.flow, 0)
+            assert 0 in source_side
+            assert 11 in sink_side
+            assert cut == pytest.approx(result.value, rel=1e-9, abs=1e-12)
+
+
+class TestDispatch:
+    def test_named_dispatch(self, rng):
+        network = random_complete_network(6, rng)
+        values = {
+            name: solve_max_flow(network.copy(), 0, 5, algorithm=name).value
+            for name in ("edmonds_karp", "dinic", "push_relabel")
+        }
+        assert len(set(round(v, 15) for v in values.values())) == 1
+
+    def test_unknown_algorithm_rejected(self, rng):
+        network = random_complete_network(4, rng)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            solve_max_flow(network, 0, 3, algorithm="simplex")
+
+
+class TestStats:
+    def test_edmonds_karp_counts_augmentations(self):
+        result = edmonds_karp(classic_diamond(), 0, 3)
+        assert result.stats["augmentations"] >= 2
+
+    def test_dinic_counts_phases(self):
+        result = dinic(bottleneck_chain(), 0, 3)
+        assert result.stats["phases"] >= 1
+
+    def test_push_relabel_counts_work(self):
+        result = push_relabel(classic_diamond(), 0, 3)
+        assert result.stats["pushes"] > 0
+        assert result.stats["edge_inspections"] > 0

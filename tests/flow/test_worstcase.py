@@ -1,0 +1,68 @@
+"""Adversarial instance generators and solver behaviour on them."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.flow import (
+    dinic,
+    edmonds_karp,
+    layered_network,
+    long_path_network,
+    push_relabel,
+    zigzag_network,
+)
+
+SOLVERS = [edmonds_karp, dinic, push_relabel]
+
+
+class TestLayeredNetwork:
+    def test_known_max_flow(self):
+        network = layered_network(3, 4, capacity=2.0)
+        for solver in SOLVERS:
+            assert solver(network.copy(), 0, network.n - 1).value == pytest.approx(8.0)
+
+    def test_structure(self):
+        network = layered_network(2, 3)
+        # source edges + sink edges + one fully connected layer pair.
+        assert network.num_edges == 3 + 3 + 9
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            layered_network(0, 3)
+        with pytest.raises(GraphError):
+            layered_network(2, 3, capacity=0.0)
+
+
+class TestZigzagNetwork:
+    def test_known_max_flow(self):
+        network = zigzag_network(4, big=100.0)
+        for solver in SOLVERS:
+            assert solver(network.copy(), 0, network.n - 1).value == pytest.approx(200.0)
+
+    def test_shortest_path_solver_ignores_rungs(self):
+        """Edmonds-Karp needs O(1) augmentations regardless of `big`."""
+        network = zigzag_network(3, big=1e6)
+        result = edmonds_karp(network, 0, network.n - 1)
+        assert result.stats["augmentations"] <= 10
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            zigzag_network(0)
+        with pytest.raises(GraphError):
+            zigzag_network(3, big=0.5)
+
+
+class TestLongPath:
+    def test_value_is_bottleneck(self):
+        network = long_path_network(12, capacity=3.5)
+        for solver in SOLVERS:
+            assert solver(network.copy(), 0, 12).value == pytest.approx(3.5)
+
+    def test_dinic_level_depth_scales_with_length(self):
+        short = dinic(long_path_network(4), 0, 4)
+        long = dinic(long_path_network(30), 0, 30)
+        assert long.stats["bfs_edge_visits"] > short.stats["bfs_edge_visits"]
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            long_path_network(0)

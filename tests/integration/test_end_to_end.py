@@ -1,0 +1,118 @@
+"""End-to-end integration: the full PPUF story in one place.
+
+These tests exercise the complete pipeline the paper describes: fabricate,
+challenge, execute (circuit), simulate (max-flow), compare, verify, chain,
+attack — asserting the cross-module contracts rather than any single
+module's behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro import NOMINAL_CONDITIONS, PTM32, Ppuf, PpufProver, PpufVerifier
+from repro.flow import verify_max_flow
+from repro.ppuf.crp import collect_crps
+from repro.ppuf.engines import network_current
+from repro.ppuf.feedback import run_feedback_chain
+
+
+class TestExecutionSimulationAgreement:
+    """The foundation: execution == simulation to < 1 % (Fig. 6)."""
+
+    def test_both_networks_agree_across_challenges(self, medium_ppuf, rng):
+        challenges = medium_ppuf.challenge_space().random_batch(3, rng)
+        for challenge in challenges:
+            for network in (medium_ppuf.network_a, medium_ppuf.network_b):
+                simulated = network_current(network, challenge, "maxflow")
+                executed = network_current(network, challenge, "circuit")
+                assert abs(simulated - executed) / executed < 0.01
+
+    def test_circuit_source_current_is_maxflow_of_operating_capacities(
+        self, small_ppuf, rng
+    ):
+        """The steady-state *flow pattern* of the circuit is itself a valid,
+        maximal flow for the instance built from its own edge currents."""
+        challenge = small_ppuf.challenge_space().random(rng)
+        network = small_ppuf.network_a
+        edge_bits = network.crossbar.bits_for_edges(challenge.bits)
+        solution = network.dc_solution(edge_bits, challenge.source, challenge.sink)
+        instance = network.flow_network(edge_bits)
+        flow = np.zeros((small_ppuf.n, small_ppuf.n))
+        src, dst = network.crossbar.edge_endpoints()
+        flow[src, dst] = solution.edge_currents
+        # The circuit's flow obeys conservation exactly (KCL); capacities may
+        # be exceeded by the < 1 % SCE drift, so verify against a slightly
+        # inflated instance.
+        instance.capacity *= 1.02
+        assert verify_max_flow(
+            instance, flow, [challenge.source], [challenge.sink], rtol=1e-4
+        )
+
+
+class TestAuthenticationProtocol:
+    """Prover/verifier round trip with the feedback-loop amplification."""
+
+    def test_full_protocol_run(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        claim = prover.answer(challenge)
+        accepted, verify_seconds = verifier.timed_verify(claim)
+        assert accepted
+        assert verify_seconds < 5.0
+
+    def test_feedback_chain_then_verify_each_round(self, small_ppuf, rng):
+        initial = small_ppuf.challenge_space().random(rng)
+        chain = run_feedback_chain(small_ppuf, initial, k=4)
+        assert chain.verify_derivations(small_ppuf.n)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        for crp in chain.rounds:
+            assert verifier.verify(prover.answer(crp.challenge))
+
+
+class TestPublicModelProperty:
+    """What makes it a *public* PUF: the model predicts the device."""
+
+    def test_simulated_crps_match_device_execution(self, small_ppuf, rng):
+        challenges = small_ppuf.challenge_space().random_batch(4, rng)
+        simulated = collect_crps(small_ppuf, challenges, engine="maxflow")
+        matches = 0
+        for crp in simulated:
+            executed = small_ppuf.response(crp.challenge, engine="circuit")
+            matches += executed == crp.response
+        assert matches >= 3
+
+    def test_different_instances_same_model_structure(self, rng):
+        """Two PPUFs share topology and nominal model but differ in CRPs."""
+        a = Ppuf.create(10, 3, rng)
+        b = Ppuf.create(10, 3, rng)
+        challenges = a.challenge_space().random_batch(25, rng)
+        responses_a = a.response_bits(challenges)
+        responses_b = b.response_bits(challenges)
+        # Different silicon -> different response words (overwhelmingly).
+        assert np.any(responses_a != responses_b)
+
+
+class TestEnvironmentalRobustness:
+    def test_corner_grid_hd_small(self, medium_ppuf, rng):
+        from repro.analysis.environment import default_corners
+
+        challenges = medium_ppuf.challenge_space().random_batch(12, rng)
+        nominal = medium_ppuf.response_bits(challenges)
+        for corner in default_corners(include_cross=False):
+            stressed = corner.apply(medium_ppuf).response_bits(challenges)
+            assert np.mean(stressed != nominal) <= 0.35, corner.label
+
+
+class TestScalingContracts:
+    def test_currents_scale_with_node_count(self, rng):
+        small = Ppuf.create(8, 2, rng)
+        large = Ppuf.create(20, 4, rng)
+        c_small = small.currents(small.challenge_space().random(rng))[0]
+        c_large = large.currents(large.challenge_space().random(rng))[0]
+        assert c_large > c_small
+
+    def test_default_technology_roundtrip(self):
+        assert PTM32.vt0 > 0
+        assert NOMINAL_CONDITIONS.v_supply == 2.0

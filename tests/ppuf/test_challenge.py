@@ -1,0 +1,155 @@
+"""Challenge encoding, sampling and the input-word form."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChallengeError
+from repro.ppuf.challenge import Challenge, ChallengeSpace
+from repro.ppuf.crossbar import Crossbar
+
+
+def make_challenge(source=0, sink=3, bits=(1, 0, 1, 0)):
+    return Challenge(source=source, sink=sink, bits=np.asarray(bits, dtype=np.uint8))
+
+
+class TestChallenge:
+    def test_validation(self):
+        with pytest.raises(ChallengeError):
+            make_challenge(source=2, sink=2)
+        with pytest.raises(ChallengeError):
+            make_challenge(bits=(0, 2, 1, 0))
+        with pytest.raises(ChallengeError):
+            Challenge(source=-1, sink=2, bits=np.zeros(4, dtype=np.uint8))
+
+    def test_flip_returns_new_challenge(self):
+        challenge = make_challenge()
+        flipped = challenge.flip([0, 2])
+        assert np.array_equal(flipped.bits, [0, 0, 0, 0])
+        assert np.array_equal(challenge.bits, [1, 0, 1, 0])
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(ChallengeError):
+            make_challenge().flip([7])
+
+    def test_hamming_distance(self):
+        a = make_challenge(bits=(1, 0, 1, 0))
+        b = make_challenge(bits=(1, 1, 0, 0))
+        assert a.hamming_distance(b) == 2
+        assert a.hamming_distance(a) == 0
+
+    def test_hamming_distance_length_mismatch(self):
+        a = make_challenge()
+        b = Challenge(source=0, sink=1, bits=np.zeros(9, dtype=np.uint8))
+        with pytest.raises(ChallengeError):
+            a.hamming_distance(b)
+
+    def test_feature_vector_is_pm1(self):
+        features = make_challenge().feature_vector()
+        assert set(features.tolist()) <= {-1.0, 1.0}
+
+    def test_key_distinguishes_terminals(self):
+        assert make_challenge(source=0).key() != make_challenge(source=1).key()
+
+
+class TestInputWord:
+    def test_word_layout_length(self):
+        challenge = make_challenge()
+        word = challenge.input_word(10)
+        width = Challenge.terminal_field_width(10)
+        assert word.size == 2 * width + 4
+
+    def test_roundtrip(self):
+        challenge = make_challenge(source=5, sink=2, bits=(1, 1, 0, 0))
+        word = challenge.input_word(8)
+        decoded = Challenge.from_input_word(word, 8)
+        assert decoded.source == 5
+        assert decoded.sink == 2
+        assert np.array_equal(decoded.bits, challenge.bits)
+
+    def test_decode_wraps_overflow(self):
+        width = Challenge.terminal_field_width(5)  # 3 bits, values up to 7
+        word = np.zeros(2 * width + 4, dtype=np.uint8)
+        word[:width] = [1, 1, 1]  # source field = 7 -> 7 % 5 = 2
+        decoded = Challenge.from_input_word(word, 5)
+        assert decoded.source == 2
+
+    def test_decode_resolves_collision(self):
+        width = Challenge.terminal_field_width(4)
+        word = np.zeros(2 * width + 4, dtype=np.uint8)
+        # Both fields decode to 0: the sink must advance.
+        decoded = Challenge.from_input_word(word, 4)
+        assert decoded.source == 0
+        assert decoded.sink == 1
+
+    def test_every_flipped_word_decodes(self, rng):
+        challenge = make_challenge(source=3, sink=7, bits=np.zeros(9, dtype=np.uint8))
+        word = challenge.input_word(9)
+        for position in range(word.size):
+            mutated = word.copy()
+            mutated[position] ^= 1
+            decoded = Challenge.from_input_word(mutated, 9)
+            assert 0 <= decoded.source < 9
+            assert 0 <= decoded.sink < 9
+            assert decoded.source != decoded.sink
+
+
+class TestChallengeSpace:
+    def _space(self, n=8, l=3):
+        return ChallengeSpace(Crossbar(n=n, l=l))
+
+    def test_type_a_size(self):
+        assert self._space(8).type_a_size == 56
+
+    def test_random_challenge_valid(self, rng):
+        space = self._space()
+        for _ in range(20):
+            challenge = space.random(rng)
+            assert challenge.source != challenge.sink
+            assert challenge.num_bits == 9
+
+    def test_pinned_terminals(self, rng):
+        challenge = self._space().random(rng, source=2, sink=5)
+        assert challenge.source == 2
+        assert challenge.sink == 5
+
+    def test_random_batch_unique(self, rng):
+        batch = self._space().random_batch(30, rng, unique=True)
+        keys = {challenge.key() for challenge in batch}
+        assert len(keys) == 30
+
+    def test_random_batch_negative_count(self, rng):
+        with pytest.raises(ChallengeError):
+            self._space().random_batch(-1, rng)
+
+    def test_min_distance_codebook(self, rng):
+        space = self._space(n=8, l=3)
+        codebook = space.min_distance_codebook(8, 3, rng)
+        assert len(codebook) == 8
+        for i, a in enumerate(codebook):
+            for b in codebook[i + 1:]:
+                assert a.hamming_distance(b) >= 3
+
+    def test_codebook_impossible_distance(self, rng):
+        space = self._space(n=8, l=3)
+        with pytest.raises(ChallengeError):
+            space.min_distance_codebook(1000, 9, rng, max_attempts=500)
+
+    def test_codebook_distance_validation(self, rng):
+        space = self._space()
+        with pytest.raises(ChallengeError):
+            space.min_distance_codebook(4, 0, rng)
+        with pytest.raises(ChallengeError):
+            space.min_distance_codebook(4, 10, rng)
+
+    def test_greedy_codebook_reaches_gv_bound(self, rng):
+        """Section 4.2's counting is constructive: the greedy codebook
+        reaches the Gilbert–Varshamov-style lower bound for small codes."""
+        from repro.analysis.codes import codebook_size_lower_bound
+
+        space = self._space(n=9, l=3)  # 9-bit control words
+        for distance in (2, 3):
+            guaranteed = int(codebook_size_lower_bound(9, distance))
+            codebook = space.min_distance_codebook(
+                guaranteed, distance, rng, max_attempts=100_000
+            )
+            assert len(codebook) == guaranteed

@@ -1,0 +1,95 @@
+"""Current comparator and CRP containers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChallengeError, DeviceError
+from repro.ppuf.challenge import Challenge
+from repro.ppuf.comparator import CurrentComparator
+from repro.ppuf.crp import CRP, CRPDataset, collect_crps
+
+
+class TestComparator:
+    def test_basic_comparison(self):
+        comparator = CurrentComparator()
+        assert comparator.compare(2e-6, 1e-6) == 1
+        assert comparator.compare(1e-6, 2e-6) == 0
+
+    def test_offset_shifts_decision(self):
+        comparator = CurrentComparator(offset=2e-6)
+        assert comparator.compare(1e-6, 2e-6) == 1
+
+    def test_resolvability(self):
+        comparator = CurrentComparator(resolution=1e-9)
+        assert comparator.is_resolvable(5e-9, 1e-9)
+        assert not comparator.is_resolvable(1.0e-9, 1.5e-9)
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            CurrentComparator(resolution=-1.0)
+        with pytest.raises(DeviceError):
+            CurrentComparator(power=-1.0)
+
+
+def make_challenge():
+    return Challenge(source=0, sink=3, bits=np.array([1, 0, 1, 1], dtype=np.uint8))
+
+
+class TestCRP:
+    def test_response_validation(self):
+        with pytest.raises(ChallengeError):
+            CRP(make_challenge(), 2)
+
+    def test_dict_roundtrip(self):
+        crp = CRP(make_challenge(), 1)
+        restored = CRP.from_dict(crp.to_dict())
+        assert restored.challenge.key() == crp.challenge.key()
+        assert restored.response == 1
+
+
+class TestCRPDataset:
+    def _dataset(self):
+        dataset = CRPDataset()
+        for index in range(6):
+            bits = np.array([index & 1, (index >> 1) & 1, 0, 1], dtype=np.uint8)
+            dataset.append(CRP(Challenge(source=0, sink=3, bits=bits), index & 1))
+        return dataset
+
+    def test_len_and_iter(self):
+        dataset = self._dataset()
+        assert len(dataset) == 6
+        assert len(list(dataset)) == 6
+
+    def test_feature_and_label_matrices(self):
+        dataset = self._dataset()
+        features = dataset.features()
+        labels = dataset.labels()
+        assert features.shape == (6, 4)
+        assert set(labels.tolist()) <= {-1.0, 1.0}
+
+    def test_empty_dataset_raises(self):
+        with pytest.raises(ChallengeError):
+            CRPDataset().features()
+
+    def test_split(self):
+        train, test = self._dataset().split(4)
+        assert len(train) == 4
+        assert len(test) == 2
+        with pytest.raises(ChallengeError):
+            self._dataset().split(6)
+
+    def test_json_roundtrip(self):
+        dataset = self._dataset()
+        restored = CRPDataset.from_json(dataset.to_json())
+        assert len(restored) == len(dataset)
+        assert restored.crps[2].challenge.key() == dataset.crps[2].challenge.key()
+
+
+class TestCollect:
+    def test_collect_from_ppuf(self, small_ppuf, rng):
+        challenges = small_ppuf.challenge_space().random_batch(4, rng)
+        dataset = collect_crps(small_ppuf, challenges)
+        assert len(dataset) == 4
+        for crp, challenge in zip(dataset, challenges):
+            assert crp.challenge is challenge
+            assert crp.response == small_ppuf.response(challenge)

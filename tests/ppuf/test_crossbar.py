@@ -1,0 +1,100 @@
+"""Crossbar topology and grid partition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.ppuf.crossbar import Crossbar
+
+
+class TestStructure:
+    def test_edge_count_is_n_times_n_minus_1(self):
+        assert Crossbar(n=7, l=2).num_edges == 42
+
+    def test_endpoints_enumerate_all_ordered_pairs(self):
+        crossbar = Crossbar(n=5, l=2)
+        src, dst = crossbar.edge_endpoints()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        expected = {(i, j) for i in range(5) for j in range(5) if i != j}
+        assert pairs == expected
+
+    def test_no_diagonal_blocks(self):
+        crossbar = Crossbar(n=6, l=3)
+        src, dst = crossbar.edge_endpoints()
+        assert np.all(src != dst)
+
+    def test_edge_index_consistent_with_enumeration(self):
+        crossbar = Crossbar(n=6, l=2)
+        src, dst = crossbar.edge_endpoints()
+        for e in range(crossbar.num_edges):
+            assert crossbar.edge_index(int(src[e]), int(dst[e])) == e
+
+    def test_edge_index_rejects_diagonal(self):
+        with pytest.raises(GraphError):
+            Crossbar(n=4, l=2).edge_index(2, 2)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            Crossbar(n=1, l=1)
+        with pytest.raises(GraphError):
+            Crossbar(n=4, l=5)
+        with pytest.raises(GraphError):
+            Crossbar(n=4, l=0)
+
+
+class TestGridPartition:
+    def test_num_control_bits(self):
+        assert Crossbar(n=8, l=4).num_control_bits == 16
+
+    def test_cells_cover_valid_range(self):
+        crossbar = Crossbar(n=10, l=3)
+        cells = crossbar.edge_cells()
+        assert cells.min() >= 0
+        assert cells.max() < 9
+
+    def test_l_equals_n_gives_one_block_per_cell_off_diagonal(self):
+        crossbar = Crossbar(n=4, l=4)
+        cells = crossbar.edge_cells()
+        # Every cell except the 4 diagonal ones holds exactly one block.
+        counts = np.bincount(cells, minlength=16)
+        assert sorted(counts.tolist()) == [0] * 4 + [1] * 12
+
+    def test_l_equals_1_single_control_bit(self):
+        crossbar = Crossbar(n=5, l=1)
+        assert crossbar.num_control_bits == 1
+        assert np.all(crossbar.edge_cells() == 0)
+
+    def test_bits_for_edges_expands_per_cell(self):
+        crossbar = Crossbar(n=6, l=2)
+        bits = np.array([1, 0, 0, 1], dtype=np.uint8)
+        edge_bits = crossbar.bits_for_edges(bits)
+        assert edge_bits.shape == (30,)
+        cells = crossbar.edge_cells()
+        assert np.array_equal(edge_bits, bits[cells])
+
+    def test_bits_for_edges_validation(self):
+        crossbar = Crossbar(n=6, l=2)
+        with pytest.raises(GraphError):
+            crossbar.bits_for_edges(np.zeros(3, dtype=np.uint8))
+        with pytest.raises(GraphError):
+            crossbar.bits_for_edges(np.full(4, 2, dtype=np.uint8))
+
+    def test_cell_block_counts_balanced_when_divisible(self):
+        crossbar = Crossbar(n=8, l=2)
+        counts = np.bincount(crossbar.edge_cells(), minlength=4)
+        # 4x4-node quadrants: diagonal cells lose their 4 diagonal blocks.
+        assert counts.sum() == crossbar.num_edges
+        assert counts.max() - counts.min() == 4
+
+
+class TestPhysical:
+    def test_block_positions_normalised(self):
+        crossbar = Crossbar(n=9, l=3)
+        positions = crossbar.block_positions()
+        assert positions.shape == (crossbar.num_edges, 2)
+        assert positions.min() >= 0.0
+        assert positions.max() <= 1.0
+
+    def test_incident_edge_counts(self):
+        crossbar = Crossbar(n=7, l=2)
+        assert np.all(crossbar.incident_edge_counts() == 12)

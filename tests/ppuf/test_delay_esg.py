@@ -1,0 +1,114 @@
+"""Delay bounds and the ESG model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, SolverError
+from repro.ppuf.delay import (
+    effective_edge_resistance,
+    lin_mead_delay_bound,
+    measured_settling_time,
+    node_capacitance,
+)
+from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
+
+
+class TestDelayBound:
+    def test_delay_grows_linearly(self, tech, conditions):
+        t100 = lin_mead_delay_bound(100, tech, conditions)
+        t200 = lin_mead_delay_bound(200, tech, conditions)
+        slope_ratio = (t200 - t100) / t100
+        # Doubling n roughly doubles the edge-capacitance part.
+        assert 0.8 < slope_ratio < 1.2
+
+    def test_delay_microsecond_scale_at_100_nodes(self, tech, conditions):
+        t100 = lin_mead_delay_bound(100, tech, conditions)
+        assert 1e-8 < t100 < 1e-5
+
+    def test_edge_resistance_is_positive_constant(self, tech, conditions):
+        resistance = effective_edge_resistance(tech, conditions)
+        assert resistance > 1e6
+
+    def test_node_capacitance_linear_in_n(self, tech):
+        c10 = node_capacitance(10, tech)
+        c20 = node_capacitance(20, tech)
+        expected = tech.c_edge * 2 * 10
+        assert (c20 - c10) == pytest.approx(expected)
+
+    def test_minimum_size(self, tech):
+        with pytest.raises(GraphError):
+            node_capacitance(1, tech)
+
+    def test_measured_settling_positive(self, small_ppuf):
+        edges = small_ppuf.crossbar.num_edges
+        bits = np.ones(edges, dtype=np.uint8)
+        settle = measured_settling_time(small_ppuf.network_a, bits, 0, 9)
+        assert settle > 0
+
+
+class TestPowerLawFit:
+    def test_exact_power_law_recovered(self):
+        sizes = np.array([10, 20, 40, 80])
+        times = 3e-6 * sizes**2.5
+        fit = fit_power_law(sizes, times)
+        assert fit.exponent == pytest.approx(2.5, abs=1e-9)
+        assert fit.coefficient == pytest.approx(3e-6, rel=1e-9)
+
+    def test_evaluation(self):
+        fit = PowerLawFit(coefficient=2.0, exponent=3.0)
+        assert fit(10) == pytest.approx(2000.0)
+
+    def test_scaled_to_anchor(self):
+        fit = PowerLawFit(coefficient=1.0, exponent=3.0)
+        anchored = fit.scaled_to(100.0, 400e-6)
+        assert anchored(100.0) == pytest.approx(400e-6)
+        assert anchored.exponent == 3.0
+
+    def test_fit_validation(self):
+        with pytest.raises(SolverError):
+            fit_power_law([10], [1.0])
+        with pytest.raises(SolverError):
+            fit_power_law([10, 20], [1.0, -1.0])
+
+
+class TestESGModel:
+    def _model(self):
+        return ESGModel(
+            simulation=PowerLawFit(coefficient=1e-9, exponent=3.0),
+            execution=PowerLawFit(coefficient=1e-9, exponent=1.0),
+        )
+
+    def test_gap_grows_with_n(self):
+        model = self._model()
+        assert model.esg(1000) > model.esg(100) > 0
+
+    def test_crossover_solves_target(self):
+        model = self._model()
+        crossover = model.crossover_nodes(1.0)
+        assert float(model.esg(crossover)) == pytest.approx(1.0, rel=1e-6)
+        # Analytic: 1e-9 n^3 - 1e-9 n = 1 -> n ~ 1000.
+        assert crossover == pytest.approx(1000.0, rel=0.01)
+
+    def test_feedback_amplifies_gap(self):
+        model = self._model()
+        with_feedback = model.with_feedback(lambda n: n)
+        assert float(with_feedback.esg(100)) == pytest.approx(
+            100 * float(model.esg(100))
+        )
+
+    def test_feedback_reduces_crossover(self):
+        model = self._model()
+        assert model.with_feedback(lambda n: n).crossover_nodes(1.0) < model.crossover_nodes(1.0)
+
+    def test_invalid_target(self):
+        with pytest.raises(SolverError):
+            self._model().crossover_nodes(0.0)
+
+    def test_invalid_feedback_schedule(self):
+        model = self._model().with_feedback(lambda n: 0.5)
+        with pytest.raises(SolverError):
+            model.esg(100)
+
+    def test_simulation_time_includes_loops(self):
+        model = self._model().with_feedback(lambda n: 10.0)
+        assert float(model.simulation_time(100)) == pytest.approx(10 * 1e-9 * 100**3)

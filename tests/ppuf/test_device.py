@@ -1,0 +1,166 @@
+"""The Ppuf device and PpufNetwork engines."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChallengeError, GraphError
+from repro.ppuf import Challenge, CurrentComparator, Ppuf
+from repro.ppuf.device import PpufNetwork
+from repro.circuit.variation import VariationSample
+from repro.ppuf.crossbar import Crossbar
+
+
+class TestCreation:
+    def test_create_builds_two_networks(self, small_ppuf):
+        assert small_ppuf.n == 10
+        assert small_ppuf.network_a is not small_ppuf.network_b
+        assert not np.array_equal(
+            small_ppuf.network_a.sample.delta_vt,
+            small_ppuf.network_b.sample.delta_vt,
+        )
+
+    def test_side_by_side_shares_systematic(self, small_ppuf):
+        assert np.array_equal(
+            small_ppuf.network_a.sample.systematic,
+            small_ppuf.network_b.sample.systematic,
+        )
+
+    def test_sample_size_must_match_crossbar(self, tech, conditions):
+        crossbar = Crossbar(n=5, l=2)
+        with pytest.raises(GraphError):
+            PpufNetwork(crossbar, VariationSample.nominal(3), tech, conditions)
+
+    def test_determinism_per_seed(self, tech, conditions):
+        a = Ppuf.create(6, 2, np.random.default_rng(7))
+        b = Ppuf.create(6, 2, np.random.default_rng(7))
+        assert np.array_equal(
+            a.network_a.sample.delta_vt, b.network_a.sample.delta_vt
+        )
+
+
+class TestResponses:
+    def test_response_is_binary_and_deterministic(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        first = small_ppuf.response(challenge)
+        assert first in (0, 1)
+        assert small_ppuf.response(challenge) == first
+
+    def test_response_bits_vector(self, small_ppuf, rng):
+        challenges = small_ppuf.challenge_space().random_batch(5, rng)
+        bits = small_ppuf.response_bits(challenges)
+        assert bits.shape == (5,)
+        assert set(bits.tolist()) <= {0, 1}
+
+    def test_currents_positive(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        current_a, current_b = small_ppuf.currents(challenge)
+        assert current_a > 0
+        assert current_b > 0
+
+    def test_wrong_bit_count_rejected(self, small_ppuf):
+        bad = Challenge(source=0, sink=1, bits=np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ChallengeError):
+            small_ppuf.response(bad)
+
+    def test_out_of_range_terminals_rejected(self, small_ppuf):
+        bad = Challenge(
+            source=0, sink=99,
+            bits=np.zeros(small_ppuf.crossbar.num_control_bits, dtype=np.uint8),
+        )
+        with pytest.raises(ChallengeError):
+            small_ppuf.response(bad)
+
+    def test_unknown_engine_rejected(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        from repro.errors import SolverError
+
+        with pytest.raises(SolverError):
+            small_ppuf.response(challenge, engine="spice")
+
+
+class TestMaxflowEngine:
+    def test_capacities_select_by_bit(self, small_ppuf, rng):
+        network = small_ppuf.network_a
+        edges = network.crossbar.num_edges
+        all_zero = network.capacities(np.zeros(edges, dtype=np.uint8))
+        all_one = network.capacities(np.ones(edges, dtype=np.uint8))
+        mixed_bits = rng.integers(0, 2, edges).astype(np.uint8)
+        mixed = network.capacities(mixed_bits)
+        expected = np.where(mixed_bits == 1, all_one, all_zero)
+        assert np.array_equal(mixed, expected)
+
+    def test_capacity_matrix_layout(self, small_ppuf):
+        network = small_ppuf.network_a
+        edges = network.crossbar.num_edges
+        matrix = network.capacity_matrix(np.ones(edges, dtype=np.uint8))
+        assert matrix.shape == (10, 10)
+        assert np.all(np.diag(matrix) == 0)
+        assert np.all(matrix[~np.eye(10, dtype=bool)] > 0)
+
+    def test_solver_choice_does_not_change_response(self, small_ppuf, rng):
+        network = small_ppuf.network_a
+        edges = network.crossbar.num_edges
+        bits = rng.integers(0, 2, edges).astype(np.uint8)
+        values = {
+            algorithm: network.maxflow_current(bits, 0, 9, algorithm=algorithm)
+            for algorithm in ("edmonds_karp", "dinic", "push_relabel")
+        }
+        reference = values["dinic"]
+        for value in values.values():
+            assert value == pytest.approx(reference, rel=1e-9)
+
+    def test_wrong_edge_bit_count(self, small_ppuf):
+        with pytest.raises(ChallengeError):
+            small_ppuf.network_a.capacities(np.zeros(3, dtype=np.uint8))
+
+
+class TestCircuitEngine:
+    def test_circuit_agrees_with_maxflow_within_one_percent(self, small_ppuf, rng):
+        """The Fig. 6 claim at unit-test scale."""
+        challenge = small_ppuf.challenge_space().random(rng)
+        simulated = small_ppuf.currents(challenge, engine="maxflow")
+        executed = small_ppuf.currents(challenge, engine="circuit")
+        for sim, exe in zip(simulated, executed):
+            assert abs(sim - exe) / exe < 0.01
+
+    def test_circuit_response_matches_maxflow_usually(self, small_ppuf, rng):
+        agreements = 0
+        challenges = small_ppuf.challenge_space().random_batch(6, rng)
+        for challenge in challenges:
+            if small_ppuf.response(challenge, engine="circuit") == small_ppuf.response(
+                challenge, engine="maxflow"
+            ):
+                agreements += 1
+        assert agreements >= 5
+
+
+class TestEnvironment:
+    def test_corner_shares_silicon(self, small_ppuf):
+        corner = small_ppuf.at_environment(supply_scale=1.1)
+        assert corner.network_a.sample is small_ppuf.network_a.sample
+        assert corner.network_a.conditions.v_supply == pytest.approx(2.2)
+
+    def test_temperature_corner_shifts_tech(self, small_ppuf):
+        corner = small_ppuf.at_environment(temperature_k=353.15)
+        assert corner.network_a.tech.vt0 < small_ppuf.network_a.tech.vt0
+
+    def test_responses_mostly_stable_across_corners(self, small_ppuf, rng):
+        challenges = small_ppuf.challenge_space().random_batch(10, rng)
+        nominal = small_ppuf.response_bits(challenges)
+        hot = small_ppuf.at_environment(supply_scale=1.1, temperature_k=353.15)
+        stressed = hot.response_bits(challenges)
+        assert np.mean(nominal != stressed) <= 0.3
+
+
+class TestComparator:
+    def test_comparator_offset_can_bias_response(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        current_a, current_b = small_ppuf.currents(challenge)
+        gap = current_b - current_a
+        biased = Ppuf(
+            crossbar=small_ppuf.crossbar,
+            network_a=small_ppuf.network_a,
+            network_b=small_ppuf.network_b,
+            comparator=CurrentComparator(offset=gap + 1e-9),
+        )
+        assert biased.response(challenge) == 1

@@ -1,0 +1,182 @@
+"""Feedback-loop chaining and the residual-graph verification protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ChallengeError, VerificationError
+from repro.ppuf.feedback import FeedbackChain, derive_next_challenge, run_feedback_chain
+from repro.ppuf.verification import FlowClaim, PpufProver, PpufVerifier
+
+
+class TestDerivation:
+    def test_deterministic(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        a = derive_next_challenge(challenge, 1, small_ppuf.n)
+        b = derive_next_challenge(challenge, 1, small_ppuf.n)
+        assert a.key() == b.key()
+
+    def test_response_bit_changes_derivation(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        zero = derive_next_challenge(challenge, 0, small_ppuf.n)
+        one = derive_next_challenge(challenge, 1, small_ppuf.n)
+        assert zero.key() != one.key()
+
+    def test_invalid_response_rejected(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        with pytest.raises(ChallengeError):
+            derive_next_challenge(challenge, 2, small_ppuf.n)
+
+
+class TestFeedbackChain:
+    def test_chain_length_and_validity(self, small_ppuf, rng):
+        initial = small_ppuf.challenge_space().random(rng)
+        chain = run_feedback_chain(small_ppuf, initial, k=5)
+        assert chain.k == 5
+        assert chain.final_response in (0, 1)
+        assert chain.verify_derivations(small_ppuf.n)
+
+    def test_tampered_chain_detected(self, small_ppuf, rng):
+        initial = small_ppuf.challenge_space().random(rng)
+        chain = run_feedback_chain(small_ppuf, initial, k=4)
+        tampered = FeedbackChain(rounds=list(chain.rounds))
+        tampered.rounds[2] = tampered.rounds[1]
+        assert not tampered.verify_derivations(small_ppuf.n)
+
+    def test_chain_is_reproducible(self, small_ppuf, rng):
+        initial = small_ppuf.challenge_space().random(rng)
+        first = run_feedback_chain(small_ppuf, initial, k=3)
+        second = run_feedback_chain(small_ppuf, initial, k=3)
+        assert [r.response for r in first.rounds] == [r.response for r in second.rounds]
+
+    def test_empty_chain_rejected(self, small_ppuf, rng):
+        initial = small_ppuf.challenge_space().random(rng)
+        with pytest.raises(ChallengeError):
+            run_feedback_chain(small_ppuf, initial, k=0)
+        with pytest.raises(ChallengeError):
+            FeedbackChain().final_response
+
+
+class TestVerificationProtocol:
+    def test_honest_prover_accepted(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        claim = prover.answer(challenge)
+        assert verifier.verify(claim)
+
+    def test_submaximal_claim_rejected(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        claim = prover.answer(challenge)
+        lazy = FlowClaim(
+            challenge=challenge,
+            flow=np.zeros_like(claim.flow),
+            value=0.0,
+            elapsed_seconds=0.0,
+        )
+        assert not verifier.verify(lazy)
+
+    def test_infeasible_claim_raises(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        cheat_flow = np.full((small_ppuf.n, small_ppuf.n), 1.0)
+        np.fill_diagonal(cheat_flow, 0.0)
+        cheat = FlowClaim(
+            challenge=challenge, flow=cheat_flow, value=9.0, elapsed_seconds=0.0
+        )
+        with pytest.raises(VerificationError):
+            verifier.verify(cheat)
+
+    def test_value_mismatch_rejected(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        claim = prover.answer(challenge)
+        inflated = FlowClaim(
+            challenge=challenge,
+            flow=claim.flow,
+            value=claim.value * 2.0,
+            elapsed_seconds=claim.elapsed_seconds,
+        )
+        assert not verifier.verify(inflated)
+
+    def test_wrong_shape_rejected(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        bad = FlowClaim(
+            challenge=challenge, flow=np.zeros((3, 3)), value=0.0, elapsed_seconds=0.0
+        )
+        with pytest.raises(VerificationError):
+            verifier.verify(bad)
+
+    def test_wrong_network_rejects_claim(self, small_ppuf, rng):
+        """A prover for network A cannot answer for network B: the public
+        models differ through process variation."""
+        challenge = small_ppuf.challenge_space().random(rng)
+        claim = PpufProver(small_ppuf.network_a).answer(challenge)
+        verifier_b = PpufVerifier(small_ppuf.network_b)
+        try:
+            accepted = verifier_b.verify(claim)
+        except VerificationError:
+            accepted = False
+        assert not accepted
+
+    def test_compact_claim_roundtrip(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        compact = prover.answer_compact(challenge)
+        assert verifier.verify_compact(compact)
+        # The decomposition carries the full value in O(n)-ish paths.
+        assert sum(p.value for p in compact.paths) == pytest.approx(
+            compact.value, rel=1e-9
+        )
+        assert len(compact.paths) <= small_ppuf.crossbar.num_edges
+
+    def test_compact_claim_tampered_paths_rejected(self, small_ppuf, rng):
+        from repro.flow.decomposition import PathFlow
+        from repro.ppuf.verification import CompactClaim
+
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        compact = prover.answer_compact(challenge)
+        # Inflate one path's value: capacity violation or value mismatch.
+        tampered_paths = list(compact.paths)
+        first = tampered_paths[0]
+        tampered_paths[0] = PathFlow(vertices=first.vertices, value=first.value * 3)
+        tampered = CompactClaim(
+            challenge=challenge,
+            paths=tampered_paths,
+            value=compact.value,
+            elapsed_seconds=0.0,
+        )
+        try:
+            accepted = verifier.verify_compact(tampered)
+        except VerificationError:
+            accepted = False
+        assert not accepted
+
+    def test_compact_claim_out_of_range_path_rejected(self, small_ppuf, rng):
+        from repro.flow.decomposition import PathFlow
+        from repro.ppuf.verification import CompactClaim
+
+        challenge = small_ppuf.challenge_space().random(rng)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        bad = CompactClaim(
+            challenge=challenge,
+            paths=[PathFlow(vertices=(0, 99), value=1.0)],
+            value=1.0,
+            elapsed_seconds=0.0,
+        )
+        with pytest.raises(VerificationError):
+            verifier.verify_compact(bad)
+
+    def test_timed_verify_reports_duration(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        accepted, seconds = verifier.timed_verify(prover.answer(challenge))
+        assert accepted
+        assert seconds >= 0.0

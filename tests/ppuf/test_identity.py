@@ -1,0 +1,91 @@
+"""Enrollment-free identification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ppuf import Ppuf, PublicRegistry, expected_match_separation, response_word
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    rng = np.random.default_rng(31)
+    devices = {f"d{i}": Ppuf.create(12, 3, rng) for i in range(3)}
+    space = next(iter(devices.values())).challenge_space()
+    challenges = [space.random(rng) for _ in range(40)]
+    return devices, challenges
+
+
+class TestResponseWord:
+    def test_word_is_deterministic(self, fleet):
+        devices, challenges = fleet
+        device = devices["d0"]
+        assert np.array_equal(
+            response_word(device, challenges), response_word(device, challenges)
+        )
+
+    def test_empty_challenge_list_rejected(self, fleet):
+        devices, _ = fleet
+        with pytest.raises(ReproError):
+            response_word(devices["d0"], [])
+
+
+class TestRegistry:
+    def test_identifies_every_registered_device(self, fleet):
+        devices, challenges = fleet
+        registry = PublicRegistry(challenges=challenges)
+        for name, device in devices.items():
+            registry.register(name, device)
+        for name, device in devices.items():
+            matched, distance = registry.identify(device.response_bits(challenges))
+            assert matched == name
+            assert distance == 0.0
+
+    def test_rejects_counterfeit(self, fleet):
+        devices, challenges = fleet
+        registry = PublicRegistry(challenges=challenges)
+        for name, device in devices.items():
+            registry.register(name, device)
+        counterfeit = Ppuf.create(12, 3, np.random.default_rng(77))
+        matched, distance = registry.identify(
+            counterfeit.response_bits(challenges), max_distance=0.2
+        )
+        assert matched is None
+        assert distance > 0.2
+
+    def test_duplicate_registration_rejected(self, fleet):
+        devices, challenges = fleet
+        registry = PublicRegistry(challenges=challenges)
+        registry.register("d0", devices["d0"])
+        with pytest.raises(ReproError):
+            registry.register("d0", devices["d0"])
+
+    def test_word_length_checked(self, fleet):
+        devices, challenges = fleet
+        registry = PublicRegistry(challenges=challenges)
+        registry.register("d0", devices["d0"])
+        with pytest.raises(ReproError):
+            registry.identify(np.zeros(3, dtype=np.uint8))
+
+    def test_empty_registry_rejected(self, fleet):
+        _, challenges = fleet
+        registry = PublicRegistry(challenges=challenges)
+        with pytest.raises(ReproError):
+            registry.identify(np.zeros(len(challenges), dtype=np.uint8))
+
+    def test_empty_challenges_rejected(self):
+        with pytest.raises(ReproError):
+            PublicRegistry(challenges=[])
+
+
+class TestSeparation:
+    def test_cross_distance_dominates_same(self, fleet):
+        devices, challenges = fleet
+        same, cross = expected_match_separation(list(devices.values()), challenges)
+        assert same == 0.0
+        assert cross > 0.15
+
+    def test_needs_two_devices(self, fleet):
+        devices, challenges = fleet
+        with pytest.raises(ReproError):
+            expected_match_separation([devices["d0"]], challenges)

@@ -1,0 +1,91 @@
+"""Property-based tests over PPUF encodings and containers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ppuf.challenge import Challenge
+from repro.ppuf.crp import CRP, CRPDataset
+from repro.ppuf.crossbar import Crossbar
+
+SETTINGS = dict(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def challenges(draw):
+    n = draw(st.integers(min_value=3, max_value=40))
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    sink = draw(st.integers(min_value=0, max_value=n - 2))
+    if sink >= source:
+        sink += 1
+    bits = draw(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=64)
+    )
+    return n, Challenge(source=source, sink=sink, bits=np.asarray(bits, dtype=np.uint8))
+
+
+@given(challenges())
+@settings(**SETTINGS)
+def test_input_word_roundtrip(item):
+    n, challenge = item
+    decoded = Challenge.from_input_word(challenge.input_word(n), n)
+    assert decoded.source == challenge.source
+    assert decoded.sink == challenge.sink
+    assert np.array_equal(decoded.bits, challenge.bits)
+
+
+@given(challenges(), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(**SETTINGS)
+def test_any_mutated_word_decodes_to_valid_challenge(item, seed):
+    n, challenge = item
+    rng = np.random.default_rng(seed)
+    word = challenge.input_word(n)
+    flips = rng.integers(0, 2, size=word.size).astype(np.uint8)
+    decoded = Challenge.from_input_word(word ^ flips, n)
+    assert 0 <= decoded.source < n
+    assert 0 <= decoded.sink < n
+    assert decoded.source != decoded.sink
+    assert decoded.num_bits == challenge.num_bits
+
+
+@given(challenges(), st.integers(min_value=0, max_value=1))
+@settings(**SETTINGS)
+def test_crp_json_roundtrip(item, response):
+    _, challenge = item
+    dataset = CRPDataset([CRP(challenge, response)])
+    restored = CRPDataset.from_json(dataset.to_json())
+    assert restored.crps[0].challenge.key() == challenge.key()
+    assert restored.crps[0].response == response
+
+
+@given(challenges())
+@settings(**SETTINGS)
+def test_double_flip_is_identity(item):
+    _, challenge = item
+    positions = np.arange(challenge.num_bits)
+    assert np.array_equal(challenge.flip(positions).flip(positions).bits, challenge.bits)
+
+
+@given(st.integers(min_value=2, max_value=30), st.integers(min_value=1, max_value=30))
+@settings(**SETTINGS)
+def test_crossbar_edge_cells_partition(n, l):
+    """Every edge belongs to exactly one in-range cell; cells tile the bar
+    grid consistently with the bits_for_edges expansion."""
+    if l > n:
+        l = n
+    crossbar = Crossbar(n=n, l=l)
+    cells = crossbar.edge_cells()
+    assert cells.shape == (crossbar.num_edges,)
+    assert cells.min() >= 0
+    assert cells.max() < l * l
+    bits = np.zeros(l * l, dtype=np.uint8)
+    for cell in range(l * l):
+        bits[:] = 0
+        bits[cell] = 1
+        expanded = crossbar.bits_for_edges(bits)
+        assert np.array_equal(expanded == 1, cells == cell)

@@ -1,0 +1,87 @@
+"""Time-bounded authentication sessions."""
+
+import numpy as np
+import pytest
+
+from repro.ppuf import (
+    AuthenticationSession,
+    PpufProver,
+    PpufVerifier,
+)
+from repro.ppuf.esg import ESGModel, PowerLawFit
+
+
+@pytest.fixture
+def session(small_ppuf):
+    return AuthenticationSession(verifier=PpufVerifier(small_ppuf.network_a))
+
+
+@pytest.fixture
+def esg_model():
+    # A simulation law slow enough that a simulator misses the
+    # microsecond-scale deadline even at the 10-node test size.
+    return ESGModel(
+        simulation=PowerLawFit(coefficient=1e-6, exponent=3.0),
+        execution=PowerLawFit(coefficient=1e-10, exponent=1.0),
+    )
+
+
+class TestHonestProver:
+    def test_device_holder_is_accepted(self, session, small_ppuf, rng):
+        result = session.run(PpufProver(small_ppuf.network_a), rng, rounds=3)
+        assert result.accepted
+        assert len(result.rounds) == 3
+        assert result.rejected_round is None
+
+    def test_every_round_within_deadline(self, session, small_ppuf, rng):
+        result = session.run(PpufProver(small_ppuf.network_a), rng, rounds=2)
+        for record in result.rounds:
+            assert record.within_deadline
+            assert record.prover_model_seconds <= record.deadline_seconds
+
+    def test_deadline_scales_with_device_delay(self, small_ppuf):
+        tight = AuthenticationSession(
+            verifier=PpufVerifier(small_ppuf.network_a), deadline_slack=10.0
+        )
+        loose = AuthenticationSession(
+            verifier=PpufVerifier(small_ppuf.network_a), deadline_slack=1000.0
+        )
+        assert loose.deadline() == pytest.approx(100 * tight.deadline())
+
+
+class TestImpostors:
+    def test_wrong_device_is_rejected(self, session, small_ppuf, rng):
+        """A prover holding the *other* network fails verification."""
+        impostor = PpufProver(small_ppuf.network_b)
+        result = session.run(impostor, rng, rounds=4)
+        assert not result.accepted
+        assert result.rejected_round is not None
+
+    def test_simulator_misses_the_deadline(self, session, small_ppuf, esg_model, rng):
+        """An attacker with the public model answers correctly but too late."""
+        honest_answers = PpufProver(small_ppuf.network_a)
+        result = session.run_against_simulator(honest_answers, esg_model, rng, rounds=2)
+        assert not result.accepted
+        first = result.rounds[0]
+        assert first.claim_correct  # the simulation IS the public model
+        assert not first.within_deadline
+
+    def test_session_stops_at_first_rejection(self, session, small_ppuf, rng):
+        impostor = PpufProver(small_ppuf.network_b)
+        result = session.run(impostor, rng, rounds=10)
+        assert len(result.rounds) == result.rejected_round + 1
+
+    def test_empty_session_is_not_accepted(self):
+        from repro.ppuf.protocol import SessionResult
+
+        assert not SessionResult().accepted
+
+
+class TestCustomDelayModel:
+    def test_custom_device_delay_model_used(self, small_ppuf):
+        session = AuthenticationSession(
+            verifier=PpufVerifier(small_ppuf.network_a),
+            deadline_slack=2.0,
+            device_delay_model=lambda n: 1e-3,
+        )
+        assert session.deadline() == pytest.approx(2e-3)

@@ -1,0 +1,101 @@
+"""PPUF key-exchange protocol."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.ppuf import Ppuf
+from repro.ppuf.esg import ESGModel, PowerLawFit
+from repro.protocols import ExchangeCosts, KeyExchange, KeyExchangeParameters
+
+
+@pytest.fixture(scope="module")
+def exchange():
+    ppuf = Ppuf.create(12, 3, np.random.default_rng(41))
+    return KeyExchange(ppuf, KeyExchangeParameters(num_challenges=12, chain_length=16), b"kx")
+
+
+@pytest.fixture
+def esg_model():
+    return ESGModel(
+        simulation=PowerLawFit(coefficient=1e-9, exponent=3.0),
+        execution=PowerLawFit(coefficient=1e-10, exponent=1.0),
+    )
+
+
+class TestProtocolRun:
+    def test_honest_exchange_agrees(self, exchange, rng):
+        secret_index, digest = exchange.initiator_pick(rng)
+        recovered = exchange.holder_find(digest, rng)
+        assert recovered == secret_index
+        assert exchange.shared_secret(recovered) == exchange.shared_secret(secret_index)
+
+    def test_every_index_recoverable(self, exchange, rng):
+        for index in range(exchange.parameters.num_challenges):
+            digest = exchange._digest(exchange._words[index])
+            assert exchange.holder_find(digest, rng) == index
+
+    def test_garbage_digest_returns_none(self, exchange, rng):
+        assert exchange.holder_find(b"\x00" * 32, rng) is None
+
+    def test_secret_is_32_bytes_and_index_bound(self, exchange):
+        secret = exchange.shared_secret(0)
+        assert len(secret) == 32
+        assert secret != exchange.shared_secret(1)
+        with pytest.raises(ReproError):
+            exchange.shared_secret(99)
+
+    def test_words_are_deterministic_public_data(self):
+        ppuf = Ppuf.create(10, 3, np.random.default_rng(5))
+        params = KeyExchangeParameters(num_challenges=6, chain_length=12)
+        a = KeyExchange(ppuf, params, b"s")
+        b = KeyExchange(ppuf, params, b"s")
+        assert a._words == b._words
+
+    def test_different_devices_different_words(self):
+        params = KeyExchangeParameters(num_challenges=6, chain_length=16)
+        a = KeyExchange(Ppuf.create(10, 3, np.random.default_rng(5)), params, b"s")
+        b = KeyExchange(Ppuf.create(10, 3, np.random.default_rng(6)), params, b"s")
+        assert a._words != b._words
+
+    def test_wrong_device_cannot_answer(self, exchange, rng):
+        """A holder with different silicon fails to find the match: the
+        exchange implicitly authenticates the device."""
+        impostor_device = Ppuf.create(12, 3, np.random.default_rng(404))
+        impostor = KeyExchange(impostor_device, exchange.parameters, b"kx")
+        _, digest = exchange.initiator_pick(rng)
+        assert impostor.holder_find(digest, rng) is None
+
+
+class TestParameters:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            KeyExchangeParameters(num_challenges=1)
+        with pytest.raises(ReproError):
+            KeyExchangeParameters(chain_length=4)
+
+
+class TestCosts:
+    def test_eavesdropper_pays_the_esg(self, exchange, esg_model):
+        costs = exchange.modeled_costs(esg_model)
+        assert costs.eavesdropper_seconds > costs.holder_seconds
+        assert costs.eavesdropper_seconds > costs.initiator_seconds
+        assert costs.advantage_ratio > 1.0
+
+    def test_advantage_grows_with_device_size(self, esg_model):
+        params = KeyExchangeParameters(num_challenges=8, chain_length=10)
+        small = KeyExchange(Ppuf.create(8, 2, np.random.default_rng(1)), params, b"s")
+        large = KeyExchange(Ppuf.create(16, 4, np.random.default_rng(1)), params, b"s")
+        assert (
+            large.modeled_costs(esg_model).advantage_ratio
+            > small.modeled_costs(esg_model).advantage_ratio
+        )
+
+    def test_cost_structure(self, exchange, esg_model):
+        costs = exchange.modeled_costs(esg_model)
+        m = exchange.parameters.num_challenges
+        # Eavesdropper's expected work is (m+1)/2 of the initiator's.
+        assert costs.eavesdropper_seconds == pytest.approx(
+            (m + 1) / 2 * costs.initiator_seconds
+        )
+        assert isinstance(costs, ExchangeCosts)

@@ -1,0 +1,68 @@
+"""Command-line interface and PPUF persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import load_ppuf, main, ppuf_from_dict, ppuf_to_dict, save_ppuf
+from repro.errors import ReproError
+from repro.ppuf import Ppuf
+
+
+class TestPersistence:
+    def test_roundtrip_preserves_responses(self, tmp_path, rng):
+        ppuf = Ppuf.create(10, 3, rng)
+        path = tmp_path / "device.json"
+        save_ppuf(ppuf, str(path))
+        restored = load_ppuf(str(path))
+        challenges = ppuf.challenge_space().random_batch(10, rng)
+        assert np.array_equal(
+            ppuf.response_bits(challenges), restored.response_bits(challenges)
+        )
+
+    def test_roundtrip_preserves_variation(self, rng):
+        ppuf = Ppuf.create(6, 2, rng)
+        restored = ppuf_from_dict(ppuf_to_dict(ppuf))
+        assert np.allclose(
+            restored.network_a.sample.delta_vt, ppuf.network_a.sample.delta_vt
+        )
+        assert np.allclose(
+            restored.network_b.sample.systematic, ppuf.network_b.sample.systematic
+        )
+
+    def test_malformed_save_rejected(self):
+        with pytest.raises(ReproError):
+            ppuf_from_dict({"n": 5})
+
+
+class TestCommands:
+    def test_create_then_respond(self, tmp_path, capsys):
+        path = tmp_path / "device.json"
+        assert main(["create", "--nodes", "8", "--grid", "2", "--output", str(path)]) == 0
+        assert main(["respond", "--ppuf", str(path), "--count", "3"]) == 0
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        assert len(lines) == 3
+        for line in lines:
+            record = json.loads(line)
+            assert record["response"] in (0, 1)
+
+    def test_respond_is_deterministic_across_processes(self, tmp_path, capsys):
+        path = tmp_path / "device.json"
+        main(["create", "--nodes", "8", "--grid", "2", "--output", str(path)])
+        capsys.readouterr()
+        main(["respond", "--ppuf", str(path), "--count", "4", "--seed", "3"])
+        first = capsys.readouterr().out
+        main(["respond", "--ppuf", str(path), "--count", "4", "--seed", "3"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_protocol_accepts_self(self, tmp_path, capsys):
+        path = tmp_path / "device.json"
+        main(["create", "--nodes", "8", "--grid", "2", "--output", str(path)])
+        assert main(["protocol", "--ppuf", str(path), "--rounds", "2"]) == 0
+        assert "ACCEPTED" in capsys.readouterr().out

@@ -1,0 +1,18 @@
+"""Doctest runner for modules carrying executable docstring examples."""
+
+import doctest
+
+import repro
+import repro.units
+
+
+def test_units_doctests():
+    results = doctest.testmod(repro.units, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 1

@@ -1,0 +1,35 @@
+"""Units and constants."""
+
+import pytest
+
+from repro import units
+
+
+class TestThermalVoltage:
+    def test_room_temperature_value(self):
+        assert units.thermal_voltage(300.0) == pytest.approx(0.02585, abs=1e-5)
+
+    def test_scales_linearly(self):
+        assert units.thermal_voltage(600.0) == pytest.approx(
+            2 * units.thermal_voltage(300.0)
+        )
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
+
+
+class TestConversions:
+    def test_celsius(self):
+        assert units.celsius(0.0) == pytest.approx(273.15)
+        assert units.celsius(-20.0) == pytest.approx(253.15)
+
+    def test_prefixes(self):
+        assert units.milli(35.0) == pytest.approx(0.035)
+        assert units.micro(2.0) == pytest.approx(2e-6)
+        assert units.nano(5.0) == pytest.approx(5e-9)
+        assert units.pico(1.5) == pytest.approx(1.5e-12)
+        assert units.femto(0.6) == pytest.approx(6e-16)
+
+    def test_room_temperature_is_27c(self):
+        assert units.ROOM_TEMPERATURE == pytest.approx(units.celsius(27.0))

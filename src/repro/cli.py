@@ -28,7 +28,14 @@ from repro.ppuf import Ppuf
 # ----------------------------------------------------------------------
 # persistence (re-exported from repro.ppuf.io for backward compatibility)
 # ----------------------------------------------------------------------
-from repro.ppuf.io import load_ppuf, ppuf_from_dict, ppuf_to_dict, save_ppuf  # noqa: E402,F401
+from repro.ppuf.io import (  # noqa: E402,F401
+    load_crps,
+    load_ppuf,
+    ppuf_from_dict,
+    ppuf_to_dict,
+    save_crps,
+    save_ppuf,
+)
 
 
 # ----------------------------------------------------------------------
@@ -46,19 +53,43 @@ def _command_create(arguments) -> int:
 
 
 def _command_respond(arguments) -> int:
+    from repro.ppuf import BatchEvaluator, CRP, CRPDataset
+
     ppuf = load_ppuf(arguments.ppuf)
     rng = np.random.default_rng(arguments.seed)
-    space = ppuf.challenge_space()
-    for _ in range(arguments.count):
-        challenge = space.random(rng)
-        bit = ppuf.response(challenge, engine=arguments.engine)
-        record = {
-            "source": challenge.source,
-            "sink": challenge.sink,
-            "bits": challenge.bits.tolist(),
-            "response": int(bit),
-        }
-        print(json.dumps(record))
+    if arguments.input:
+        challenges = [crp.challenge for crp in load_crps(arguments.input)]
+    else:
+        space = ppuf.challenge_space()
+        challenges = [space.random(rng) for _ in range(arguments.count)]
+
+    if arguments.batch:
+        evaluator = BatchEvaluator(
+            ppuf,
+            engine=arguments.engine,
+            algorithm=arguments.algorithm,
+            workers=arguments.workers,
+        )
+        bits, report = evaluator.evaluate(challenges)
+        print(
+            f"# evaluated {report.challenges} challenges in "
+            f"{report.total_seconds:.3f} s ({report.throughput:.0f}/s; "
+            f"engine={report.engine}, algorithm={report.algorithm}, "
+            f"workers={report.workers}, chunks={report.chunks})",
+            file=sys.stderr,
+        )
+    else:
+        bits = [ppuf.response(c, engine=arguments.engine) for c in challenges]
+
+    dataset = CRPDataset(
+        [CRP(challenge, int(bit)) for challenge, bit in zip(challenges, bits)]
+    )
+    if arguments.output:
+        save_crps(dataset, arguments.output)
+        print(f"wrote {len(dataset)} CRPs -> {arguments.output}", file=sys.stderr)
+    else:
+        for crp in dataset:
+            print(json.dumps(crp.to_dict()))
     return 0
 
 
@@ -102,6 +133,27 @@ def build_parser() -> argparse.ArgumentParser:
     respond.add_argument("--count", type=int, default=5)
     respond.add_argument("--seed", type=int, default=0)
     respond.add_argument("--engine", choices=("maxflow", "circuit"), default="maxflow")
+    respond.add_argument(
+        "--batch",
+        action="store_true",
+        help="evaluate through the batched pipeline (repro.ppuf.batch)",
+    )
+    respond.add_argument(
+        "--algorithm",
+        default="batched",
+        help="batch solver: 'batched' (vectorised) or an exact solver name",
+    )
+    respond.add_argument(
+        "--workers", type=int, default=1, help="process count for --batch"
+    )
+    respond.add_argument(
+        "--input",
+        default=None,
+        help="CRP JSON file to take challenges from (responses recomputed)",
+    )
+    respond.add_argument(
+        "--output", default=None, help="write results as CRP JSON to this file"
+    )
     respond.set_defaults(handler=_command_respond)
 
     protocol = commands.add_parser("protocol", help="run an authentication session")

@@ -31,7 +31,8 @@ from repro.flow.residual import (
     verify_max_flow,
 )
 from repro.flow.edmonds_karp import edmonds_karp
-from repro.flow.dinic import dinic
+from repro.flow.dinic import blocking_flow, dinic
+from repro.flow.batched import BatchedFlowResult, batched_max_flow
 from repro.flow.push_relabel import push_relabel
 from repro.flow.capacity_scaling import capacity_scaling
 from repro.flow.highest_label import highest_label_push_relabel
@@ -50,7 +51,7 @@ from repro.flow.generators import (
     random_sparse_network,
 )
 from repro.flow.worstcase import layered_network, long_path_network, zigzag_network
-from repro.flow.instrument import OperationCounter, SolverTiming, time_solver
+from repro.flow.instrument import OperationCounter, SolverTiming, StageTimer, time_solver
 
 SOLVERS = {
     "edmonds_karp": edmonds_karp,
@@ -93,6 +94,9 @@ __all__ = [
     "solve_max_flow",
     "edmonds_karp",
     "dinic",
+    "blocking_flow",
+    "BatchedFlowResult",
+    "batched_max_flow",
     "push_relabel",
     "capacity_scaling",
     "highest_label_push_relabel",
@@ -117,5 +121,6 @@ __all__ = [
     "zigzag_network",
     "OperationCounter",
     "SolverTiming",
+    "StageTimer",
     "time_solver",
 ]

@@ -1,0 +1,210 @@
+"""Batched max-flow over a stack of dense instances.
+
+The batched CRP pipeline (:mod:`repro.ppuf.batch`) evaluates hundreds of
+small max-flow instances per call — one per challenge per network.  Solving
+them one at a time leaves numpy idle between tiny matrix operations, so this
+module advances *all* instances in lockstep over a ``(B, n, n)`` residual
+tensor: every breadth-first wave and every augmentation touches the whole
+batch with a handful of vectorised operations.
+
+The algorithm is shortest-augmenting-path (Edmonds–Karp): repeatedly run a
+batched BFS from each instance's source over its positive-residual edges,
+then push the bottleneck along each discovered path.  Parent selection
+breaks ties toward the lowest vertex index, so results are deterministic
+and — because no arithmetic couples instances — independent of how a
+workload is chunked into batches.
+
+Augmenting-path max-flow is exact for real capacities: every augmentation
+saturates at least one edge exactly (IEEE subtraction of a value from
+itself is 0.0), and the BFS-distance argument bounds the number of
+augmentations by O(V·E) without any integrality assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+@dataclass
+class BatchedFlowResult:
+    """Outcome of a batched max-flow computation.
+
+    Attributes
+    ----------
+    values:
+        ``(B,)`` max-flow values, one per instance.
+    residual:
+        ``(B, n, n)`` final residual capacities; the flow of instance ``b``
+        is ``clip(capacity[b] - residual[b], 0, capacity[b])``.
+    stats:
+        Aggregate operation counts: ``rounds`` (lockstep augmentation
+        rounds), ``augmentations`` (total paths pushed across the batch)
+        and ``bfs_edge_visits`` (comparable to the per-instance solvers:
+        ``n`` edge inspections per levelled vertex).
+    """
+
+    values: np.ndarray
+    residual: np.ndarray
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def batched_max_flow(
+    capacity: np.ndarray,
+    sources: np.ndarray,
+    sinks: np.ndarray,
+    *,
+    residual_out: np.ndarray = None,
+) -> BatchedFlowResult:
+    """Solve ``B`` independent dense max-flow instances in lockstep.
+
+    Parameters
+    ----------
+    capacity:
+        ``(B, n, n)`` non-negative capacities with zero diagonals.
+    sources, sinks:
+        Integer arrays of length ``B`` (or scalars, broadcast); per-instance
+        terminals, each pair distinct.
+    residual_out:
+        Optional preallocated ``(B, n, n)`` float64 buffer for the residual
+        state, letting a caller that solves many batches reuse one
+        allocation.  Overwritten with the capacities before solving.
+    """
+    capacity = np.asarray(capacity, dtype=np.float64)
+    if capacity.ndim != 3 or capacity.shape[1] != capacity.shape[2]:
+        raise GraphError(
+            f"batched capacities must have shape (B, n, n), got {capacity.shape}"
+        )
+    batch, n, _ = capacity.shape
+    if n < 2:
+        raise GraphError(f"a flow network needs at least 2 vertices, got {n}")
+    if np.any(capacity < 0):
+        raise GraphError("capacities must be non-negative")
+    if np.any(capacity[:, np.arange(n), np.arange(n)] != 0):
+        raise GraphError("self-loop capacities must be zero")
+    sources = np.broadcast_to(np.asarray(sources, dtype=np.int64), (batch,)).copy()
+    sinks = np.broadcast_to(np.asarray(sinks, dtype=np.int64), (batch,)).copy()
+    for terminals in (sources, sinks):
+        if terminals.size and (terminals.min() < 0 or terminals.max() >= n):
+            raise GraphError(f"terminal index out of range [0, {n})")
+    if np.any(sources == sinks):
+        raise GraphError("source and sink must differ in every instance")
+
+    if residual_out is None:
+        residual = capacity.copy()
+    else:
+        if residual_out.shape != capacity.shape or residual_out.dtype != np.float64:
+            raise GraphError(
+                f"residual_out must be a float64 buffer of shape "
+                f"{capacity.shape}, got {residual_out.dtype} {residual_out.shape}"
+            )
+        np.copyto(residual_out, capacity)
+        residual = residual_out
+    rounds = 0
+    augmentations = 0
+    bfs_edge_visits = 0
+
+    active = np.ones(batch, dtype=bool)
+    while active.any():
+        rounds += 1
+        idx = np.nonzero(active)[0]
+        parent, reached, visits = _batched_bfs(
+            residual[idx], sources[idx], sinks[idx]
+        )
+        bfs_edge_visits += visits
+        # Instances whose sink became unreachable hold a maximum flow.
+        active[idx[~reached]] = False
+        if not reached.any():
+            continue
+        live = idx[reached]
+        augmentations += int(live.size)
+        _augment_paths(
+            residual,
+            live,
+            parent[reached],
+            sources[live],
+            sinks[live],
+        )
+
+    flow = np.clip(capacity - residual, 0.0, capacity)
+    rows = np.arange(batch)
+    values = flow[rows, sources].sum(axis=1) - flow[rows, :, sources].sum(axis=1)
+    return BatchedFlowResult(
+        values=values,
+        residual=residual,
+        stats={
+            "rounds": rounds,
+            "augmentations": augmentations,
+            "bfs_edge_visits": bfs_edge_visits,
+        },
+    )
+
+
+def _batched_bfs(residual: np.ndarray, sources: np.ndarray, sinks: np.ndarray):
+    """One BFS wavefront sweep per instance of the (A, n, n) residual stack.
+
+    Returns ``(parent, reached, visits)``: shortest-path parent pointers
+    (-1 where unvisited), a boolean per instance marking whether its sink
+    was reached, and the edge-visit count.
+    """
+    count, n, _ = residual.shape
+    rows = np.arange(count)
+    positive = residual > 0
+    parent = np.full((count, n), -1, dtype=np.int64)
+    visited = np.zeros((count, n), dtype=bool)
+    visited[rows, sources] = True
+    frontier = visited.copy()
+    visits = 0
+    while True:
+        visits += int(frontier.sum()) * n
+        # candidates[a, u, v]: frontier vertex u of instance a offers edge u->v.
+        candidates = frontier[:, :, None] & positive
+        fresh = candidates.any(axis=1) & ~visited
+        if not fresh.any():
+            break
+        # argmax picks the first (lowest-index) offering frontier vertex.
+        chosen = np.argmax(candidates, axis=1)
+        parent[fresh] = chosen[fresh]
+        visited |= fresh
+        frontier = fresh
+        if visited[rows, sinks].all():
+            break
+    return parent, visited[rows, sinks], visits
+
+
+def _augment_paths(
+    residual: np.ndarray,
+    live: np.ndarray,
+    parent: np.ndarray,
+    sources: np.ndarray,
+    sinks: np.ndarray,
+) -> None:
+    """Push the bottleneck along each instance's parent path, vectorised.
+
+    ``live`` indexes into the full residual stack; ``parent``/``sources``/
+    ``sinks`` are aligned with it.  Paths have different lengths, so the
+    walk from sink to source advances all instances together and freezes
+    each one once it arrives.
+    """
+    count = live.size
+    rows = np.arange(count)
+    cursor = sinks.copy()
+    steps = []
+    bottleneck = np.full(count, np.inf)
+    pending = cursor != sources
+    while pending.any():
+        ahead = np.where(pending, parent[rows, cursor], cursor)
+        gathered = residual[live, ahead, cursor]
+        bottleneck = np.where(
+            pending, np.minimum(bottleneck, gathered), bottleneck
+        )
+        steps.append((pending, ahead, cursor.copy()))
+        cursor = ahead
+        pending = cursor != sources
+    for mask, tail, head in steps:
+        residual[live[mask], tail[mask], head[mask]] -= bottleneck[mask]
+        residual[live[mask], head[mask], tail[mask]] += bottleneck[mask]

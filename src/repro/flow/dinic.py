@@ -3,11 +3,19 @@
 Blocking flow is the sequential core of the best known parallel algorithm
 (Shiloach–Vishkin), which is why :mod:`repro.flow.parallel` wraps this module
 to build the paper's parallel-runtime cost model.
+
+The augmenting search walks an explicit stack rather than recursing: level
+graphs are as deep as the residual diameter, so a path-shaped instance (see
+:func:`repro.flow.worstcase.long_path_network`) would otherwise overflow
+Python's default recursion limit long before the sizes the scaling
+experiments need.  The level-graph BFS expands whole frontiers with numpy
+boolean reductions instead of a per-vertex queue for the same reason: its
+cost is bounded by the graph diameter, not the vertex count.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from typing import Dict
 
 import numpy as np
 
@@ -27,8 +35,31 @@ def dinic(network: FlowNetwork, source: int, sink: int) -> FlowResult:
     if source == sink:
         raise GraphError("source and sink must differ")
 
-    n = network.n
     residual = network.capacity.copy()
+    stats = blocking_flow(residual, source, sink)
+
+    flow = np.clip(network.capacity - residual, 0.0, network.capacity)
+    network.flow = flow.copy()
+    value = network.flow_value(source)
+    return FlowResult(
+        value=value,
+        flow=flow,
+        algorithm="dinic",
+        stats=stats,
+    )
+
+
+def blocking_flow(residual: np.ndarray, source: int, sink: int) -> Dict[str, int]:
+    """Run Dinic to completion on a dense residual matrix, in place.
+
+    This is the allocation-light core shared by :func:`dinic` and the batched
+    CRP pipeline (:mod:`repro.ppuf.batch`): the caller owns the ``residual``
+    buffer (initially a copy of the capacities) and reads the flow off it
+    afterwards as ``clip(capacity - residual, 0, capacity)``.
+
+    Returns the solver stats dictionary.
+    """
+    n = residual.shape[0]
     phases = 0
     augmentations = 0
     bfs_edge_visits = 0
@@ -42,40 +73,42 @@ def dinic(network: FlowNetwork, source: int, sink: int) -> FlowResult:
         # Per-vertex scan pointers make each phase O(V*E) worst case.
         pointer = np.zeros(n, dtype=np.int64)
         while True:
-            pushed = _dfs_push(residual, level, pointer, source, sink, np.inf)
+            pushed = _dfs_push(residual, level, pointer, source, sink)
             if pushed <= 0:
                 break
             augmentations += 1
 
-    flow = np.clip(network.capacity - residual, 0.0, network.capacity)
-    network.flow = flow.copy()
-    value = network.flow_value(source)
-    return FlowResult(
-        value=value,
-        flow=flow,
-        algorithm="dinic",
-        stats={
-            "phases": phases,
-            "augmentations": augmentations,
-            "bfs_edge_visits": bfs_edge_visits,
-        },
-    )
+    return {
+        "phases": phases,
+        "augmentations": augmentations,
+        "bfs_edge_visits": bfs_edge_visits,
+    }
 
 
 def _level_graph(residual: np.ndarray, source: int, sink: int):
-    """BFS levels over positive-residual edges; -1 marks unreachable."""
+    """BFS levels over positive-residual edges; -1 marks unreachable.
+
+    Whole frontiers advance at once: one boolean matrix reduction per level
+    instead of one ``nonzero`` per vertex, so the Python-loop count is the
+    residual diameter.
+    """
     n = residual.shape[0]
     level = np.full(n, -1, dtype=np.int64)
     level[source] = 0
-    queue = deque([source])
+    frontier = np.zeros(n, dtype=bool)
+    frontier[source] = True
     visits = 0
-    while queue:
-        u = queue.popleft()
-        visits += n
-        neighbours = np.nonzero((residual[u] > 0) & (level < 0))[0]
-        for v in neighbours.tolist():
-            level[v] = level[u] + 1
-            queue.append(v)
+    depth = 0
+    while True:
+        # Every frontier vertex scans its full residual row, as the queue
+        # version did: n edge visits per levelled vertex.
+        visits += int(frontier.sum()) * n
+        fresh = (residual[frontier] > 0).any(axis=0) & (level < 0)
+        if not fresh.any():
+            break
+        depth += 1
+        level[fresh] = depth
+        frontier = fresh
     return level, visits
 
 
@@ -83,23 +116,44 @@ def _dfs_push(
     residual: np.ndarray,
     level: np.ndarray,
     pointer: np.ndarray,
-    u: int,
+    source: int,
     sink: int,
-    limit: float,
 ) -> float:
-    """Send up to ``limit`` units from ``u`` to ``sink`` along level edges."""
-    if u == sink:
-        return limit
+    """Send flow from ``source`` to ``sink`` along one level-graph path.
+
+    Iterative depth-first search with an explicit vertex stack (``path``)
+    and the classic per-vertex scan pointers: an edge skipped once in a
+    phase is never admissible again within that phase (its level relation
+    is fixed and forward residuals only shrink), so each phase inspects
+    every edge O(1) times.  Returns the bottleneck pushed, or 0.0 when the
+    level graph is exhausted.
+    """
     n = residual.shape[0]
-    while pointer[u] < n:
-        v = int(pointer[u])
-        if residual[u, v] > 0 and level[v] == level[u] + 1:
-            pushed = _dfs_push(
-                residual, level, pointer, v, sink, min(limit, residual[u, v])
-            )
-            if pushed > 0:
-                residual[u, v] -= pushed
-                residual[v, u] += pushed
-                return pushed
-        pointer[u] += 1
+    path = [source]
+    while path:
+        u = path[-1]
+        if u == sink:
+            us = np.asarray(path[:-1], dtype=np.int64)
+            vs = np.asarray(path[1:], dtype=np.int64)
+            pushed = float(residual[us, vs].min())
+            residual[us, vs] -= pushed
+            residual[vs, us] += pushed
+            return pushed
+        start = int(pointer[u])
+        if start < n:
+            row = residual[u, start:]
+            admissible = np.nonzero((row > 0) & (level[start:] == level[u] + 1))[0]
+        else:
+            admissible = ()
+        if len(admissible):
+            v = start + int(admissible[0])
+            pointer[u] = v
+            path.append(v)
+        else:
+            # Dead end: retire this vertex for the phase and step the
+            # parent past the edge that led here.
+            pointer[u] = n
+            path.pop()
+            if path:
+                pointer[path[-1]] += 1
     return 0.0

@@ -10,12 +10,42 @@ machine-independently.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
 from repro.flow.graph import FlowNetwork, FlowResult
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock seconds per named pipeline stage.
+
+    The batched CRP pipeline times its prepare/solve/compare stages with
+    one of these; repeated entries into the same stage accumulate.
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Context manager charging the enclosed block to ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def get(self, name: str) -> float:
+        """Accumulated seconds for a stage (0.0 if never entered)."""
+        return self.seconds.get(name, 0.0)
+
+    def total(self) -> float:
+        """Sum across all stages."""
+        return sum(self.seconds.values())
 
 
 @dataclass

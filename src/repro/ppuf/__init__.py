@@ -12,6 +12,7 @@ from repro.ppuf.crossbar import Crossbar
 from repro.ppuf.challenge import Challenge, ChallengeSpace
 from repro.ppuf.comparator import CurrentComparator
 from repro.ppuf.device import Ppuf, PpufNetwork
+from repro.ppuf.batch import BatchEvaluator, BatchReport
 from repro.ppuf.crp import CRP, CRPDataset
 from repro.ppuf.delay import lin_mead_delay_bound, effective_edge_resistance
 from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
@@ -28,6 +29,8 @@ __all__ = [
     "CurrentComparator",
     "Ppuf",
     "PpufNetwork",
+    "BatchEvaluator",
+    "BatchReport",
     "CRP",
     "CRPDataset",
     "lin_mead_delay_bound",

@@ -1,0 +1,339 @@
+"""Batched CRP evaluation: challenge matrix in, response vector out.
+
+:meth:`repro.ppuf.device.Ppuf.response` pays a full Python round trip per
+challenge — edge-bit expansion, a fresh :class:`FlowNetwork`, a solver run,
+a comparator call.  The attack experiments consume thousands of CRPs per
+run and the protocol examples serve many verifiers at once, so this module
+turns the loop inside out:
+
+* capacities for *all* challenges of a chunk are assembled into one
+  ``(2·C, n, n)`` tensor (network A rows first, then network B), reusing
+  the per-bit capacity caches of :class:`~repro.ppuf.device.PpufNetwork`
+  and a preallocated capacity/residual buffer pair across chunks;
+* the default ``"batched"`` algorithm hands the whole tensor to
+  :func:`repro.flow.batched.batched_max_flow`, which advances every
+  instance in lockstep with vectorised wavefronts;
+* naming an exact per-instance solver (``"dinic"``, ``"push_relabel"``,
+  …) instead evaluates challenges one at a time with the same arithmetic
+  as the sequential path — bit-for-bit identical to looping
+  :meth:`~repro.ppuf.device.Ppuf.response` — while still skipping the
+  per-challenge object churn;
+* ``workers > 1`` fans chunks out over a :class:`ProcessPoolExecutor`;
+  chunk results are reassembled in submission order, and because no
+  arithmetic couples challenges, the response bits are independent of the
+  worker count and chunking.
+
+The ``"batched"`` solver reaches the same max-flow values as the exact
+solvers up to float rounding (the value is unique; only the augmentation
+order differs).  Comparator margins are astronomically larger than one
+ulp, so response bits agree — the equivalence test suite pins this.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SolverError
+from repro.flow import SOLVERS, FlowNetwork, batched_max_flow, blocking_flow
+from repro.flow.instrument import StageTimer
+from repro.ppuf.challenge import Challenge
+from repro.ppuf.engines import check_engine
+
+#: The cross-challenge vectorised solver (see :mod:`repro.flow.batched`).
+BATCHED_ALGORITHM = "batched"
+
+#: Default number of challenges per solver chunk.  Bounds the dense tensor
+#: at ``2 * 256 * n²`` floats and gives the process pool units of work.
+DEFAULT_CHUNK_SIZE = 256
+
+
+@dataclass
+class BatchReport:
+    """Structured accounting of one batched evaluation.
+
+    Benchmarks and the protocol experiments read this instead of timing
+    around the call themselves.
+
+    Attributes
+    ----------
+    challenges:
+        Number of challenges evaluated.
+    engine, algorithm, workers, chunks:
+        Pipeline configuration actually used.
+    prepare_seconds, solve_seconds, compare_seconds:
+        Accumulated per-stage wall clock (summed across chunks; with
+        ``workers > 1`` chunks overlap, so stage sums can exceed
+        ``total_seconds``).
+    total_seconds:
+        End-to-end wall clock of :meth:`BatchEvaluator.evaluate`.
+    solver_stats:
+        Operation counts merged across all solves (keys depend on the
+        algorithm, e.g. ``rounds``/``augmentations``/``bfs_edge_visits``).
+    """
+
+    challenges: int
+    engine: str
+    algorithm: str
+    workers: int
+    chunks: int
+    prepare_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    compare_seconds: float = 0.0
+    total_seconds: float = 0.0
+    solver_stats: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Challenges evaluated per wall-clock second."""
+        if self.total_seconds <= 0.0:
+            return 0.0
+        return self.challenges / self.total_seconds
+
+
+class BatchEvaluator:
+    """Reusable batched response pipeline for one PPUF.
+
+    Parameters
+    ----------
+    ppuf:
+        The :class:`~repro.ppuf.device.Ppuf` to evaluate.
+    engine:
+        ``"maxflow"`` (default) or ``"circuit"``.
+    algorithm:
+        ``"batched"`` (default, maxflow engine only) or any exact solver
+        name from :data:`repro.flow.SOLVERS`.
+    workers:
+        Process count; 1 evaluates inline.
+    chunk_size:
+        Challenges per solver chunk (default :data:`DEFAULT_CHUNK_SIZE`).
+    """
+
+    def __init__(
+        self,
+        ppuf,
+        *,
+        engine: str = "maxflow",
+        algorithm: str = BATCHED_ALGORITHM,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ):
+        check_engine(engine)
+        if algorithm != BATCHED_ALGORITHM and algorithm not in SOLVERS:
+            known = ", ".join([BATCHED_ALGORITHM] + sorted(SOLVERS))
+            raise SolverError(
+                f"unknown algorithm {algorithm!r}; expected one of {known}"
+            )
+        if workers < 1:
+            raise SolverError(f"workers must be >= 1, got {workers}")
+        if chunk_size is None:
+            chunk_size = DEFAULT_CHUNK_SIZE
+        if chunk_size < 1:
+            raise SolverError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.ppuf = ppuf
+        self.engine = engine
+        self.algorithm = algorithm
+        self.workers = int(workers)
+        self.chunk_size = int(chunk_size)
+        crossbar = ppuf.crossbar
+        self._cells = crossbar.edge_cells()
+        self._edge_src, self._edge_dst = crossbar.edge_endpoints()
+        # Dense capacity/residual buffers, allocated once and reused for
+        # every full-size chunk this evaluator sees.
+        self._capacity_buffer: Optional[np.ndarray] = None
+        self._residual_buffer: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, challenges: Sequence[Challenge]
+    ) -> Tuple[np.ndarray, BatchReport]:
+        """Evaluate a challenge batch; returns ``(bits, report)``.
+
+        ``bits`` is a uint8 vector aligned with the input order.
+        """
+        started = time.perf_counter()
+        challenges = list(challenges)
+        for challenge in challenges:
+            self.ppuf._check_challenge(challenge)
+        chunks = [
+            challenges[i: i + self.chunk_size]
+            for i in range(0, len(challenges), self.chunk_size)
+        ]
+        if not chunks:
+            report = BatchReport(
+                challenges=0,
+                engine=self.engine,
+                algorithm=self.algorithm,
+                workers=self.workers,
+                chunks=0,
+                total_seconds=time.perf_counter() - started,
+            )
+            return np.zeros(0, dtype=np.uint8), report
+
+        if self.workers == 1 or len(chunks) == 1:
+            outcomes = [self._evaluate_chunk(chunk) for chunk in chunks]
+            workers_used = 1
+        else:
+            workers_used = min(self.workers, len(chunks))
+            with ProcessPoolExecutor(
+                max_workers=workers_used,
+                initializer=_worker_init,
+                initargs=(
+                    self.ppuf,
+                    self.engine,
+                    self.algorithm,
+                    self.chunk_size,
+                ),
+            ) as pool:
+                # Executor.map preserves submission order, so the result
+                # vector is deterministic regardless of completion order.
+                outcomes = list(pool.map(_worker_chunk, chunks))
+
+        bits = np.concatenate([chunk_bits for chunk_bits, _, _ in outcomes])
+        report = BatchReport(
+            challenges=len(challenges),
+            engine=self.engine,
+            algorithm=self.algorithm,
+            workers=workers_used,
+            chunks=len(chunks),
+            total_seconds=time.perf_counter() - started,
+        )
+        for _, seconds, stats in outcomes:
+            report.prepare_seconds += seconds.get("prepare", 0.0)
+            report.solve_seconds += seconds.get("solve", 0.0)
+            report.compare_seconds += seconds.get("compare", 0.0)
+            for key, value in stats.items():
+                report.solver_stats[key] = report.solver_stats.get(key, 0) + value
+        return bits, report
+
+    # ------------------------------------------------------------------
+    # chunk evaluation (also runs inside pool workers)
+    # ------------------------------------------------------------------
+    def _evaluate_chunk(
+        self, challenges: List[Challenge]
+    ) -> Tuple[np.ndarray, Dict[str, float], Dict[str, int]]:
+        if self.engine == "circuit":
+            return self._evaluate_chunk_circuit(challenges)
+        return self._evaluate_chunk_maxflow(challenges)
+
+    def _buffers(self, instances: int, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of the reusable dense buffers sized for this chunk."""
+        capacity = self._capacity_buffer
+        if capacity is None or capacity.shape[0] < instances or capacity.shape[1] != n:
+            size = max(instances, 2 * self.chunk_size)
+            self._capacity_buffer = np.zeros((size, n, n), dtype=np.float64)
+            self._residual_buffer = np.empty((size, n, n), dtype=np.float64)
+            capacity = self._capacity_buffer
+        return capacity[:instances], self._residual_buffer[:instances]
+
+    def _evaluate_chunk_maxflow(self, challenges):
+        timer = StageTimer()
+        ppuf = self.ppuf
+        n = ppuf.n
+        count = len(challenges)
+        src, dst = self._edge_src, self._edge_dst
+        with timer.stage("prepare"):
+            capacity, residual = self._buffers(2 * count, n)
+            terminals = np.empty((2, 2 * count), dtype=np.int64)
+            per_bit = [
+                (
+                    network._capacities_for_bit(0),
+                    network._capacities_for_bit(1),
+                )
+                for network in (ppuf.network_a, ppuf.network_b)
+            ]
+            for index, challenge in enumerate(challenges):
+                # Same selection arithmetic as Crossbar.bits_for_edges +
+                # PpufNetwork.capacities, minus the per-call validation.
+                choose = challenge.bits[self._cells] == 1
+                terminals[0, index] = terminals[0, index + count] = challenge.source
+                terminals[1, index] = terminals[1, index + count] = challenge.sink
+                for half, (cap0, cap1) in enumerate(per_bit):
+                    capacity[index + half * count, src, dst] = np.where(
+                        choose, cap1, cap0
+                    )
+        stats: Dict[str, int] = {}
+        if self.algorithm == BATCHED_ALGORITHM:
+            with timer.stage("solve"):
+                result = batched_max_flow(
+                    capacity, terminals[0], terminals[1], residual_out=residual
+                )
+                values = result.values
+                stats = result.stats
+        else:
+            values = np.empty(2 * count, dtype=np.float64)
+            with timer.stage("solve"):
+                for row in range(2 * count):
+                    values[row] = self._solve_single(
+                        capacity[row],
+                        residual[row],
+                        int(terminals[0, row]),
+                        int(terminals[1, row]),
+                        stats,
+                    )
+        with timer.stage("compare"):
+            comparator = ppuf.comparator
+            bits = (
+                (values[:count] + comparator.offset) > values[count:]
+            ).astype(np.uint8)
+        return bits, timer.seconds, stats
+
+    def _solve_single(self, capacity, residual, source, sink, stats):
+        """One exact solve, arithmetic-identical to the sequential path."""
+        if self.algorithm == "dinic":
+            np.copyto(residual, capacity)
+            run = blocking_flow(residual, source, sink)
+            flow = np.clip(capacity - residual, 0.0, capacity)
+            value = float(flow[source].sum() - flow[:, source].sum())
+        else:
+            network = FlowNetwork.from_capacity_matrix(capacity)
+            result = SOLVERS[self.algorithm](network, source, sink)
+            run = result.stats
+            value = result.value
+        for key, count in run.items():
+            stats[key] = stats.get(key, 0) + int(count)
+        return value
+
+    def _evaluate_chunk_circuit(self, challenges):
+        timer = StageTimer()
+        ppuf = self.ppuf
+        count = len(challenges)
+        currents = np.empty((2, count), dtype=np.float64)
+        with timer.stage("solve"):
+            for index, challenge in enumerate(challenges):
+                edge_bits = challenge.bits[self._cells]
+                for half, network in enumerate((ppuf.network_a, ppuf.network_b)):
+                    currents[half, index] = network.circuit_current(
+                        edge_bits, challenge.source, challenge.sink
+                    )
+        with timer.stage("compare"):
+            comparator = ppuf.comparator
+            bits = ((currents[0] + comparator.offset) > currents[1]).astype(np.uint8)
+        return bits, timer.seconds, {"dc_solves": 2 * count}
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing (module level so the pool can pickle it)
+# ----------------------------------------------------------------------
+_WORKER_EVALUATOR: Optional[BatchEvaluator] = None
+
+
+def _worker_init(ppuf, engine, algorithm, chunk_size):
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = BatchEvaluator(
+        ppuf,
+        engine=engine,
+        algorithm=algorithm,
+        workers=1,
+        chunk_size=chunk_size,
+    )
+
+
+def _worker_chunk(challenges):
+    return _WORKER_EVALUATOR._evaluate_chunk(challenges)

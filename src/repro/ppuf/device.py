@@ -135,6 +135,10 @@ class PpufNetwork:
     def edge_table(self, edge_bits: np.ndarray) -> EdgeTable:
         """Per-challenge table assembled by row selection from the bit caches."""
         edge_bits = np.asarray(edge_bits)
+        if edge_bits.shape != (self.crossbar.num_edges,):
+            raise ChallengeError(
+                f"expected {self.crossbar.num_edges} edge bits, got {edge_bits.shape}"
+            )
         table0 = self._table_for_bit(0)
         table1 = self._table_for_bit(1)
         select = (edge_bits == 1)[:, None]
@@ -262,6 +266,35 @@ class Ppuf:
         return np.array(
             [self.response(c, engine=engine) for c in challenges], dtype=np.uint8
         )
+
+    def responses(
+        self,
+        challenges,
+        *,
+        engine: str = "maxflow",
+        algorithm: str = "batched",
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+    ) -> np.ndarray:
+        """Batched response bits: challenge matrix in, response vector out.
+
+        The throughput path: capacities for all challenges are assembled
+        into one tensor and solved in lockstep (``algorithm="batched"``),
+        or one at a time with an exact named solver.  See
+        :class:`repro.ppuf.batch.BatchEvaluator` for the pipeline and
+        :class:`repro.ppuf.batch.BatchReport` for per-stage accounting.
+        """
+        from repro.ppuf.batch import BatchEvaluator
+
+        evaluator = BatchEvaluator(
+            self,
+            engine=engine,
+            algorithm=algorithm,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        bits, _ = evaluator.evaluate(challenges)
+        return bits
 
     def at_environment(
         self,

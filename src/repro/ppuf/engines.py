@@ -22,6 +22,19 @@ from repro.errors import SolverError
 ENGINE_NAMES = ("maxflow", "circuit")
 
 
+def check_engine(engine: str) -> str:
+    """Validate an engine name, returning it unchanged.
+
+    Shared by the per-challenge path here and the batched pipeline in
+    :mod:`repro.ppuf.batch` so both reject unknown engines identically.
+    """
+    if engine not in ENGINE_NAMES:
+        raise SolverError(
+            f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
+        )
+    return engine
+
+
 def network_current(network, challenge, engine: str, *, algorithm: str = "dinic") -> float:
     """Source current of one PPUF network for a challenge.
 
@@ -36,13 +49,10 @@ def network_current(network, challenge, engine: str, *, algorithm: str = "dinic"
     algorithm:
         Max-flow solver name (maxflow engine only).
     """
+    check_engine(engine)
     edge_bits = network.crossbar.bits_for_edges(challenge.bits)
     if engine == "maxflow":
         return network.maxflow_current(
             edge_bits, challenge.source, challenge.sink, algorithm=algorithm
         )
-    if engine == "circuit":
-        return network.circuit_current(edge_bits, challenge.source, challenge.sink)
-    raise SolverError(
-        f"unknown engine {engine!r}; expected one of {ENGINE_NAMES}"
-    )
+    return network.circuit_current(edge_bits, challenge.source, challenge.sink)

@@ -18,6 +18,7 @@ from repro.circuit.ptm32 import OperatingConditions, Technology
 from repro.circuit.variation import VariationSample
 from repro.errors import ReproError
 from repro.ppuf.crossbar import Crossbar
+from repro.ppuf.crp import CRPDataset
 from repro.ppuf.device import Ppuf, PpufNetwork
 
 
@@ -72,3 +73,24 @@ def load_ppuf(path: str) -> Ppuf:
     """Rebuild a device from a JSON file written by :func:`save_ppuf`."""
     with open(path) as handle:
         return ppuf_from_dict(json.load(handle))
+
+
+def save_crps(dataset: CRPDataset, path: str) -> None:
+    """Write a CRP dataset to a JSON file (the CLI's batch wire format)."""
+    with open(path, "w") as handle:
+        handle.write(dataset.to_json())
+
+
+def load_crps(path: str) -> CRPDataset:
+    """Read a CRP dataset written by :func:`save_crps`.
+
+    Raises :class:`ReproError` on a malformed file.
+    """
+    try:
+        with open(path) as handle:
+            text = handle.read()
+        return CRPDataset.from_json(text)
+    except OSError as error:
+        raise ReproError(f"cannot read CRP file {path!r}: {error}") from error
+    except (KeyError, TypeError, ValueError) as error:
+        raise ReproError(f"malformed CRP file {path!r}: {error}") from error

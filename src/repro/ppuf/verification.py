@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import FlowError, VerificationError
 from repro.flow import FlowNetwork, solve_max_flow, verify_max_flow
 from repro.flow.decomposition import PathFlow, decompose_flow, recompose_flow
+from repro.flow.graph import DEFAULT_RTOL
 from repro.ppuf.challenge import Challenge
 
 
@@ -121,11 +122,16 @@ class PpufVerifier:
 
     network: "object"  # repro.ppuf.device.PpufNetwork
 
-    def verify(self, claim: FlowClaim) -> bool:
+    def verify(self, claim: FlowClaim, *, rtol: float = DEFAULT_RTOL) -> bool:
         """Accept iff the claimed flow is feasible, maximal and value-true.
 
         Raises :class:`VerificationError` on an infeasible (cheating) flow;
-        returns ``False`` for a feasible but sub-maximal one.
+        returns ``False`` for a feasible but sub-maximal one.  The claimed
+        value must match the shipped flow within ``rtol`` relative to the
+        recomputed value — :data:`repro.flow.graph.DEFAULT_RTOL` by
+        default, the same tolerance every flow comparison in this package
+        uses (an honest prover's value is recomputed from its own flow
+        matrix, so the default is safely tight).
         """
         edge_bits = self.network.crossbar.bits_for_edges(claim.challenge.bits)
         instance = self.network.flow_network(edge_bits)
@@ -147,9 +153,9 @@ class PpufVerifier:
         instance.flow = flow
         actual_value = instance.flow_value(claim.challenge.source)
         scale = max(abs(actual_value), 1e-30)
-        return abs(actual_value - claim.value) <= 1e-6 * scale
+        return abs(actual_value - claim.value) <= rtol * scale
 
-    def verify_compact(self, claim: CompactClaim) -> bool:
+    def verify_compact(self, claim: CompactClaim, *, rtol: float = DEFAULT_RTOL) -> bool:
         """Verify a path-decomposition claim.
 
         Rebuilds the dense flow (raising :class:`VerificationError` for
@@ -160,10 +166,10 @@ class PpufVerifier:
             expanded = claim.to_flow_claim(n)
         except FlowError as error:
             raise VerificationError(f"malformed path claim: {error}") from error
-        return self.verify(expanded)
+        return self.verify(expanded, rtol=rtol)
 
-    def timed_verify(self, claim: FlowClaim):
+    def timed_verify(self, claim: FlowClaim, *, rtol: float = DEFAULT_RTOL):
         """``(accepted, verifier_seconds)`` — the asymmetry measurement."""
         start = time.perf_counter()
-        accepted = self.verify(claim)
+        accepted = self.verify(claim, rtol=rtol)
         return accepted, time.perf_counter() - start

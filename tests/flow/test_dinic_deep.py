@@ -1,0 +1,59 @@
+"""Regression: Dinic on deep augmenting paths.
+
+The blocking-flow search used to recurse once per path vertex, so a chain
+of ~1200 nodes overflowed Python's default recursion limit (1000).  The
+search now walks an explicit stack; these tests pin a level graph five
+times deeper than the old crash threshold, with the recursion limit forced
+down to the default so an accidental return to recursion fails loudly.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.flow import blocking_flow, dinic, long_path_network
+
+DEFAULT_RECURSION_LIMIT = 1000
+
+
+@pytest.fixture
+def default_recursion_limit():
+    """Run the test body under CPython's default recursion limit."""
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(DEFAULT_RECURSION_LIMIT)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+class TestDeepChain:
+    def test_5000_node_chain_at_default_recursion_limit(
+        self, default_recursion_limit
+    ):
+        length = 5000
+        network = long_path_network(length, capacity=1.0)
+        result = dinic(network, 0, length)
+        assert result.value == pytest.approx(1.0)
+        # One level-graph build finds the single path; one augmentation
+        # saturates it end to end.
+        assert result.stats["phases"] == 1
+        assert result.stats["augmentations"] == 1
+
+    def test_deep_chain_flow_saturates_every_edge(self, default_recursion_limit):
+        length = 1500  # past the old ~1200-node crash threshold
+        network = long_path_network(length, capacity=2.5)
+        result = dinic(network, 0, length)
+        assert result.value == pytest.approx(2.5)
+        chain = np.arange(length)
+        assert np.allclose(result.flow[chain, chain + 1], 2.5)
+
+    def test_blocking_flow_core_runs_in_place(self):
+        network = long_path_network(64, capacity=3.0)
+        residual = network.capacity.copy()
+        stats = blocking_flow(residual, 0, 64)
+        assert stats["phases"] == 1
+        assert stats["augmentations"] == 1
+        flow = np.clip(network.capacity - residual, 0.0, network.capacity)
+        assert flow[0].sum() - flow[:, 0].sum() == pytest.approx(3.0)

@@ -134,6 +134,13 @@ class TestCircuitEngine:
         assert agreements >= 5
 
 
+    def test_wrong_edge_bit_count_rejected_by_edge_table(self, small_ppuf):
+        # Same contract as capacities(): a malformed bit vector must raise
+        # instead of silently broadcasting into the row selection.
+        with pytest.raises(ChallengeError):
+            small_ppuf.network_a.edge_table(np.zeros(3, dtype=np.uint8))
+
+
 class TestEnvironment:
     def test_corner_shares_silicon(self, small_ppuf):
         corner = small_ppuf.at_environment(supply_scale=1.1)

@@ -101,6 +101,27 @@ class TestVerificationProtocol:
         )
         assert not verifier.verify(inflated)
 
+    def test_value_tolerance_is_package_default_and_tunable(
+        self, small_ppuf, rng
+    ):
+        """The value check uses DEFAULT_RTOL (1e-9), not a private 1e-6."""
+        challenge = small_ppuf.challenge_space().random(rng)
+        prover = PpufProver(small_ppuf.network_a)
+        verifier = PpufVerifier(small_ppuf.network_a)
+        claim = prover.answer(challenge)
+        # Off by 1e-7 relative: the old hard-coded 1e-6 tolerance accepted
+        # this; the unified default must reject it, and a caller asking for
+        # the looser tolerance explicitly must get it back.
+        skewed = FlowClaim(
+            challenge=challenge,
+            flow=claim.flow,
+            value=claim.value * (1.0 + 1e-7),
+            elapsed_seconds=claim.elapsed_seconds,
+        )
+        assert verifier.verify(claim)
+        assert not verifier.verify(skewed)
+        assert verifier.verify(skewed, rtol=1e-6)
+
     def test_wrong_shape_rejected(self, small_ppuf, rng):
         challenge = small_ppuf.challenge_space().random(rng)
         verifier = PpufVerifier(small_ppuf.network_a)

@@ -5,7 +5,14 @@ import json
 import numpy as np
 import pytest
 
-from repro.cli import load_ppuf, main, ppuf_from_dict, ppuf_to_dict, save_ppuf
+from repro.cli import (
+    load_crps,
+    load_ppuf,
+    main,
+    ppuf_from_dict,
+    ppuf_to_dict,
+    save_ppuf,
+)
 from repro.errors import ReproError
 from repro.ppuf import Ppuf
 
@@ -60,6 +67,57 @@ class TestCommands:
         main(["respond", "--ppuf", str(path), "--count", "4", "--seed", "3"])
         second = capsys.readouterr().out
         assert first == second
+
+    def test_respond_batch_matches_sequential_output(self, tmp_path, capsys):
+        path = tmp_path / "device.json"
+        main(["create", "--nodes", "8", "--grid", "2", "--output", str(path)])
+        capsys.readouterr()
+        main(["respond", "--ppuf", str(path), "--count", "6", "--seed", "11"])
+        sequential = capsys.readouterr().out
+        main(
+            ["respond", "--ppuf", str(path), "--count", "6", "--seed", "11", "--batch"]
+        )
+        batched = capsys.readouterr().out
+        assert batched == sequential
+
+    def test_respond_batch_crp_roundtrip(self, tmp_path, capsys):
+        device = tmp_path / "device.json"
+        first_file = tmp_path / "crps.json"
+        second_file = tmp_path / "again.json"
+        main(["create", "--nodes", "8", "--grid", "2", "--output", str(device)])
+        assert (
+            main(
+                [
+                    "respond", "--ppuf", str(device), "--count", "5",
+                    "--batch", "--output", str(first_file),
+                ]
+            )
+            == 0
+        )
+        # Re-evaluate the saved challenges through the multi-process path.
+        assert (
+            main(
+                [
+                    "respond", "--ppuf", str(device), "--input", str(first_file),
+                    "--batch", "--workers", "2", "--output", str(second_file),
+                ]
+            )
+            == 0
+        )
+        first = load_crps(str(first_file))
+        second = load_crps(str(second_file))
+        assert [crp.challenge.key() for crp in first] == [
+            crp.challenge.key() for crp in second
+        ]
+        assert [crp.response for crp in first] == [crp.response for crp in second]
+
+    def test_malformed_crp_input_rejected(self, tmp_path, capsys):
+        device = tmp_path / "device.json"
+        main(["create", "--nodes", "8", "--grid", "2", "--output", str(device)])
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"nope": 1}')
+        assert main(["respond", "--ppuf", str(device), "--input", str(bad)]) == 2
+        assert "malformed CRP file" in capsys.readouterr().err
 
     def test_protocol_accepts_self(self, tmp_path, capsys):
         path = tmp_path / "device.json"

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 from scipy.optimize import brentq
 
 from repro.circuit.devices.diode import diode_voltage

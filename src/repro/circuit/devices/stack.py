@@ -18,8 +18,7 @@ construction (verified in :mod:`repro.blocks.passivity`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 from scipy.optimize import brentq

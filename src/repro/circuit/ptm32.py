@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.errors import DeviceError
-from repro.units import ROOM_TEMPERATURE, celsius, femto, milli, micro
+from repro.units import ROOM_TEMPERATURE, celsius, femto, milli
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ Euler is A-stable) and convergence per step is guaranteed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 import scipy.linalg

@@ -5,6 +5,9 @@
 * ``create``     fabricate a PPUF and save its variation state to JSON
 * ``respond``    evaluate challenges on a saved PPUF
 * ``protocol``   run a time-bounded authentication session against itself
+* ``serve``      host the networked authentication service (see
+  :mod:`repro.service`)
+* ``auth``       authenticate a saved PPUF against a running server
 * ``experiments``  regenerate the paper's tables/figures (see
   :mod:`repro.experiments.all`)
 
@@ -110,6 +113,71 @@ def _command_protocol(arguments) -> int:
     return 0 if result.accepted else 1
 
 
+def _command_serve(arguments) -> int:
+    import asyncio
+
+    from repro.service import DeviceRegistry, PpufAuthServer
+
+    registry = DeviceRegistry(arguments.registry)
+    for path in arguments.enroll:
+        device_id = registry.enroll_ppuf(load_ppuf(path))
+        print(f"enrolled {path} as {device_id[:16]}…", file=sys.stderr)
+    server = PpufAuthServer(
+        registry,
+        host=arguments.host,
+        port=arguments.port,
+        deadline_seconds=arguments.deadline,
+        idle_timeout=arguments.idle_timeout,
+        rounds=arguments.rounds,
+        workers=arguments.workers,
+        seed=arguments.seed,
+        allow_enroll=not arguments.no_enroll,
+    )
+
+    async def _serve() -> None:
+        await server.start()
+        print(
+            f"serving on {server.host}:{server.port} "
+            f"({len(registry)} devices, {arguments.workers} verify workers)",
+            file=sys.stderr,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("server stopped", file=sys.stderr)
+    return 0
+
+
+def _command_auth(arguments) -> int:
+    from repro.service import authenticate_device, enroll_device, fetch_stats
+
+    ppuf = load_ppuf(arguments.ppuf)
+    if arguments.enroll:
+        device_id = enroll_device(arguments.host, arguments.port, ppuf)
+        print(f"enrolled as {device_id[:16]}…", file=sys.stderr)
+    outcome = authenticate_device(
+        arguments.host,
+        arguments.port,
+        ppuf,
+        network=arguments.network,
+        rounds=arguments.rounds,
+    )
+    for entry in outcome.transcript:
+        print(
+            f"round {entry['round']}: value={entry['value']:.6g} A "
+            f"(deadline {entry['deadline_seconds']:g} s)"
+        )
+    print(f"{'ACCEPTED' if outcome.accepted else 'REJECTED'} ({outcome.reason})")
+    if arguments.stats:
+        print(json.dumps(fetch_stats(arguments.host, arguments.port), indent=2))
+    return 0 if outcome.accepted else 1
+
+
 def _command_experiments(arguments) -> int:
     from repro.experiments.all import run_all
 
@@ -161,6 +229,52 @@ def build_parser() -> argparse.ArgumentParser:
     protocol.add_argument("--rounds", type=int, default=4)
     protocol.add_argument("--seed", type=int, default=0)
     protocol.set_defaults(handler=_command_protocol)
+
+    serve = commands.add_parser("serve", help="host the authentication service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7341)
+    serve.add_argument(
+        "--registry", default=None, help="directory of enrolled devices (persistent)"
+    )
+    serve.add_argument(
+        "--enroll",
+        action="append",
+        default=[],
+        metavar="PPUF_JSON",
+        help="enroll a saved PPUF at startup (repeatable)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=5.0, help="per-round response deadline [s]"
+    )
+    serve.add_argument("--idle-timeout", type=float, default=60.0)
+    serve.add_argument("--rounds", type=int, default=4)
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="verification processes (0 = in-thread verification)",
+    )
+    serve.add_argument("--seed", type=int, default=None, help="challenge-sampling seed")
+    serve.add_argument(
+        "--no-enroll", action="store_true", help="reject wire enrollment requests"
+    )
+    serve.set_defaults(handler=_command_serve)
+
+    auth = commands.add_parser("auth", help="authenticate against a running server")
+    auth.add_argument("--host", default="127.0.0.1")
+    auth.add_argument("--port", type=int, default=7341)
+    auth.add_argument("--ppuf", default="ppuf.json")
+    auth.add_argument("--network", choices=("a", "b"), default="a")
+    auth.add_argument(
+        "--rounds", type=int, default=None, help="request a round count (server caps)"
+    )
+    auth.add_argument(
+        "--enroll", action="store_true", help="enroll the device before authenticating"
+    )
+    auth.add_argument(
+        "--stats", action="store_true", help="print the server STATS snapshot afterwards"
+    )
+    auth.set_defaults(handler=_command_auth)
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

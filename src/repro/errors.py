@@ -41,3 +41,7 @@ class VerificationError(ReproError):
 
 class AttackError(ReproError):
     """Raised for invalid model-building attack configurations."""
+
+
+class ServiceError(ReproError):
+    """Raised for networked-service failures (wire, registry, sessions)."""

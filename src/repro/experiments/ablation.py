@@ -16,7 +16,7 @@ import dataclasses
 
 import numpy as np
 
-from repro.circuit.ptm32 import NOMINAL_CONDITIONS, PTM32
+from repro.circuit.ptm32 import PTM32
 from repro.experiments.base import ExperimentTable
 from repro.ppuf import CurrentComparator, Ppuf
 from repro.ppuf.engines import network_current

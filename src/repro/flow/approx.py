@@ -77,7 +77,6 @@ def approximate_max_flow(
     if source == sink:
         raise GraphError("source and sink must differ")
 
-    n = network.n
     m = max(network.num_edges, 1)
     residual = network.capacity.copy()
     max_cap = float(network.capacity.max())

@@ -15,7 +15,6 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.errors import FlowError
-from repro.flow.graph import FlowNetwork
 
 
 @dataclass(frozen=True)

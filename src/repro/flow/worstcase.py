@@ -9,7 +9,6 @@ PPUF's benign topology.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import GraphError
 from repro.flow.graph import FlowNetwork
@@ -62,8 +61,11 @@ def zigzag_network(segments: int, *, big: float = 1e6) -> FlowNetwork:
     n = 2 * segments + 2
     network = FlowNetwork(n)
     source, sink = 0, n - 1
-    top = lambda i: 1 + i
-    bottom = lambda i: 1 + segments + i
+    def top(i):
+        return 1 + i
+
+    def bottom(i):
+        return 1 + segments + i
 
     network.add_edge(source, top(0), big)
     network.add_edge(source, bottom(0), big)

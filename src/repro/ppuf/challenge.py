@@ -13,8 +13,8 @@ unrestricted sampling and minimum-distance-respecting sampling.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

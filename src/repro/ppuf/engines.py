@@ -14,7 +14,6 @@ that disagreement is shown to be < 1 %.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.errors import SolverError
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 
 import numpy as np
 
@@ -63,22 +65,62 @@ def ppuf_from_dict(data: dict) -> Ppuf:
         raise ReproError(f"malformed PPUF save file: {error}") from error
 
 
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The text lands in a temporary file in the same directory and is moved
+    into place with :func:`os.replace`, so a crashed or killed writer (a
+    registry server mid-enrollment, say) never leaves a truncated file at
+    ``path`` — readers see either the old content or the new, never a
+    partial write.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
 def save_ppuf(ppuf: Ppuf, path: str) -> None:
-    """Write a device's public description to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(ppuf_to_dict(ppuf), handle)
+    """Write a device's public description to a JSON file (atomically)."""
+    atomic_write_text(path, json.dumps(ppuf_to_dict(ppuf)))
 
 
 def load_ppuf(path: str) -> Ppuf:
-    """Rebuild a device from a JSON file written by :func:`save_ppuf`."""
-    with open(path) as handle:
-        return ppuf_from_dict(json.load(handle))
+    """Rebuild a device from a JSON file written by :func:`save_ppuf`.
+
+    Raises :class:`ReproError` (with the path in the message) on an
+    unreadable or syntactically malformed file — the same error contract
+    as :func:`load_crps`.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise ReproError(f"cannot read PPUF file {path!r}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise ReproError(f"malformed PPUF file {path!r}: {error}") from error
+    return ppuf_from_dict(data)
 
 
 def save_crps(dataset: CRPDataset, path: str) -> None:
-    """Write a CRP dataset to a JSON file (the CLI's batch wire format)."""
-    with open(path, "w") as handle:
-        handle.write(dataset.to_json())
+    """Write a CRP dataset to a JSON file (the CLI's batch wire format).
+
+    The write is atomic (temp file + :func:`os.replace`), like
+    :func:`save_ppuf`.
+    """
+    atomic_write_text(path, dataset.to_json())
 
 
 def load_crps(path: str) -> CRPDataset:

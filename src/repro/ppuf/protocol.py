@@ -31,7 +31,7 @@ from repro.errors import VerificationError
 from repro.ppuf.challenge import Challenge
 from repro.ppuf.delay import lin_mead_delay_bound
 from repro.ppuf.esg import ESGModel
-from repro.ppuf.verification import FlowClaim, PpufProver, PpufVerifier
+from repro.ppuf.verification import PpufProver, PpufVerifier
 
 
 @dataclass(frozen=True)
@@ -129,11 +129,11 @@ class AuthenticationSession:
             else:
                 modeled = float(prover_time_model(n))
             within = modeled <= deadline
+            start = time.perf_counter()
             try:
                 correct = self.verifier.verify(claim)
             except VerificationError:
                 correct = False
-            start = time.perf_counter()
             verifier_seconds = time.perf_counter() - start
             result.rounds.append(
                 RoundRecord(

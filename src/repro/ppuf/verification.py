@@ -25,7 +25,7 @@ from typing import List
 import numpy as np
 
 from repro.errors import FlowError, VerificationError
-from repro.flow import FlowNetwork, solve_max_flow, verify_max_flow
+from repro.flow import solve_max_flow, verify_max_flow
 from repro.flow.decomposition import PathFlow, decompose_flow, recompose_flow
 from repro.flow.graph import DEFAULT_RTOL
 from repro.ppuf.challenge import Challenge

@@ -1,0 +1,182 @@
+"""Client library: the honest prover side of the wire protocol.
+
+An honest device holder answers each challenge by executing it on the
+local :class:`~repro.ppuf.device.Ppuf` (here: solving the public max-flow
+instance, the software stand-in for the circuit settling in O(n)) and
+ships the compact path-decomposition claim back within the deadline.
+
+Test hooks mirror the adversaries of the paper's argument: ``tamper``
+mutates the outgoing wire claim (a cheating prover), ``delay`` stalls
+before answering (a simulator paying the ESG and missing the deadline).
+
+Both an async :class:`ServiceClient` and blocking one-shot helpers
+(:func:`enroll_device`, :func:`authenticate_device`, :func:`fetch_stats`)
+are provided; the CLI and tests use the blocking forms.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import ServiceError
+from repro.ppuf.device import Ppuf
+from repro.ppuf.io import ppuf_to_dict
+from repro.ppuf.verification import PpufProver
+from repro.service import wire
+from repro.service.registry import device_id_for
+
+
+@dataclass
+class AuthOutcome:
+    """What a full authentication attempt produced."""
+
+    accepted: bool
+    reason: str
+    rounds_run: int
+    session_id: str
+    transcript: List[dict] = field(default_factory=list)
+
+
+class ServiceClient:
+    """One TCP connection to a :class:`~repro.service.server.PpufAuthServer`."""
+
+    def __init__(self, host: str, port: int):
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def connect(self) -> "ServiceClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=wire.MAX_LINE_BYTES
+        )
+        return self
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "ServiceClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    async def request(self, message: dict) -> dict:
+        """Send one message and read one reply (raising on wire errors)."""
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        await wire.write_message(self._writer, message)
+        reply = await wire.read_message(self._reader)
+        if reply is None:
+            raise ServiceError("server closed the connection")
+        return reply
+
+    async def request_ok(self, message: dict) -> dict:
+        reply = await self.request(message)
+        if reply["type"] == wire.ERROR:
+            raise ServiceError(f"server error: {reply.get('error')}")
+        return reply
+
+    # ------------------------------------------------------------------
+    async def enroll(self, ppuf: Ppuf) -> str:
+        """Publish the device description; returns the server's device id."""
+        reply = await self.request_ok(
+            {"type": wire.ENROLL, "device": ppuf_to_dict(ppuf)}
+        )
+        return reply["device_id"]
+
+    async def stats(self) -> dict:
+        reply = await self.request_ok({"type": wire.STATS})
+        return reply["stats"]
+
+    async def authenticate(
+        self,
+        ppuf: Ppuf,
+        *,
+        network: str = "a",
+        rounds: Optional[int] = None,
+        algorithm: str = "dinic",
+        tamper: Optional[Callable[[dict], dict]] = None,
+        delay: float = 0.0,
+    ) -> AuthOutcome:
+        """Run one full authentication session as the device holder.
+
+        ``tamper`` receives each outgoing wire-claim dict and returns the
+        (possibly mutated) dict to send; ``delay`` sleeps that many seconds
+        before answering each challenge.
+        """
+        device_id = device_id_for(ppuf_to_dict(ppuf))
+        net = ppuf.network_a if network == "a" else ppuf.network_b
+        prover = PpufProver(net)
+        message = {"type": wire.HELLO, "device_id": device_id, "network": network}
+        if rounds is not None:
+            message["rounds"] = int(rounds)
+        reply = await self.request_ok(message)
+        transcript: List[dict] = []
+        while reply["type"] == wire.CHALLENGE:
+            challenge = wire.challenge_from_wire(reply["challenge"])
+            if delay:
+                await asyncio.sleep(delay)
+            claim = prover.answer_compact(challenge, algorithm=algorithm)
+            claim_wire = wire.claim_to_wire(claim)
+            if tamper is not None:
+                claim_wire = tamper(claim_wire)
+            transcript.append(
+                {
+                    "round": reply["round"],
+                    "nonce": reply["nonce"],
+                    "value": claim.value,
+                    "deadline_seconds": reply["deadline_seconds"],
+                }
+            )
+            reply = await self.request_ok(
+                {
+                    "type": wire.CLAIM,
+                    "session": reply["session"],
+                    "nonce": reply["nonce"],
+                    "claim": claim_wire,
+                }
+            )
+        if reply["type"] != wire.VERDICT:
+            raise ServiceError(f"expected a verdict, got {reply['type']!r}")
+        return AuthOutcome(
+            accepted=bool(reply["accepted"]),
+            reason=str(reply.get("reason", "")),
+            rounds_run=int(reply.get("rounds_run", len(transcript))),
+            session_id=str(reply.get("session", "")),
+            transcript=transcript,
+        )
+
+
+# ----------------------------------------------------------------------
+# blocking one-shot helpers (CLI entry points)
+# ----------------------------------------------------------------------
+async def _with_client(host: str, port: int, action):
+    async with ServiceClient(host, port) as client:
+        return await action(client)
+
+
+def enroll_device(host: str, port: int, ppuf: Ppuf) -> str:
+    """Blocking enroll of one device."""
+    return asyncio.run(_with_client(host, port, lambda c: c.enroll(ppuf)))
+
+
+def authenticate_device(host: str, port: int, ppuf: Ppuf, **kwargs) -> AuthOutcome:
+    """Blocking authentication of one device (see :meth:`ServiceClient.authenticate`)."""
+    return asyncio.run(
+        _with_client(host, port, lambda c: c.authenticate(ppuf, **kwargs))
+    )
+
+
+def fetch_stats(host: str, port: int) -> dict:
+    """Blocking ``STATS`` snapshot."""
+    return asyncio.run(_with_client(host, port, lambda c: c.stats()))

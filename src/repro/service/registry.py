@@ -1,0 +1,132 @@
+"""The device registry: enrollment and lookup of public PPUF descriptions.
+
+PPUFs are *public* PUFs — enrollment stores no secrets, only the public
+device description (:func:`repro.ppuf.io.ppuf_to_dict`).  The registry key
+is content-derived: the SHA-256 digest of the canonical JSON form, so the
+same silicon always enrolls under the same id and a tampered description
+changes the id (a self-authenticating directory, like the paper's public
+model registry).
+
+With a ``directory``, every enrollment is persisted as
+``<device_id>.json`` via the atomic writer in :mod:`repro.ppuf.io`, and a
+restarted server reloads its fleet from disk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError, ServiceError
+from repro.ppuf.device import Ppuf
+from repro.ppuf.io import atomic_write_text, ppuf_from_dict, ppuf_to_dict
+
+
+def canonical_json(public: dict) -> str:
+    """Canonical serialisation: sorted keys, no whitespace.
+
+    JSON round-trips Python floats exactly (shortest-repr), so the client
+    and the server compute identical digests from equal descriptions even
+    after the dict has crossed the wire.
+    """
+    return json.dumps(public, sort_keys=True, separators=(",", ":"))
+
+
+def device_id_for(public: dict) -> str:
+    """Stable device id: SHA-256 of the canonical public description."""
+    return hashlib.sha256(canonical_json(public).encode("utf-8")).hexdigest()
+
+
+class DeviceRegistry:
+    """Enrolled devices, keyed by :func:`device_id_for`.
+
+    Parameters
+    ----------
+    directory:
+        Optional persistence root.  When given, enrollments are written
+        there atomically and ``load_directory`` is called on construction.
+    """
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._public: Dict[str, dict] = {}
+        self._devices: Dict[str, Ppuf] = {}
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+            self.load_directory()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._public)
+
+    def __contains__(self, device_id: str) -> bool:
+        return device_id in self._public
+
+    def ids(self) -> List[str]:
+        return sorted(self._public)
+
+    # ------------------------------------------------------------------
+    def enroll(self, public: dict) -> str:
+        """Enroll a public description; returns the device id.
+
+        The description is validated by rebuilding the device from it
+        (:class:`ReproError` propagates for a malformed dict).  Re-enrolling
+        an already-known device is a no-op returning the same id.
+        """
+        device = ppuf_from_dict(public)
+        device_id = device_id_for(public)
+        if device_id not in self._public:
+            self._public[device_id] = public
+            self._devices[device_id] = device
+            if self.directory is not None:
+                atomic_write_text(self._path(device_id), canonical_json(public))
+        return device_id
+
+    def enroll_ppuf(self, ppuf: Ppuf) -> str:
+        """Enroll a live device object by its public description."""
+        return self.enroll(ppuf_to_dict(ppuf))
+
+    # ------------------------------------------------------------------
+    def public(self, device_id: str) -> dict:
+        """The enrolled public description for a device id."""
+        try:
+            return self._public[device_id]
+        except KeyError:
+            raise ServiceError(f"unknown device id {device_id!r}") from None
+
+    def device(self, device_id: str) -> Ppuf:
+        """The rebuilt (cached) device for a device id."""
+        if device_id not in self._devices:
+            self._devices[device_id] = ppuf_from_dict(self.public(device_id))
+        return self._devices[device_id]
+
+    # ------------------------------------------------------------------
+    def load_directory(self) -> int:
+        """(Re)load every ``*.json`` under ``directory``; returns the count.
+
+        Files that fail to parse are skipped (a server should come up with
+        the healthy part of its fleet, not crash on one bad entry).
+        """
+        if self.directory is None:
+            return 0
+        loaded = 0
+        for name in sorted(os.listdir(self.directory)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path) as handle:
+                    public = json.load(handle)
+                device = ppuf_from_dict(public)
+            except (OSError, json.JSONDecodeError, ReproError):
+                continue
+            device_id = device_id_for(public)
+            self._public[device_id] = public
+            self._devices[device_id] = device
+            loaded += 1
+        return loaded
+
+    def _path(self, device_id: str) -> str:
+        return os.path.join(self.directory, f"{device_id}.json")

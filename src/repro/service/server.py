@@ -1,0 +1,352 @@
+"""The asyncio authentication server.
+
+``PpufAuthServer`` glues the pieces together: a JSON-lines TCP listener
+(:mod:`repro.service.wire`), the :class:`~repro.service.registry.DeviceRegistry`,
+the :class:`~repro.service.sessions.SessionManager`, a bounded
+verification pool, and :class:`~repro.service.stats.ServerStats`.
+
+The verification pool matters because ``PpufVerifier.verify`` is the
+O(n²/p) residual-graph check — microseconds on toy devices but the real
+cost center at secure sizes.  Claims are therefore verified in a
+``ProcessPoolExecutor`` (``workers > 0``) or the default thread executor
+(``workers == 0``), never on the event loop, and a semaphore bounds how
+many verifications may be in flight so a claim flood degrades into
+backpressure instead of unbounded memory growth.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Optional
+
+from repro.errors import ServiceError, VerificationError
+from repro.flow.graph import DEFAULT_RTOL
+from repro.ppuf.delay import lin_mead_delay_bound
+from repro.ppuf.io import ppuf_from_dict
+from repro.ppuf.verification import PpufVerifier
+from repro.service import wire
+from repro.service.registry import DeviceRegistry
+from repro.service.sessions import ReplayRejected, Session, SessionManager
+from repro.service.stats import ServerStats
+
+#: Deadline slack relayed to clients as ``paper_deadline_seconds`` — the
+#: modeled time bound of :class:`repro.ppuf.protocol.AuthenticationSession`.
+PAPER_DEADLINE_SLACK = 100.0
+
+# Process-local device cache for pool workers: rebuilding a PpufNetwork
+# (and its capacity caches) per claim would swamp the verify itself.
+_WORKER_DEVICES: Dict[str, object] = {}
+
+
+def _verify_claim_task(
+    device_id: str, public: dict, network: str, claim_wire: dict, rtol: float
+) -> tuple:
+    """Verify one wire claim; runs inside a pool worker (or thread).
+
+    Returns ``(accepted, reason, verify_seconds)`` with ``reason`` one of
+    ``"ok"``, ``"incorrect"`` (feasible but wrong), ``"infeasible"``
+    (conservation/capacity violation or malformed paths).
+    """
+    import time
+
+    device = _WORKER_DEVICES.get(device_id)
+    if device is None:
+        device = ppuf_from_dict(public)
+        _WORKER_DEVICES[device_id] = device
+    net = device.network_a if network == "a" else device.network_b
+    verifier = PpufVerifier(net)
+    claim = wire.claim_from_wire(claim_wire)
+    start = time.perf_counter()
+    try:
+        accepted = verifier.verify_compact(claim, rtol=rtol)
+        reason = "ok" if accepted else "incorrect"
+    except (VerificationError, ServiceError):
+        accepted, reason = False, "infeasible"
+    return accepted, reason, time.perf_counter() - start
+
+
+class VerificationPool:
+    """Bounded off-loop executor for :func:`_verify_claim_task`."""
+
+    def __init__(self, workers: int = 0, *, max_pending: Optional[int] = None):
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        self.workers = workers
+        self._executor = ProcessPoolExecutor(max_workers=workers) if workers else None
+        self._semaphore = asyncio.Semaphore(max_pending or max(4, 2 * workers))
+
+    async def verify(
+        self, device_id: str, public: dict, network: str, claim_wire: dict, rtol: float
+    ) -> tuple:
+        async with self._semaphore:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._executor,
+                _verify_claim_task,
+                device_id,
+                public,
+                network,
+                claim_wire,
+                rtol,
+            )
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+class PpufAuthServer:
+    """The networked verifier.
+
+    Parameters
+    ----------
+    registry:
+        Devices this verifier will challenge (may start empty when
+        ``allow_enroll``).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`port` after
+        :meth:`start`).
+    deadline_seconds, idle_timeout, rounds, seed:
+        Session-manager knobs (see :class:`SessionManager`).
+    workers:
+        Verification processes; ``0`` verifies in the default thread
+        executor (cheap devices / tests).
+    rtol:
+        Claim-value tolerance forwarded to ``PpufVerifier.verify``.
+    allow_enroll:
+        Accept ``enroll`` messages over the wire (disable for a
+        pre-provisioned fleet).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[DeviceRegistry] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        deadline_seconds: float = 5.0,
+        idle_timeout: float = 60.0,
+        rounds: int = 4,
+        workers: int = 0,
+        rtol: float = DEFAULT_RTOL,
+        seed: Optional[int] = None,
+        allow_enroll: bool = True,
+    ):
+        self.registry = registry if registry is not None else DeviceRegistry()
+        self.host = host
+        self.port = port
+        self.rtol = rtol
+        self.allow_enroll = allow_enroll
+        self.sessions = SessionManager(
+            deadline_seconds=deadline_seconds,
+            idle_timeout=idle_timeout,
+            rounds=rounds,
+            seed=seed,
+        )
+        self.pool = VerificationPool(workers)
+        self.stats = ServerStats()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._sweeper: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._server is not None:
+            raise ServiceError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=wire.MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._sweeper = asyncio.create_task(self._sweep_idle_sessions())
+
+    async def stop(self) -> None:
+        if self._sweeper is not None:
+            self._sweeper.cancel()
+            try:
+                await self._sweeper
+            except asyncio.CancelledError:
+                pass
+            self._sweeper = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.shutdown()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "PpufAuthServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def _sweep_idle_sessions(self) -> None:
+        interval = max(self.sessions.idle_timeout / 4.0, 0.05)
+        while True:
+            await asyncio.sleep(interval)
+            self.stats.sessions_expired += self.sessions.expire_idle()
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await wire.read_message(reader)
+                except ServiceError as error:
+                    self.stats.protocol_errors += 1
+                    await wire.write_message(writer, {"type": wire.ERROR, "error": str(error)})
+                    break
+                if message is None:
+                    break
+                reply = await self._dispatch(message)
+                await wire.write_message(writer, reply)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, message: dict) -> dict:
+        handlers = {
+            wire.ENROLL: self._on_enroll,
+            wire.HELLO: self._on_hello,
+            wire.CLAIM: self._on_claim,
+            wire.STATS: self._on_stats,
+        }
+        handler = handlers.get(message["type"])
+        if handler is None:
+            self.stats.protocol_errors += 1
+            return {"type": wire.ERROR, "error": f"unknown message type {message['type']!r}"}
+        try:
+            return await handler(message)
+        except ReplayRejected as error:
+            # counted as replays_rejected by the claim handler, not as a
+            # generic protocol error
+            return {"type": wire.ERROR, "error": str(error)}
+        except ServiceError as error:
+            self.stats.protocol_errors += 1
+            return {"type": wire.ERROR, "error": str(error)}
+
+    # ------------------------------------------------------------------
+    # message handlers
+    # ------------------------------------------------------------------
+    async def _on_enroll(self, message: dict) -> dict:
+        if not self.allow_enroll:
+            raise ServiceError("this server does not accept wire enrollment")
+        public = message.get("device")
+        if not isinstance(public, dict):
+            raise ServiceError("enroll requires a 'device' object")
+        device_id = self.registry.enroll(public)
+        self.stats.enrollments += 1
+        return {"type": wire.ENROLLED, "device_id": device_id}
+
+    async def _on_hello(self, message: dict) -> dict:
+        device_id = message.get("device_id")
+        if not isinstance(device_id, str):
+            raise ServiceError("hello requires a 'device_id' string")
+        network = message.get("network", "a")
+        if device_id not in self.registry:
+            self.stats.unknown_devices += 1
+            raise ServiceError(f"unknown device id {device_id!r}")
+        device = self.registry.device(device_id)
+        session = self.sessions.open(device_id, device, network, message.get("rounds"))
+        self.stats.sessions_opened += 1
+        self.stats.rounds_issued += 1
+        return self._challenge_message(session, device)
+
+    def _challenge_message(self, session: Session, device) -> dict:
+        net = device.network_a if session.network == "a" else device.network_b
+        paper_deadline = PAPER_DEADLINE_SLACK * lin_mead_delay_bound(
+            device.n, net.tech, net.conditions
+        )
+        return {
+            "type": wire.CHALLENGE,
+            "session": session.session_id,
+            "nonce": session.nonce,
+            "round": session.round_index,
+            "rounds": session.rounds_total,
+            "challenge": wire.challenge_to_wire(session.challenge),
+            "deadline_seconds": session.deadline_seconds,
+            "paper_deadline_seconds": paper_deadline,
+        }
+
+    async def _on_claim(self, message: dict) -> dict:
+        session_id = message.get("session")
+        nonce = message.get("nonce")
+        if not isinstance(session_id, str) or not isinstance(nonce, str):
+            raise ServiceError("claim requires 'session' and 'nonce' strings")
+        claim_wire = message.get("claim")
+        if not isinstance(claim_wire, dict):
+            raise ServiceError("claim requires a 'claim' object")
+        try:
+            session, elapsed = self.sessions.admit_claim(session_id, nonce)
+        except ReplayRejected:
+            self.stats.replays_rejected += 1
+            raise
+
+        if elapsed > session.deadline_seconds:
+            self.stats.deadline_misses += 1
+            return self._verdict(session, False, "deadline", elapsed)
+
+        # The claim must answer the outstanding challenge, not one of the
+        # prover's choosing.
+        challenged = wire.challenge_to_wire(session.challenge)
+        if claim_wire.get("challenge") != challenged:
+            return self._verdict(session, False, "wrong_challenge", elapsed)
+
+        device = self.registry.device(session.device_id)
+        accepted, reason, verify_seconds = await self.pool.verify(
+            session.device_id,
+            self.registry.public(session.device_id),
+            session.network,
+            claim_wire,
+            self.rtol,
+        )
+        self.stats.claims_verified += 1
+        self.stats.verify_latency.observe(verify_seconds)
+        if not accepted:
+            return self._verdict(session, False, reason, elapsed)
+        if self.sessions.advance(session, device):
+            self.stats.rounds_issued += 1
+            return self._challenge_message(session, device)
+        self.stats.sessions_accepted += 1
+        return {
+            "type": wire.VERDICT,
+            "session": session.session_id,
+            "accepted": True,
+            "reason": "ok",
+            "rounds_run": session.rounds_total,
+        }
+
+    def _verdict(self, session: Session, accepted: bool, reason: str, elapsed: float) -> dict:
+        self.sessions.close(session)
+        if not accepted:
+            self.stats.sessions_rejected += 1
+        return {
+            "type": wire.VERDICT,
+            "session": session.session_id,
+            "accepted": accepted,
+            "reason": reason,
+            "rounds_run": session.round_index,
+            "elapsed_seconds": elapsed,
+        }
+
+    async def _on_stats(self, message: dict) -> dict:
+        snapshot = self.stats.snapshot()
+        snapshot["active_sessions"] = len(self.sessions)
+        snapshot["devices"] = len(self.registry)
+        return {"type": wire.STATS, "stats": snapshot}

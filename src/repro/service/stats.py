@@ -1,0 +1,95 @@
+"""Per-server counters and the verify-latency histogram.
+
+Everything here is mutated from the single event-loop thread, so plain
+integer increments suffice — no locks.  ``snapshot()`` produces the JSON
+payload the ``STATS`` wire request returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+#: Upper bucket edges [s] for the verify-latency histogram — log-spaced so
+#: both a 10-node toy device (~100 µs verifies) and a secure-size device
+#: (seconds) land in informative buckets.  The last bucket is open-ended.
+DEFAULT_BUCKET_EDGES = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0,
+)
+
+
+@dataclass
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with running total/max."""
+
+    edges: tuple = DEFAULT_BUCKET_EDGES
+    counts: List[int] = field(default_factory=list)
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    observations: int = 0
+
+    def __post_init__(self):
+        if not self.counts:
+            self.counts = [0] * (len(self.edges) + 1)
+
+    def observe(self, seconds: float) -> None:
+        index = len(self.edges)
+        for i, edge in enumerate(self.edges):
+            if seconds <= edge:
+                index = i
+                break
+        self.counts[index] += 1
+        self.observations += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.observations if self.observations else 0.0
+
+    def snapshot(self) -> dict:
+        buckets = {}
+        for edge, count in zip(self.edges, self.counts):
+            buckets[f"le_{edge:g}"] = count
+        buckets["inf"] = self.counts[-1]
+        return {
+            "observations": self.observations,
+            "mean_seconds": self.mean_seconds,
+            "max_seconds": self.max_seconds,
+            "buckets": buckets,
+        }
+
+
+@dataclass
+class ServerStats:
+    """Counters for everything the acceptance criteria care about."""
+
+    enrollments: int = 0
+    sessions_opened: int = 0
+    sessions_accepted: int = 0
+    sessions_rejected: int = 0
+    sessions_expired: int = 0
+    rounds_issued: int = 0
+    claims_verified: int = 0
+    deadline_misses: int = 0
+    replays_rejected: int = 0
+    unknown_devices: int = 0
+    protocol_errors: int = 0
+    verify_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    def snapshot(self) -> dict:
+        return {
+            "enrollments": self.enrollments,
+            "sessions_opened": self.sessions_opened,
+            "sessions_accepted": self.sessions_accepted,
+            "sessions_rejected": self.sessions_rejected,
+            "sessions_expired": self.sessions_expired,
+            "rounds_issued": self.rounds_issued,
+            "claims_verified": self.claims_verified,
+            "deadline_misses": self.deadline_misses,
+            "replays_rejected": self.replays_rejected,
+            "unknown_devices": self.unknown_devices,
+            "protocol_errors": self.protocol_errors,
+            "verify_latency": self.verify_latency.snapshot(),
+        }

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.attacks.dataset import (
-    AttackDataset,
     build_attack_dataset,
     build_ppuf_attack_dataset,
     challenge_features,

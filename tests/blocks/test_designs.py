@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.blocks.designs import BlockDesign, build_design
+from repro.blocks.designs import build_design
 from repro.errors import DeviceError
 
 

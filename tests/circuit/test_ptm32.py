@@ -9,7 +9,6 @@ from repro.circuit.ptm32 import (
     NOMINAL_CONDITIONS,
     OperatingConditions,
     PTM32,
-    Technology,
 )
 from repro.errors import DeviceError
 from repro.units import celsius

@@ -4,7 +4,6 @@ These are scaled-down executions of the same code paths the benchmarks use;
 they assert the *direction* of each paper claim, not absolute numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import crpspace, fig3, fig6, fig7, fig8, fig9, fig10, req2, table1

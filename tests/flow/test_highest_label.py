@@ -1,7 +1,6 @@
 """Highest-label push-relabel solver."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

@@ -2,7 +2,6 @@
 against hand-computed instances; min-cut duality; flow feasibility."""
 
 import networkx as nx
-import numpy as np
 import pytest
 
 from repro.errors import GraphError

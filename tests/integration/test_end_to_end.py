@@ -7,7 +7,6 @@ module's behaviour.
 """
 
 import numpy as np
-import pytest
 
 from repro import NOMINAL_CONDITIONS, PTM32, Ppuf, PpufProver, PpufVerifier
 from repro.flow import verify_max_flow

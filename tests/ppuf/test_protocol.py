@@ -1,6 +1,5 @@
 """Time-bounded authentication sessions."""
 
-import numpy as np
 import pytest
 
 from repro.ppuf import (
@@ -75,6 +74,42 @@ class TestImpostors:
         from repro.ppuf.protocol import SessionResult
 
         assert not SessionResult().accepted
+
+
+class TestTranscripts:
+    def test_verifier_seconds_measures_the_verify_call(self, session, small_ppuf, rng):
+        """The timed region wraps ``verify``; transcripts show real time."""
+        result = session.run(PpufProver(small_ppuf.network_a), rng, rounds=3)
+        for record in result.rounds:
+            assert record.verifier_seconds > 0.0
+
+    def test_rejected_round_is_first_failing_round(self, session, small_ppuf, rng):
+        impostor = PpufProver(small_ppuf.network_b)
+        result = session.run(impostor, rng, rounds=6)
+        index = result.rejected_round
+        assert index is not None
+        assert not result.rounds[index].accepted
+        assert all(record.accepted for record in result.rounds[:index])
+
+    def test_simulator_rejected_at_secure_size(self, medium_ppuf, rng):
+        """At a secure size the fitted simulation law blows every deadline."""
+        session = AuthenticationSession(verifier=PpufVerifier(medium_ppuf.network_a))
+        esg = ESGModel(
+            simulation=PowerLawFit(coefficient=1e-6, exponent=3.0),
+            execution=PowerLawFit(coefficient=1e-10, exponent=1.0),
+        )
+        n = medium_ppuf.n
+        assert float(esg.simulation_time(n)) > session.deadline()
+        result = session.run_against_simulator(
+            PpufProver(medium_ppuf.network_a), esg, rng, rounds=3
+        )
+        assert not result.accepted
+        assert result.rejected_round == 0
+        record = result.rounds[0]
+        assert record.claim_correct and not record.within_deadline
+        assert record.prover_model_seconds == pytest.approx(
+            float(esg.simulation_time(n))
+        )
 
 
 class TestCustomDelayModel:

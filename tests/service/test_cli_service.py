@@ -1,0 +1,95 @@
+"""The ``serve`` / ``auth`` CLI round trip against a real subprocess server."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def device_path(tmp_path, capsys):
+    path = str(tmp_path / "device.json")
+    assert main(["create", "--nodes", "8", "--grid", "2", "--output", path]) == 0
+    capsys.readouterr()
+    return path
+
+
+@pytest.fixture
+def server_port(tmp_path):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--port",
+            "0",
+            "--workers",
+            "0",
+            "--rounds",
+            "2",
+            "--seed",
+            "9",
+            "--registry",
+            str(tmp_path / "registry"),
+        ],
+        env=env,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = process.stderr.readline()
+        match = re.search(r"serving on [\d.]+:(\d+)", line)
+        assert match, f"no listen line from serve: {line!r}"
+        yield int(match.group(1))
+    finally:
+        process.send_signal(signal.SIGINT)
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait()
+
+
+class TestServeAuthRoundtrip:
+    def test_enroll_and_authenticate(self, device_path, server_port, capsys):
+        code = main(
+            [
+                "auth",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                str(server_port),
+                "--ppuf",
+                device_path,
+                "--enroll",
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "ACCEPTED" in out
+        assert '"sessions_accepted": 1' in out
+
+    def test_unenrolled_device_fails(self, device_path, server_port, capsys):
+        code = main(
+            [
+                "auth",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                str(server_port),
+                "--ppuf",
+                device_path,
+            ]
+        )
+        assert code == 2  # ServiceError surfaced through the CLI error path
+        assert "unknown device" in capsys.readouterr().err

@@ -1,0 +1,79 @@
+"""Device registry: content-derived ids, persistence, reload."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, ServiceError
+from repro.ppuf import Ppuf
+from repro.ppuf.io import ppuf_to_dict
+from repro.service import DeviceRegistry, device_id_for
+
+
+@pytest.fixture(scope="module")
+def tiny_ppuf():
+    return Ppuf.create(6, 2, np.random.default_rng(31))
+
+
+class TestDeviceIds:
+    def test_id_is_stable_across_json_roundtrip(self, tiny_ppuf):
+        public = ppuf_to_dict(tiny_ppuf)
+        assert device_id_for(public) == device_id_for(json.loads(json.dumps(public)))
+
+    def test_different_devices_get_different_ids(self, tiny_ppuf):
+        other = Ppuf.create(6, 2, np.random.default_rng(32))
+        assert device_id_for(ppuf_to_dict(tiny_ppuf)) != device_id_for(ppuf_to_dict(other))
+
+
+class TestEnrollment:
+    def test_enroll_and_lookup(self, tiny_ppuf, rng):
+        registry = DeviceRegistry()
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        assert device_id in registry
+        assert len(registry) == 1
+        restored = registry.device(device_id)
+        challenges = tiny_ppuf.challenge_space().random_batch(5, rng)
+        assert np.array_equal(
+            restored.response_bits(challenges), tiny_ppuf.response_bits(challenges)
+        )
+
+    def test_reenroll_is_idempotent(self, tiny_ppuf):
+        registry = DeviceRegistry()
+        first = registry.enroll_ppuf(tiny_ppuf)
+        assert registry.enroll_ppuf(tiny_ppuf) == first
+        assert len(registry) == 1
+
+    def test_unknown_device_raises(self):
+        registry = DeviceRegistry()
+        with pytest.raises(ServiceError):
+            registry.public("deadbeef")
+        with pytest.raises(ServiceError):
+            registry.device("deadbeef")
+
+    def test_malformed_description_rejected(self):
+        registry = DeviceRegistry()
+        with pytest.raises(ReproError):
+            registry.enroll({"n": 5})
+
+
+class TestPersistence:
+    def test_enrollment_persists_and_reloads(self, tiny_ppuf, tmp_path):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        assert os.path.exists(tmp_path / f"{device_id}.json")
+        # no stray temp files from the atomic writer
+        assert all(not name.endswith(".tmp") for name in os.listdir(tmp_path))
+
+        reloaded = DeviceRegistry(str(tmp_path))
+        assert device_id in reloaded
+        assert len(reloaded) == 1
+
+    def test_corrupt_entry_is_skipped_on_reload(self, tiny_ppuf, tmp_path):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        (tmp_path / "corrupt.json").write_text("{truncated")
+        reloaded = DeviceRegistry(str(tmp_path))
+        assert device_id in reloaded
+        assert len(reloaded) == 1

@@ -1,0 +1,50 @@
+"""Counters and the verify-latency histogram."""
+
+import pytest
+
+from repro.service import LatencyHistogram, ServerStats
+
+
+class TestLatencyHistogram:
+    def test_buckets_are_cumulative_edges(self):
+        histogram = LatencyHistogram(edges=(1e-3, 1e-2, 1e-1))
+        for value in (5e-4, 5e-3, 5e-2, 5.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.observations == 4
+        assert histogram.max_seconds == 5.0
+        assert histogram.mean_seconds == pytest.approx((5e-4 + 5e-3 + 5e-2 + 5.0) / 4)
+
+    def test_snapshot_shape(self):
+        histogram = LatencyHistogram(edges=(1e-3, 1.0))
+        histogram.observe(2.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["buckets"] == {"le_0.001": 0, "le_1": 0, "inf": 1}
+        assert snapshot["observations"] == 1
+
+    def test_empty_histogram_mean_is_zero(self):
+        assert LatencyHistogram().mean_seconds == 0.0
+
+
+class TestServerStats:
+    def test_snapshot_contains_every_counter(self):
+        stats = ServerStats()
+        stats.sessions_opened += 2
+        stats.deadline_misses += 1
+        stats.verify_latency.observe(0.5)
+        snapshot = stats.snapshot()
+        assert snapshot["sessions_opened"] == 2
+        assert snapshot["deadline_misses"] == 1
+        assert snapshot["verify_latency"]["observations"] == 1
+        for key in (
+            "enrollments",
+            "sessions_accepted",
+            "sessions_rejected",
+            "sessions_expired",
+            "rounds_issued",
+            "claims_verified",
+            "replays_rejected",
+            "unknown_devices",
+            "protocol_errors",
+        ):
+            assert key in snapshot

@@ -1,0 +1,77 @@
+"""Wire framing and payload (de)serialisation."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.ppuf import Ppuf, PpufProver
+from repro.service import wire
+
+
+def read_from_bytes(payload: bytes, **kwargs):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(payload)
+        reader.feed_eof()
+        return await wire.read_message(reader, **kwargs)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"type": "hello", "device_id": "abc", "rounds": 3}
+        assert read_from_bytes(wire.encode_message(message)) == message
+
+    def test_eof_returns_none(self):
+        assert read_from_bytes(b"") is None
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ServiceError):
+            read_from_bytes(b"{not json}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ServiceError):
+            read_from_bytes(b"[1, 2, 3]\n")
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ServiceError):
+            read_from_bytes(b'{"no_type": 1}\n')
+
+    def test_oversize_frame_rejected(self):
+        big = json.dumps({"type": "x", "pad": "y" * 4096}).encode() + b"\n"
+        with pytest.raises(ServiceError):
+            read_from_bytes(big, limit=1024)
+
+
+class TestChallengePayload:
+    def test_roundtrip(self, small_ppuf, rng):
+        challenge = small_ppuf.challenge_space().random(rng)
+        restored = wire.challenge_from_wire(wire.challenge_to_wire(challenge))
+        assert restored.source == challenge.source
+        assert restored.sink == challenge.sink
+        assert np.array_equal(restored.bits, challenge.bits)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ServiceError):
+            wire.challenge_from_wire({"source": 0})
+
+
+class TestClaimPayload:
+    def test_roundtrip_preserves_verifiability(self, rng):
+        from repro.ppuf import PpufVerifier
+
+        ppuf = Ppuf.create(8, 2, np.random.default_rng(5))
+        challenge = ppuf.challenge_space().random(rng)
+        claim = PpufProver(ppuf.network_a).answer_compact(challenge)
+        over_the_wire = json.loads(json.dumps(wire.claim_to_wire(claim)))
+        restored = wire.claim_from_wire(over_the_wire)
+        assert restored.value == claim.value
+        assert PpufVerifier(ppuf.network_a).verify_compact(restored)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ServiceError):
+            wire.claim_from_wire({"paths": "nope"})

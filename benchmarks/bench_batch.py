@@ -59,5 +59,14 @@ def test_batched_throughput_at_least_5x(benchmark, device, challenges):
         f"{report.solve_seconds:.3f} / compare {report.compare_seconds:.3f})  "
         f"speedup: {speedup:.1f}x  throughput: {report.throughput:.0f}/s"
     )
+    stats = report.stats
+    print(
+        f"solve stats [{stats.algorithm}]: {stats.solves} solves, "
+        f"{stats.operations} operations, phases "
+        + ", ".join(
+            f"{name}={seconds:.3f}s"
+            for name, seconds in sorted(stats.phase_seconds.items())
+        )
+    )
     assert np.array_equal(batched, looped)
     assert speedup >= REQUIRED_SPEEDUP

@@ -20,7 +20,7 @@ from repro.analysis.codes import crp_space_lower_bound
 from repro.analysis.montecarlo import requirement2_ratio, sd_level_drift
 from repro.analysis.power import estimate_power
 from repro.blocks.calibration import balance_bias, block_saturation_current
-from repro.flow import edmonds_karp, random_complete_network, time_solver
+from repro.flow import random_complete_network, time_solver
 from repro.ppuf.delay import lin_mead_delay_bound
 from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
 
@@ -45,7 +45,7 @@ def main():
     # 3. ESG sizing --------------------------------------------------------
     sizes = (10, 20, 30, 40, 60)
     samples = time_solver(
-        edmonds_karp,
+        "edmonds_karp",  # any name from the solver registry works here
         lambda n: random_complete_network(n, rng, relative_sigma=0.3),
         sizes,
         repeats=2,

@@ -36,6 +36,18 @@ def main():
     # The response bit is the comparator's verdict on the two currents.
     print(f"response bit: {ppuf.response(challenge)}")
 
+    # Any solver from the registry computes the same bit; a SolveStats
+    # records what the solve cost (per-phase seconds, operation counts).
+    from repro.flow import SolveStats, solver_names
+
+    print(f"registered solvers: {', '.join(solver_names())}")
+    for algorithm in ("dinic", "push_relabel"):
+        stats = SolveStats()
+        bit = ppuf.response(challenge, algorithm=algorithm, stats=stats)
+        print(f"  {algorithm}: bit={bit} solves={stats.solves} "
+              f"operations={stats.operations} "
+              f"({stats.total_seconds*1e3:.2f} ms)")
+
     # Responses are reproducible on the same silicon...
     assert ppuf.response(challenge) == ppuf.response(challenge)
     # ...but another die answers differently (with high probability over

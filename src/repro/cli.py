@@ -4,12 +4,16 @@
 
 * ``create``     fabricate a PPUF and save its variation state to JSON
 * ``respond``    evaluate challenges on a saved PPUF
+* ``solvers``    list the registered max-flow solvers and capabilities
 * ``protocol``   run a time-bounded authentication session against itself
 * ``serve``      host the networked authentication service (see
   :mod:`repro.service`)
 * ``auth``       authenticate a saved PPUF against a running server
 * ``experiments``  regenerate the paper's tables/figures (see
   :mod:`repro.experiments.all`)
+
+Every entry point that solves max-flow takes ``--algorithm`` with any name
+from the solver registry (:mod:`repro.flow.registry`).
 
 The save format captures everything that defines the silicon (topology,
 technology card, operating point, both variation samples), so a saved PPUF
@@ -70,7 +74,7 @@ def _command_respond(arguments) -> int:
         evaluator = BatchEvaluator(
             ppuf,
             engine=arguments.engine,
-            algorithm=arguments.algorithm,
+            algorithm=arguments.algorithm or "batched",
             workers=arguments.workers,
         )
         bits, report = evaluator.evaluate(challenges)
@@ -81,8 +85,18 @@ def _command_respond(arguments) -> int:
             f"workers={report.workers}, chunks={report.chunks})",
             file=sys.stderr,
         )
+        print(f"# solve stats: {json.dumps(report.stats.to_dict())}", file=sys.stderr)
     else:
-        bits = [ppuf.response(c, engine=arguments.engine) for c in challenges]
+        from repro.flow import SolveStats
+
+        stats = SolveStats()
+        algorithm = arguments.algorithm or "dinic"
+        bits = [
+            ppuf.response(c, engine=arguments.engine, algorithm=algorithm, stats=stats)
+            for c in challenges
+        ]
+        if stats.solves:
+            print(f"# solve stats: {json.dumps(stats.to_dict())}", file=sys.stderr)
 
     dataset = CRPDataset(
         [CRP(challenge, int(bit)) for challenge, bit in zip(challenges, bits)]
@@ -96,18 +110,56 @@ def _command_respond(arguments) -> int:
     return 0
 
 
+def _command_solvers(arguments) -> int:
+    from repro.flow import registered_solvers
+
+    specs = registered_solvers()
+    if arguments.json:
+        print(json.dumps([spec.capabilities() for spec in specs], indent=2))
+        return 0
+    rows = [("name", "kind", "batch", "recursion-free", "complexity", "description")]
+    for spec in specs:
+        rows.append(
+            (
+                spec.name,
+                spec.kind,
+                "yes" if spec.supports_batch else "no",
+                "yes" if spec.recursion_free else "no",
+                spec.complexity,
+                spec.description,
+            )
+        )
+    widths = [max(len(row[i]) for row in rows) for i in range(len(rows[0]))]
+    if arguments.markdown:
+        header, body = rows[0], rows[1:]
+        print("| " + " | ".join(h.ljust(w) for h, w in zip(header, widths)) + " |")
+        print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+        for row in body:
+            print("| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |")
+    else:
+        for row in rows:
+            print("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return 0
+
+
 def _command_protocol(arguments) -> int:
     from repro.ppuf import AuthenticationSession, PpufProver, PpufVerifier
 
     ppuf = load_ppuf(arguments.ppuf)
     rng = np.random.default_rng(arguments.seed)
     session = AuthenticationSession(verifier=PpufVerifier(ppuf.network_a))
-    result = session.run(PpufProver(ppuf.network_a), rng, rounds=arguments.rounds)
+    result = session.run(
+        PpufProver(ppuf.network_a),
+        rng,
+        rounds=arguments.rounds,
+        algorithm=arguments.algorithm,
+    )
     for index, record in enumerate(result.rounds):
         print(
             f"round {index}: value={record.claim_value:.6g} A "
             f"correct={record.claim_correct} "
-            f"within_deadline={record.within_deadline}"
+            f"within_deadline={record.within_deadline} "
+            f"algorithm={record.algorithm}"
         )
     print("ACCEPTED" if result.accepted else "REJECTED")
     return 0 if result.accepted else 1
@@ -166,6 +218,7 @@ def _command_auth(arguments) -> int:
         ppuf,
         network=arguments.network,
         rounds=arguments.rounds,
+        algorithm=arguments.algorithm,
     )
     for entry in outcome.transcript:
         print(
@@ -181,7 +234,11 @@ def _command_auth(arguments) -> int:
 def _command_experiments(arguments) -> int:
     from repro.experiments.all import run_all
 
-    run_all(quick=arguments.quick, extended=arguments.extended)
+    run_all(
+        quick=arguments.quick,
+        extended=arguments.extended,
+        algorithms=tuple(arguments.algorithm) if arguments.algorithm else None,
+    )
     return 0
 
 
@@ -208,8 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     respond.add_argument(
         "--algorithm",
-        default="batched",
-        help="batch solver: 'batched' (vectorised) or an exact solver name",
+        default=None,
+        help="registered solver name (default: 'batched' with --batch, "
+        "'dinic' otherwise; see `repro solvers`)",
     )
     respond.add_argument(
         "--workers", type=int, default=1, help="process count for --batch"
@@ -224,10 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     respond.set_defaults(handler=_command_respond)
 
+    solvers = commands.add_parser(
+        "solvers", help="list registered max-flow solvers and their capabilities"
+    )
+    solvers.add_argument(
+        "--markdown", action="store_true", help="emit a Markdown table (docs)"
+    )
+    solvers.add_argument("--json", action="store_true", help="emit JSON capabilities")
+    solvers.set_defaults(handler=_command_solvers)
+
     protocol = commands.add_parser("protocol", help="run an authentication session")
     protocol.add_argument("--ppuf", default="ppuf.json")
     protocol.add_argument("--rounds", type=int, default=4)
     protocol.add_argument("--seed", type=int, default=0)
+    protocol.add_argument(
+        "--algorithm", default="dinic", help="exact solver the prover answers with"
+    )
     protocol.set_defaults(handler=_command_protocol)
 
     serve = commands.add_parser("serve", help="host the authentication service")
@@ -274,6 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
     auth.add_argument(
         "--stats", action="store_true", help="print the server STATS snapshot afterwards"
     )
+    auth.add_argument(
+        "--algorithm", default="dinic", help="exact solver the prover answers with"
+    )
     auth.set_defaults(handler=_command_auth)
 
     experiments = commands.add_parser(
@@ -281,6 +354,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiments.add_argument("--quick", action="store_true")
     experiments.add_argument("--extended", action="store_true")
+    experiments.add_argument(
+        "--algorithm",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="solver(s) for the Fig. 7 timing sweep (repeatable; default: "
+        "push_relabel + edmonds_karp)",
+    )
     experiments.set_defaults(handler=_command_experiments)
     return parser
 

@@ -43,14 +43,22 @@ EXTENDED_PLANS = (
 )
 
 
-def run_all(*, quick: bool = False, extended: bool = False) -> None:
-    """Execute every driver and print its tables."""
+def run_all(*, quick: bool = False, extended: bool = False, algorithms=None) -> None:
+    """Execute every driver and print its tables.
+
+    ``algorithms`` (registered solver names) is forwarded to the Fig. 7
+    timing sweep; ``None`` keeps the paper's push-relabel/augmenting-path
+    pair.
+    """
     if quick:
         plans = [
             ("Fig. 3", lambda: fig3.run(points=21)),
             ("Req. 2", lambda: req2.run(samples=400)),
             ("Fig. 6", lambda: fig6.run(sizes=(10, 20), trials=3)),
-            ("Fig. 7", lambda: fig7.run(sizes=(10, 20, 30, 40), repeats=1)),
+            (
+                "Fig. 7",
+                lambda: fig7.run(sizes=(10, 20, 30, 40), repeats=1, algorithms=algorithms),
+            ),
             ("Fig. 8", lambda: fig8.run(sizes=(10, 20, 30), instances=2, challenges=2)),
             ("Table 1", lambda: table1.run(sizes=((24, 6),), instances=4, challenges=20)),
             ("Fig. 9", lambda: fig9.run(n=24, l=6, distances=(1, 4, 16), instances=2, trials=20)),
@@ -62,7 +70,7 @@ def run_all(*, quick: bool = False, extended: bool = False) -> None:
             ("Fig. 3", fig3.run),
             ("Req. 2", req2.run),
             ("Fig. 6", fig6.run),
-            ("Fig. 7", fig7.run),
+            ("Fig. 7", lambda: fig7.run(algorithms=algorithms)),
             ("Fig. 8", fig8.run),
             ("Table 1", lambda: table1.run(sizes=((40, 8),))),
             ("Fig. 9", lambda: fig9.run(n=40, l=8)),
@@ -92,8 +100,19 @@ def main(argv=None):
         help="also run the extension studies (ablations, delay models, "
         "hardware cost, aging)",
     )
+    parser.add_argument(
+        "--algorithm",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="solver(s) for the Fig. 7 sweep (repeatable)",
+    )
     arguments = parser.parse_args(argv)
-    run_all(quick=arguments.quick, extended=arguments.extended)
+    run_all(
+        quick=arguments.quick,
+        extended=arguments.extended,
+        algorithms=tuple(arguments.algorithm) if arguments.algorithm else None,
+    )
 
 
 if __name__ == "__main__":

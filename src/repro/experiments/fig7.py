@@ -1,8 +1,9 @@
 """Fig. 7: execution vs simulation scaling and the ESG.
 
-(a) Wall-clock simulation time of the classical solvers (push-relabel and
-augmenting path, as in the paper's Boost benchmark) against the modeled
-O(n) execution delay, with power-law fits.
+(a) Wall-clock simulation time of the classical solvers (by default
+push-relabel and augmenting path, as in the paper's Boost benchmark — any
+registered solver name works) against the modeled O(n) execution delay,
+with power-law fits.
 (b) The ESG as a function of node count, with and without the feedback-loop
 technique (k = n), and the node counts where the gap reaches 1 second.
 
@@ -18,12 +19,15 @@ import numpy as np
 
 from repro.circuit.ptm32 import NOMINAL_CONDITIONS, PTM32
 from repro.experiments.base import ExperimentTable
-from repro.flow import edmonds_karp, push_relabel, random_complete_network, time_solver
+from repro.flow import get_solver, random_complete_network, time_solver
 from repro.ppuf.delay import lin_mead_delay_bound
 from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
 
 #: Fig. 7a anchor on the paper's axis: ~400 us simulation time at 100 nodes.
 PAPER_SIM_ANCHOR = (100.0, 400e-6)
+
+#: The paper's Boost pair: FIFO push-relabel and shortest augmenting path.
+DEFAULT_ALGORITHMS = ("push_relabel", "edmonds_karp")
 
 
 def run(
@@ -34,45 +38,51 @@ def run(
     tech=PTM32,
     conditions=NOMINAL_CONDITIONS,
     esg_target: float = 1.0,
+    algorithms=None,
 ):
-    """Measure solver scaling, fit laws, and locate the ESG crossovers."""
+    """Measure solver scaling, fit laws, and locate the ESG crossovers.
+
+    ``algorithms`` names the registered solvers to sweep (resolved through
+    :mod:`repro.flow.registry`); each contributes one ``<name>_s`` column.
+    """
     rng = np.random.default_rng(seed)
+    if algorithms is None:
+        algorithms = DEFAULT_ALGORITHMS
+    specs = [get_solver(name) for name in algorithms]
 
     def make_instance(n: int):
         return random_complete_network(n, rng, mean=1.0, relative_sigma=0.3)
 
     table_a = ExperimentTable(
         title="Fig. 7a: simulation vs execution time scaling",
-        columns=(
-            "nodes",
-            "push_relabel_s",
-            "augmenting_path_s",
-            "execution_delay_s",
-        ),
+        columns=("nodes",)
+        + tuple(f"{spec.name}_s" for spec in specs)
+        + ("execution_delay_s",),
     )
-    pr_samples = time_solver(push_relabel, make_instance, sizes, repeats=repeats)
-    ek_samples = time_solver(edmonds_karp, make_instance, sizes, repeats=repeats)
+    samples = {
+        spec.name: time_solver(spec, make_instance, sizes, repeats=repeats)
+        for spec in specs
+    }
     exe_times = [lin_mead_delay_bound(n, tech, conditions) for n in sizes]
-    for n, pr, ek, exe in zip(sizes, pr_samples, ek_samples, exe_times):
-        table_a.add_row(
-            nodes=n,
-            push_relabel_s=pr.mean_seconds,
-            augmenting_path_s=ek.mean_seconds,
-            execution_delay_s=exe,
-        )
+    for index, (n, exe) in enumerate(zip(sizes, exe_times)):
+        row = {f"{spec.name}_s": samples[spec.name][index].mean_seconds for spec in specs}
+        table_a.add_row(nodes=n, execution_delay_s=exe, **row)
 
     # Exponent from machine-independent operation counts (Python wall time
     # is still interpreter-overhead-dominated at these sizes); coefficient
-    # anchored to the wall time measured at the largest size.
-    ops_fit = fit_power_law(sizes, [ek.mean_operations for ek in ek_samples])
+    # anchored to the wall time measured at the largest size.  Augmenting
+    # path is the paper's reference simulator when present.
+    fit_name = "edmonds_karp" if "edmonds_karp" in samples else specs[0].name
+    fit_samples = samples[fit_name]
+    ops_fit = fit_power_law(sizes, [s.mean_operations for s in fit_samples])
     sim_fit = PowerLawFit(
-        coefficient=ek_samples[-1].mean_seconds / sizes[-1] ** ops_fit.exponent,
+        coefficient=fit_samples[-1].mean_seconds / sizes[-1] ** ops_fit.exponent,
         exponent=ops_fit.exponent,
     )
     exe_fit = fit_power_law(sizes, exe_times)
     table_a.notes.append(
         f"fits: T_sim ~ {sim_fit.coefficient:.3g} * n^{sim_fit.exponent:.2f} "
-        "(exponent from augmenting-path operation counts, anchored to wall "
+        f"(exponent from {fit_name} operation counts, anchored to wall "
         f"time), T_exe ~ {exe_fit.coefficient:.3g} * n^{exe_fit.exponent:.2f} "
         "(paper: >= O(n^2) vs O(n))"
     )
@@ -123,7 +133,7 @@ def main():
         plot_table(
             table_a,
             "nodes",
-            ("push_relabel_s", "augmenting_path_s", "execution_delay_s"),
+            tuple(c for c in table_a.columns if c != "nodes"),
             log_x=True,
             log_y=True,
             y_label="seconds",

@@ -9,6 +9,10 @@ Public API
 
 :class:`~repro.flow.graph.FlowNetwork`
     Dense directed flow network with per-edge capacities.
+:mod:`~repro.flow.registry`
+    The solver registry and the :class:`~repro.flow.registry.SolveStats`
+    telemetry spine; every algorithm below registers itself here and
+    :func:`solve_max_flow` is a thin lookup into it.
 :func:`~repro.flow.edmonds_karp.edmonds_karp`
     Augmenting-path (BFS) reference solver.
 :func:`~repro.flow.dinic.dinic`
@@ -23,6 +27,16 @@ Public API
     Residual-graph BFS optimality check (the verifier's primitive).
 """
 
+from repro.flow.registry import (
+    SolveStats,
+    SolverSpec,
+    get_solver,
+    is_registered,
+    register_solver,
+    registered_solvers,
+    solver_names,
+    unknown_name_error,
+)
 from repro.flow.graph import FlowNetwork, FlowResult
 from repro.flow.residual import (
     residual_capacities,
@@ -30,6 +44,9 @@ from repro.flow.residual import (
     min_cut,
     verify_max_flow,
 )
+
+# Importing the solver modules registers each algorithm; from here on the
+# registry is the single source of truth for dispatch and capabilities.
 from repro.flow.edmonds_karp import edmonds_karp
 from repro.flow.dinic import blocking_flow, dinic
 from repro.flow.batched import BatchedFlowResult, batched_max_flow
@@ -40,6 +57,7 @@ from repro.flow.approx import approximate_max_flow
 from repro.flow.dimacs import read_dimacs, write_dimacs
 from repro.flow.decomposition import (
     PathFlow,
+    cancel_cycles,
     decompose_flow,
     decomposition_value,
     recompose_flow,
@@ -51,19 +69,20 @@ from repro.flow.generators import (
     random_sparse_network,
 )
 from repro.flow.worstcase import layered_network, long_path_network, zigzag_network
-from repro.flow.instrument import OperationCounter, SolverTiming, StageTimer, time_solver
+from repro.flow.instrument import SolverTiming, time_solver
 
+#: Backward-compatible name -> callable view of the classic per-instance
+#: exact solvers.  New code should go through :func:`get_solver` /
+#: :func:`registered_solvers` for capability metadata and telemetry.
 SOLVERS = {
-    "edmonds_karp": edmonds_karp,
-    "dinic": dinic,
-    "push_relabel": push_relabel,
-    "capacity_scaling": capacity_scaling,
-    "highest_label": highest_label_push_relabel,
+    spec.name: spec.fn
+    for spec in registered_solvers(kind="exact")
+    if not spec.supports_batch
 }
 
 
-def solve_max_flow(network, source, sink, *, algorithm="dinic"):
-    """Solve max-flow with a named algorithm.
+def solve_max_flow(network, source, sink, *, algorithm="dinic", stats=None, **kwargs):
+    """Solve max-flow with a named algorithm from the registry.
 
     Parameters
     ----------
@@ -72,25 +91,34 @@ def solve_max_flow(network, source, sink, *, algorithm="dinic"):
     source, sink:
         Vertex indices.
     algorithm:
-        One of ``"edmonds_karp"``, ``"dinic"``, ``"push_relabel"``,
-        ``"capacity_scaling"``.
+        Any registered solver name (see :func:`repro.flow.solver_names`);
+        unknown names raise :class:`~repro.errors.SolverError` listing the
+        registered ones.
+    stats:
+        Optional :class:`SolveStats` to fill with wall time and operation
+        counts for this solve.
+    kwargs:
+        Extra solver options (e.g. ``epsilon`` for ``algorithm="approx"``).
 
     Returns
     -------
     FlowResult
     """
-    try:
-        solver = SOLVERS[algorithm]
-    except KeyError:
-        known = ", ".join(sorted(SOLVERS))
-        raise ValueError(f"unknown algorithm {algorithm!r}; expected one of {known}")
-    return solver(network, source, sink)
+    return get_solver(algorithm).solve(network, source, sink, stats=stats, **kwargs)
 
 
 __all__ = [
     "FlowNetwork",
     "FlowResult",
     "SOLVERS",
+    "SolveStats",
+    "SolverSpec",
+    "get_solver",
+    "is_registered",
+    "register_solver",
+    "registered_solvers",
+    "solver_names",
+    "unknown_name_error",
     "solve_max_flow",
     "edmonds_karp",
     "dinic",
@@ -104,6 +132,7 @@ __all__ = [
     "read_dimacs",
     "write_dimacs",
     "PathFlow",
+    "cancel_cycles",
     "decompose_flow",
     "recompose_flow",
     "decomposition_value",
@@ -119,8 +148,6 @@ __all__ = [
     "layered_network",
     "long_path_network",
     "zigzag_network",
-    "OperationCounter",
     "SolverTiming",
-    "StageTimer",
     "time_solver",
 ]

@@ -21,7 +21,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import GraphError, SolverError
-from repro.flow.graph import FlowNetwork
+from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.registry import register_solver
+
+#: Relative accuracy of the registry's ``"approx"`` entry when no explicit
+#: ``epsilon`` is passed through :func:`repro.flow.solve_max_flow`.
+DEFAULT_EPSILON = 0.01
 
 
 @dataclass
@@ -118,6 +123,34 @@ def approximate_max_flow(
                 flow=flow,
             )
         delta /= 2.0
+
+
+def _approx_solve(
+    network: FlowNetwork, source: int, sink: int, *, epsilon: float = DEFAULT_EPSILON
+) -> FlowResult:
+    """Registry adapter: expose the ε-approximate solver as a ``FlowResult``.
+
+    The certified bound and the Kelner-style work model stay available on
+    :func:`approximate_max_flow`; this wrapper is what uniform dispatch and
+    telemetry see.
+    """
+    result = approximate_max_flow(network, source, sink, epsilon=epsilon)
+    return FlowResult(
+        value=result.value,
+        flow=result.flow,
+        algorithm="approx",
+        stats={"augmentations": result.augmentations},
+    )
+
+
+register_solver(
+    "approx",
+    _approx_solve,
+    kind="approx",
+    recursion_free=True,
+    complexity="O(m^(1+o(1)) eps^-2) modeled",
+    description="eps-approximate (Delta-scaling truncation, certified bound)",
+)
 
 
 def _find_path(residual: np.ndarray, source: int, sink: int, delta: float):

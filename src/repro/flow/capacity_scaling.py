@@ -15,6 +15,7 @@ import numpy as np
 from repro.errors import GraphError
 from repro.flow.approx import _find_path
 from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.registry import register_solver
 
 #: The clean-up phase starts once Delta falls below this fraction of the
 #: largest capacity; everything smaller is float-tail territory.
@@ -71,3 +72,13 @@ def _augment_all(residual: np.ndarray, source: int, sink: int, delta: float) -> 
         count += 1
         path = _find_path(residual, source, sink, delta)
     return count
+
+
+register_solver(
+    "capacity_scaling",
+    capacity_scaling,
+    kind="exact",
+    recursion_free=True,
+    complexity="O(m^2 log U)",
+    description="Delta-scaling augmentation with an exact clean-up phase",
+)

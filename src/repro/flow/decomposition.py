@@ -80,6 +80,60 @@ def decompose_flow(
     return paths
 
 
+def cancel_cycles(flow: np.ndarray, *, tol: float = None) -> np.ndarray:
+    """Return an equivalent acyclic flow by cancelling flow cycles.
+
+    Cycles carry no source→sink value and leave every vertex's net excess
+    unchanged, so the result is the same feasible max flow — but now
+    decomposable into paths.  Augmenting-path solvers never produce them;
+    push-relabel solvers legitimately can.
+    """
+    flow = np.array(flow, dtype=np.float64)
+    n = flow.shape[0]
+    if flow.shape != (n, n):
+        raise FlowError(f"flow must be square, got {flow.shape}")
+    if tol is None:
+        tol = 1e-12 * max(float(flow.max()), 1.0)
+
+    while True:
+        positive = flow > tol
+        cycle = None
+        color = [0] * n  # 0 unvisited, 1 on the DFS path, 2 done
+        parent = [-1] * n
+        for root in range(n):
+            if cycle or color[root]:
+                continue
+            color[root] = 1
+            stack = [(root, iter(np.flatnonzero(positive[root])))]
+            while stack and cycle is None:
+                vertex, successors = stack[-1]
+                for raw in successors:
+                    nxt = int(raw)
+                    if color[nxt] == 0:
+                        color[nxt] = 1
+                        parent[nxt] = vertex
+                        stack.append((nxt, iter(np.flatnonzero(positive[nxt]))))
+                        break
+                    if color[nxt] == 1:
+                        # Back edge vertex -> nxt closes a cycle along the
+                        # current DFS path.
+                        path = [vertex]
+                        while path[-1] != nxt:
+                            path.append(parent[path[-1]])
+                        cycle = list(reversed(path))
+                        break
+                else:
+                    color[vertex] = 2
+                    stack.pop()
+        if cycle is None:
+            flow[flow <= tol] = 0.0
+            return flow
+        edges = list(zip(cycle, cycle[1:] + [cycle[0]]))
+        bottleneck = min(flow[u, v] for u, v in edges)
+        for u, v in edges:
+            flow[u, v] -= bottleneck
+
+
 def recompose_flow(paths: List[PathFlow], n: int) -> np.ndarray:
     """Rebuild the dense flow matrix from a path decomposition."""
     flow = np.zeros((n, n))

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.registry import register_solver
 
 
 def dinic(network: FlowNetwork, source: int, sink: int) -> FlowResult:
@@ -83,6 +84,26 @@ def blocking_flow(residual: np.ndarray, source: int, sink: int) -> Dict[str, int
         "augmentations": augmentations,
         "bfs_edge_visits": bfs_edge_visits,
     }
+
+
+def _dinic_matrix(capacity: np.ndarray, residual: np.ndarray, source: int, sink: int):
+    """Dense in-place core for the batch pipeline: ``(value, counters)``."""
+    np.copyto(residual, capacity)
+    counters = blocking_flow(residual, source, sink)
+    flow = np.clip(capacity - residual, 0.0, capacity)
+    value = float(flow[source].sum() - flow[:, source].sum())
+    return value, counters
+
+
+register_solver(
+    "dinic",
+    dinic,
+    kind="exact",
+    recursion_free=True,
+    complexity="O(n^2 m) = O(n^4) dense",
+    description="Blocking-flow (Dinic); explicit-stack DFS, frontier BFS",
+    matrix_fn=_dinic_matrix,
+)
 
 
 def _level_graph(residual: np.ndarray, source: int, sink: int):

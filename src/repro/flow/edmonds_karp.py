@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.registry import register_solver
 
 
 def edmonds_karp(network: FlowNetwork, source: int, sink: int) -> FlowResult:
@@ -78,6 +79,16 @@ def edmonds_karp(network: FlowNetwork, source: int, sink: int) -> FlowResult:
         algorithm="edmonds_karp",
         stats={"augmentations": augmentations, "bfs_edge_visits": bfs_edge_visits},
     )
+
+
+register_solver(
+    "edmonds_karp",
+    edmonds_karp,
+    kind="exact",
+    recursion_free=True,
+    complexity="O(V E^2) = O(n^5) dense",
+    description="Shortest augmenting path (BFS); the paper's Boost reference",
+)
 
 
 def _flow_from_residual(capacity: np.ndarray, residual: np.ndarray) -> np.ndarray:

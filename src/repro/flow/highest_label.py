@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.registry import register_solver
 
 
 def highest_label_push_relabel(network: FlowNetwork, source: int, sink: int) -> FlowResult:
@@ -102,3 +103,13 @@ def highest_label_push_relabel(network: FlowNetwork, source: int, sink: int) -> 
             "edge_inspections": edge_inspections,
         },
     )
+
+
+register_solver(
+    "highest_label",
+    highest_label_push_relabel,
+    kind="exact",
+    recursion_free=True,
+    complexity="O(n^2 sqrt(m))",
+    description="Highest-label push-relabel (max-height discharge order)",
+)

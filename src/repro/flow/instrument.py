@@ -1,67 +1,26 @@
-"""Timing and operation-count instrumentation for solver scaling studies.
+"""Timing and operation-count sampling for solver scaling studies.
 
 Fig. 7(a) of the paper plots wall-clock simulation time against node count
 and fits a polynomial.  :func:`time_solver` produces exactly those samples:
-repeated timed runs of a named solver on freshly generated instances, with
-per-run operation counts so the asymptotic order can also be verified
+repeated timed runs of a registered solver on freshly generated instances,
+with per-run operation counts so the asymptotic order can also be verified
 machine-independently.
+
+All per-run bookkeeping goes through the telemetry spine
+(:class:`repro.flow.registry.SolveStats`); this module only shapes those
+records into per-size samples.
 """
 
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence, Union
 
 import numpy as np
 
-from repro.flow.graph import FlowNetwork, FlowResult
-
-
-@dataclass
-class StageTimer:
-    """Accumulates wall-clock seconds per named pipeline stage.
-
-    The batched CRP pipeline times its prepare/solve/compare stages with
-    one of these; repeated entries into the same stage accumulate.
-    """
-
-    seconds: Dict[str, float] = field(default_factory=dict)
-
-    @contextmanager
-    def stage(self, name: str):
-        """Context manager charging the enclosed block to ``name``."""
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
-
-    def get(self, name: str) -> float:
-        """Accumulated seconds for a stage (0.0 if never entered)."""
-        return self.seconds.get(name, 0.0)
-
-    def total(self) -> float:
-        """Sum across all stages."""
-        return sum(self.seconds.values())
-
-
-@dataclass
-class OperationCounter:
-    """Accumulates operation counts across repeated solver runs."""
-
-    counts: Dict[str, int] = field(default_factory=dict)
-
-    def add(self, stats: Dict[str, int]) -> None:
-        """Merge one run's stats into the running totals."""
-        for key, value in stats.items():
-            self.counts[key] = self.counts.get(key, 0) + int(value)
-
-    def total(self) -> int:
-        """Sum over all counted operation kinds."""
-        return sum(self.counts.values())
+from repro.flow.graph import FlowNetwork
+from repro.flow.registry import SolveStats, SolverSpec, get_solver
 
 
 @dataclass
@@ -96,19 +55,21 @@ class SolverTiming:
 
 
 def time_solver(
-    solver: Callable[[FlowNetwork, int, int], FlowResult],
+    solver: Union[str, SolverSpec, Callable],
     make_instance: Callable[[int], FlowNetwork],
     sizes: Sequence[int],
     *,
     repeats: int = 3,
     source: int = 0,
 ) -> List[SolverTiming]:
-    """Time ``solver`` across instance sizes.
+    """Time a solver across instance sizes.
 
     Parameters
     ----------
     solver:
-        One of the solvers from :mod:`repro.flow`.
+        A registered algorithm name (preferred), a
+        :class:`~repro.flow.registry.SolverSpec`, or a bare solver callable
+        (kept for backward compatibility).
     make_instance:
         Builds a fresh :class:`FlowNetwork` for a node count (responsible for
         its own seeding if determinism is wanted).
@@ -119,17 +80,30 @@ def time_solver(
     source:
         Source vertex; the sink is always ``n - 1``.
     """
+    spec: Union[SolverSpec, None]
+    if isinstance(solver, str):
+        spec = get_solver(solver)
+    elif isinstance(solver, SolverSpec):
+        spec = solver
+    else:
+        spec = None
+
     samples: List[SolverTiming] = []
     for n in sizes:
         timing = SolverTiming(n=n)
         for _ in range(repeats):
             network = make_instance(n)
             sink = network.n - 1
-            start = time.perf_counter()
-            result = solver(network, source, sink)
-            elapsed = time.perf_counter() - start
-            timing.seconds.append(elapsed)
-            timing.operations.append(sum(result.stats.values()))
+            if spec is not None:
+                stats = SolveStats()
+                result = spec.solve(network, source, sink, stats=stats)
+                timing.seconds.append(stats.total_seconds)
+                timing.operations.append(stats.operations)
+            else:
+                start = time.perf_counter()
+                result = solver(network, source, sink)
+                timing.seconds.append(time.perf_counter() - start)
+                timing.operations.append(sum(result.stats.values()))
             timing.values.append(result.value)
         samples.append(timing)
     return samples

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import GraphError
 from repro.flow.graph import FlowNetwork, FlowResult
+from repro.flow.registry import register_solver
 
 
 def push_relabel(network: FlowNetwork, source: int, sink: int) -> FlowResult:
@@ -129,3 +130,13 @@ def push_relabel(network: FlowNetwork, source: int, sink: int) -> FlowResult:
             "edge_inspections": edge_inspections,
         },
     )
+
+
+register_solver(
+    "push_relabel",
+    push_relabel,
+    kind="exact",
+    recursion_free=True,
+    complexity="O(n^3)",
+    description="FIFO push-relabel (Goldberg-Tarjan) with the gap heuristic",
+)

@@ -10,18 +10,23 @@ turns the loop inside out:
   ``(2·C, n, n)`` tensor (network A rows first, then network B), reusing
   the per-bit capacity caches of :class:`~repro.ppuf.device.PpufNetwork`
   and a preallocated capacity/residual buffer pair across chunks;
-* the default ``"batched"`` algorithm hands the whole tensor to
-  :func:`repro.flow.batched.batched_max_flow`, which advances every
-  instance in lockstep with vectorised wavefronts;
-* naming an exact per-instance solver (``"dinic"``, ``"push_relabel"``,
-  …) instead evaluates challenges one at a time with the same arithmetic
-  as the sequential path — bit-for-bit identical to looping
-  :meth:`~repro.ppuf.device.Ppuf.response` — while still skipping the
-  per-challenge object churn;
+* the solver comes from :mod:`repro.flow.registry`: the default
+  ``"batched"`` entry ships a tensor fast path
+  (:attr:`~repro.flow.registry.SolverSpec.tensor_fn`) that advances every
+  instance in lockstep, while any other registered *exact* solver is run
+  one instance at a time through
+  :meth:`~repro.flow.registry.SolverSpec.solve_matrix` — bit-for-bit
+  identical to looping :meth:`~repro.ppuf.device.Ppuf.response` — still
+  skipping the per-challenge object churn;
 * ``workers > 1`` fans chunks out over a :class:`ProcessPoolExecutor`;
   chunk results are reassembled in submission order, and because no
   arithmetic couples challenges, the response bits are independent of the
   worker count and chunking.
+
+Every chunk fills one :class:`~repro.flow.registry.SolveStats` (phases
+``prepare``/``solve``/``compare`` plus the solver's operation counts);
+:class:`BatchReport` merges them into the single telemetry record its
+consumers — benchmarks, protocol experiments, the service — read.
 
 The ``"batched"`` solver reaches the same max-flow values as the exact
 solvers up to float rounding (the value is unique; only the augmentation
@@ -39,8 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SolverError
-from repro.flow import SOLVERS, FlowNetwork, batched_max_flow, blocking_flow
-from repro.flow.instrument import StageTimer
+from repro.flow.registry import SolveStats, get_solver
 from repro.ppuf.challenge import Challenge
 from repro.ppuf.engines import check_engine
 
@@ -65,15 +69,16 @@ class BatchReport:
         Number of challenges evaluated.
     engine, algorithm, workers, chunks:
         Pipeline configuration actually used.
-    prepare_seconds, solve_seconds, compare_seconds:
-        Accumulated per-stage wall clock (summed across chunks; with
-        ``workers > 1`` chunks overlap, so stage sums can exceed
-        ``total_seconds``).
-    total_seconds:
-        End-to-end wall clock of :meth:`BatchEvaluator.evaluate`.
-    solver_stats:
-        Operation counts merged across all solves (keys depend on the
-        algorithm, e.g. ``rounds``/``augmentations``/``bfs_edge_visits``).
+    stats:
+        The merged :class:`~repro.flow.registry.SolveStats` across all
+        chunks: per-phase seconds (``prepare``/``solve``/``compare``) and
+        the solver's operation counts.  ``stats.total_seconds`` is the
+        end-to-end wall clock of :meth:`BatchEvaluator.evaluate`; with
+        ``workers > 1`` chunks overlap, so the phase sum can exceed it.
+
+    ``prepare_seconds``/``solve_seconds``/``compare_seconds``/
+    ``total_seconds``/``solver_stats`` are views into ``stats`` kept for
+    earlier consumers of this report.
     """
 
     challenges: int
@@ -81,11 +86,31 @@ class BatchReport:
     algorithm: str
     workers: int
     chunks: int
-    prepare_seconds: float = 0.0
-    solve_seconds: float = 0.0
-    compare_seconds: float = 0.0
-    total_seconds: float = 0.0
-    solver_stats: Dict[str, int] = field(default_factory=dict)
+    stats: SolveStats = field(default_factory=SolveStats)
+
+    @property
+    def prepare_seconds(self) -> float:
+        return self.stats.phase_seconds.get("prepare", 0.0)
+
+    @property
+    def solve_seconds(self) -> float:
+        return self.stats.phase_seconds.get("solve", 0.0)
+
+    @property
+    def compare_seconds(self) -> float:
+        return self.stats.phase_seconds.get("compare", 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.stats.total_seconds
+
+    @total_seconds.setter
+    def total_seconds(self, value: float) -> None:
+        self.stats.total_seconds = float(value)
+
+    @property
+    def solver_stats(self) -> Dict[str, int]:
+        return self.stats.counters
 
     @property
     def throughput(self) -> float:
@@ -105,8 +130,8 @@ class BatchEvaluator:
     engine:
         ``"maxflow"`` (default) or ``"circuit"``.
     algorithm:
-        ``"batched"`` (default, maxflow engine only) or any exact solver
-        name from :data:`repro.flow.SOLVERS`.
+        Any registered *exact* solver name (``repro solvers`` lists them);
+        the default ``"batched"`` uses the lockstep tensor fast path.
     workers:
         Process count; 1 evaluates inline.
     chunk_size:
@@ -123,10 +148,11 @@ class BatchEvaluator:
         chunk_size: Optional[int] = None,
     ):
         check_engine(engine)
-        if algorithm != BATCHED_ALGORITHM and algorithm not in SOLVERS:
-            known = ", ".join([BATCHED_ALGORITHM] + sorted(SOLVERS))
+        spec = get_solver(algorithm)
+        if not spec.exact:
             raise SolverError(
-                f"unknown algorithm {algorithm!r}; expected one of {known}"
+                f"algorithm {algorithm!r} is {spec.kind}; the batch pipeline "
+                "needs an exact solver"
             )
         if workers < 1:
             raise SolverError(f"workers must be >= 1, got {workers}")
@@ -137,6 +163,7 @@ class BatchEvaluator:
         self.ppuf = ppuf
         self.engine = engine
         self.algorithm = algorithm
+        self._spec = spec
         self.workers = int(workers)
         self.chunk_size = int(chunk_size)
         crossbar = ppuf.crossbar
@@ -172,8 +199,9 @@ class BatchEvaluator:
                 algorithm=self.algorithm,
                 workers=self.workers,
                 chunks=0,
-                total_seconds=time.perf_counter() - started,
             )
+            report.stats.algorithm = self.algorithm
+            report.total_seconds = time.perf_counter() - started
             return np.zeros(0, dtype=np.uint8), report
 
         if self.workers == 1 or len(chunks) == 1:
@@ -195,21 +223,19 @@ class BatchEvaluator:
                 # vector is deterministic regardless of completion order.
                 outcomes = list(pool.map(_worker_chunk, chunks))
 
-        bits = np.concatenate([chunk_bits for chunk_bits, _, _ in outcomes])
+        bits = np.concatenate([chunk_bits for chunk_bits, _ in outcomes])
         report = BatchReport(
             challenges=len(challenges),
             engine=self.engine,
             algorithm=self.algorithm,
             workers=workers_used,
             chunks=len(chunks),
-            total_seconds=time.perf_counter() - started,
         )
-        for _, seconds, stats in outcomes:
-            report.prepare_seconds += seconds.get("prepare", 0.0)
-            report.solve_seconds += seconds.get("solve", 0.0)
-            report.compare_seconds += seconds.get("compare", 0.0)
-            for key, value in stats.items():
-                report.solver_stats[key] = report.solver_stats.get(key, 0) + value
+        for _, chunk_stats in outcomes:
+            report.stats.merge(chunk_stats)
+        # The merged per-chunk times double-count overlap under workers > 1;
+        # the report's total is the end-to-end wall clock either way.
+        report.total_seconds = time.perf_counter() - started
         return bits, report
 
     # ------------------------------------------------------------------
@@ -217,7 +243,7 @@ class BatchEvaluator:
     # ------------------------------------------------------------------
     def _evaluate_chunk(
         self, challenges: List[Challenge]
-    ) -> Tuple[np.ndarray, Dict[str, float], Dict[str, int]]:
+    ) -> Tuple[np.ndarray, SolveStats]:
         if self.engine == "circuit":
             return self._evaluate_chunk_circuit(challenges)
         return self._evaluate_chunk_maxflow(challenges)
@@ -233,12 +259,12 @@ class BatchEvaluator:
         return capacity[:instances], self._residual_buffer[:instances]
 
     def _evaluate_chunk_maxflow(self, challenges):
-        timer = StageTimer()
+        stats = SolveStats(algorithm=self.algorithm)
         ppuf = self.ppuf
         n = ppuf.n
         count = len(challenges)
         src, dst = self._edge_src, self._edge_dst
-        with timer.stage("prepare"):
+        with stats.phase("prepare"):
             capacity, residual = self._buffers(2 * count, n)
             terminals = np.empty((2, 2 * count), dtype=np.int64)
             per_bit = [
@@ -258,64 +284,49 @@ class BatchEvaluator:
                     capacity[index + half * count, src, dst] = np.where(
                         choose, cap1, cap0
                     )
-        stats: Dict[str, int] = {}
-        if self.algorithm == BATCHED_ALGORITHM:
-            with timer.stage("solve"):
-                result = batched_max_flow(
-                    capacity, terminals[0], terminals[1], residual_out=residual
-                )
-                values = result.values
-                stats = result.stats
+        if self._spec.tensor_fn is not None:
+            result = self._spec.solve_tensor(
+                capacity, terminals[0], terminals[1],
+                residual_out=residual, stats=stats,
+            )
+            values = result.values
         else:
             values = np.empty(2 * count, dtype=np.float64)
-            with timer.stage("solve"):
-                for row in range(2 * count):
-                    values[row] = self._solve_single(
-                        capacity[row],
-                        residual[row],
-                        int(terminals[0, row]),
-                        int(terminals[1, row]),
-                        stats,
-                    )
-        with timer.stage("compare"):
+            for row in range(2 * count):
+                values[row] = self._spec.solve_matrix(
+                    capacity[row],
+                    residual[row],
+                    int(terminals[0, row]),
+                    int(terminals[1, row]),
+                    stats=stats,
+                )
+        with stats.phase("compare"):
             comparator = ppuf.comparator
             bits = (
                 (values[:count] + comparator.offset) > values[count:]
             ).astype(np.uint8)
-        return bits, timer.seconds, stats
-
-    def _solve_single(self, capacity, residual, source, sink, stats):
-        """One exact solve, arithmetic-identical to the sequential path."""
-        if self.algorithm == "dinic":
-            np.copyto(residual, capacity)
-            run = blocking_flow(residual, source, sink)
-            flow = np.clip(capacity - residual, 0.0, capacity)
-            value = float(flow[source].sum() - flow[:, source].sum())
-        else:
-            network = FlowNetwork.from_capacity_matrix(capacity)
-            result = SOLVERS[self.algorithm](network, source, sink)
-            run = result.stats
-            value = result.value
-        for key, count in run.items():
-            stats[key] = stats.get(key, 0) + int(count)
-        return value
+        return bits, stats
 
     def _evaluate_chunk_circuit(self, challenges):
-        timer = StageTimer()
+        stats = SolveStats(algorithm=self.algorithm)
         ppuf = self.ppuf
         count = len(challenges)
         currents = np.empty((2, count), dtype=np.float64)
-        with timer.stage("solve"):
+        with stats.phase("solve"):
+            start = time.perf_counter()
             for index, challenge in enumerate(challenges):
                 edge_bits = challenge.bits[self._cells]
                 for half, network in enumerate((ppuf.network_a, ppuf.network_b)):
                     currents[half, index] = network.circuit_current(
                         edge_bits, challenge.source, challenge.sink
                     )
-        with timer.stage("compare"):
+            stats.total_seconds += time.perf_counter() - start
+        stats.solves += 2 * count
+        stats.count("dc_solves", 2 * count)
+        with stats.phase("compare"):
             comparator = ppuf.comparator
             bits = ((currents[0] + comparator.offset) > currents[1]).astype(np.uint8)
-        return bits, timer.seconds, {"dc_solves": 2 * count}
+        return bits, stats
 
 
 # ----------------------------------------------------------------------

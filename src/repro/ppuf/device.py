@@ -108,10 +108,15 @@ class PpufNetwork:
         sink: int,
         *,
         algorithm: str = "dinic",
+        stats=None,
     ) -> float:
-        """Simulated source current: the max-flow value."""
+        """Simulated source current: the max-flow value.
+
+        ``algorithm`` may be any registered exact solver; ``stats`` is an
+        optional :class:`~repro.flow.registry.SolveStats` to fill.
+        """
         network = self.flow_network(edge_bits)
-        result = solve_max_flow(network, source, sink, algorithm=algorithm)
+        result = solve_max_flow(network, source, sink, algorithm=algorithm, stats=stats)
         return result.value
 
     # ------------------------------------------------------------------
@@ -232,17 +237,38 @@ class Ppuf:
     def challenge_space(self) -> ChallengeSpace:
         return ChallengeSpace(self.crossbar)
 
-    def currents(self, challenge: Challenge, *, engine: str = "maxflow") -> Tuple[float, float]:
-        """Source currents of the two networks for a challenge."""
+    def currents(
+        self,
+        challenge: Challenge,
+        *,
+        engine: str = "maxflow",
+        algorithm: str = "dinic",
+        stats=None,
+    ) -> Tuple[float, float]:
+        """Source currents of the two networks for a challenge.
+
+        ``algorithm`` names any registered exact solver (maxflow engine);
+        ``stats`` is an optional :class:`~repro.flow.registry.SolveStats`
+        accumulating telemetry across both network solves.
+        """
         self._check_challenge(challenge)
         return (
-            network_current(self.network_a, challenge, engine),
-            network_current(self.network_b, challenge, engine),
+            network_current(self.network_a, challenge, engine, algorithm=algorithm, stats=stats),
+            network_current(self.network_b, challenge, engine, algorithm=algorithm, stats=stats),
         )
 
-    def response(self, challenge: Challenge, *, engine: str = "maxflow") -> int:
+    def response(
+        self,
+        challenge: Challenge,
+        *,
+        engine: str = "maxflow",
+        algorithm: str = "dinic",
+        stats=None,
+    ) -> int:
         """The response bit: comparator decision on the two currents."""
-        current_a, current_b = self.currents(challenge, engine=engine)
+        current_a, current_b = self.currents(
+            challenge, engine=engine, algorithm=algorithm, stats=stats
+        )
         return self.comparator.compare(current_a, current_b)
 
     def noisy_response(
@@ -252,19 +278,31 @@ class Ppuf:
         *,
         votes: int = 1,
         engine: str = "maxflow",
+        algorithm: str = "dinic",
     ) -> int:
         """Response under comparator noise, optionally majority-voted.
 
         The network currents are deterministic (the silicon doesn't change);
         the comparator decision is resampled ``votes`` times.
         """
-        current_a, current_b = self.currents(challenge, engine=engine)
+        current_a, current_b = self.currents(challenge, engine=engine, algorithm=algorithm)
         return self.comparator.majority_decision(current_a, current_b, rng, votes=votes)
 
-    def response_bits(self, challenges, *, engine: str = "maxflow") -> np.ndarray:
+    def response_bits(
+        self,
+        challenges,
+        *,
+        engine: str = "maxflow",
+        algorithm: str = "dinic",
+        stats=None,
+    ) -> np.ndarray:
         """Vector of response bits for a challenge list."""
         return np.array(
-            [self.response(c, engine=engine) for c in challenges], dtype=np.uint8
+            [
+                self.response(c, engine=engine, algorithm=algorithm, stats=stats)
+                for c in challenges
+            ],
+            dtype=np.uint8,
         )
 
     def responses(

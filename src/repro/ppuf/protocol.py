@@ -28,6 +28,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import VerificationError
+from repro.flow.registry import SolveStats
 from repro.ppuf.challenge import Challenge
 from repro.ppuf.delay import lin_mead_delay_bound
 from repro.ppuf.esg import ESGModel
@@ -36,7 +37,12 @@ from repro.ppuf.verification import PpufProver, PpufVerifier
 
 @dataclass(frozen=True)
 class RoundRecord:
-    """One authentication round's transcript entry."""
+    """One authentication round's transcript entry.
+
+    ``algorithm`` and ``solve_stats`` come off the prover's claim: which
+    registered solver produced the answer and the structured telemetry
+    (phase seconds, operation counts) of that solve.
+    """
 
     challenge: Challenge
     claim_value: float
@@ -45,6 +51,8 @@ class RoundRecord:
     prover_model_seconds: float
     deadline_seconds: float
     verifier_seconds: float
+    algorithm: str = "dinic"
+    solve_stats: Optional[SolveStats] = None
 
     @property
     def accepted(self) -> bool:
@@ -108,12 +116,15 @@ class AuthenticationSession:
         *,
         rounds: int = 4,
         prover_time_model=None,
+        algorithm: str = "dinic",
     ) -> SessionResult:
         """Run the session against an honest (device-holding) prover.
 
         ``prover_time_model`` maps the node count to the prover's modeled
         response time [s]; ``None`` models an honest device (the device
-        delay itself, always within the deadline).
+        delay itself, always within the deadline).  ``algorithm`` names the
+        registered solver the prover answers with; each round's transcript
+        records it together with the solve's :class:`SolveStats`.
         """
         from repro.ppuf.challenge import ChallengeSpace
 
@@ -123,7 +134,7 @@ class AuthenticationSession:
         result = SessionResult()
         for _ in range(rounds):
             challenge = space.random(rng)
-            claim = prover.answer(challenge)
+            claim = prover.answer(challenge, algorithm=algorithm)
             if prover_time_model is None:
                 modeled = deadline / self.deadline_slack  # honest device
             else:
@@ -144,6 +155,8 @@ class AuthenticationSession:
                     prover_model_seconds=modeled,
                     deadline_seconds=deadline,
                     verifier_seconds=verifier_seconds,
+                    algorithm=claim.algorithm,
+                    solve_stats=claim.solve_stats,
                 )
             )
             if not result.rounds[-1].accepted:
@@ -157,6 +170,7 @@ class AuthenticationSession:
         rng: np.random.Generator,
         *,
         rounds: int = 4,
+        algorithm: str = "dinic",
     ) -> SessionResult:
         """Run against an attacker who must *simulate* each response.
 
@@ -169,4 +183,5 @@ class AuthenticationSession:
             rng,
             rounds=rounds,
             prover_time_model=lambda n: float(esg_model.simulation_time(n)),
+            algorithm=algorithm,
         )

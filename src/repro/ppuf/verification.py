@@ -20,13 +20,19 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import FlowError, VerificationError
 from repro.flow import solve_max_flow, verify_max_flow
-from repro.flow.decomposition import PathFlow, decompose_flow, recompose_flow
+from repro.flow.registry import SolveStats
+from repro.flow.decomposition import (
+    PathFlow,
+    cancel_cycles,
+    decompose_flow,
+    recompose_flow,
+)
 from repro.flow.graph import DEFAULT_RTOL
 from repro.ppuf.challenge import Challenge
 
@@ -44,6 +50,8 @@ class CompactClaim:
     paths: List[PathFlow]
     value: float
     elapsed_seconds: float
+    algorithm: str = "dinic"
+    solve_stats: Optional[SolveStats] = None
 
     def to_flow_claim(self, n: int) -> "FlowClaim":
         """Expand back into the dense-matrix claim form."""
@@ -52,6 +60,8 @@ class CompactClaim:
             flow=recompose_flow(self.paths, n),
             value=self.value,
             elapsed_seconds=self.elapsed_seconds,
+            algorithm=self.algorithm,
+            solve_stats=self.solve_stats,
         )
 
 
@@ -69,12 +79,19 @@ class FlowClaim:
         Claimed max-flow value (net out of the source).
     elapsed_seconds:
         Prover-side wall-clock (execution or simulation time).
+    algorithm:
+        Registered solver name the prover used.
+    solve_stats:
+        Optional :class:`~repro.flow.registry.SolveStats` of the prover's
+        solve (phase seconds + operation counts).
     """
 
     challenge: Challenge
     flow: np.ndarray
     value: float
     elapsed_seconds: float
+    algorithm: str = "dinic"
+    solve_stats: Optional[SolveStats] = None
 
 
 @dataclass
@@ -89,12 +106,26 @@ class PpufProver:
 
     network: "object"  # repro.ppuf.device.PpufNetwork
 
-    def answer(self, challenge: Challenge, *, algorithm: str = "dinic") -> FlowClaim:
+    def answer(
+        self,
+        challenge: Challenge,
+        *,
+        algorithm: str = "dinic",
+        stats: Optional[SolveStats] = None,
+    ) -> FlowClaim:
+        """Answer a challenge with any registered exact solver.
+
+        The claim carries the solver name and its
+        :class:`~repro.flow.registry.SolveStats`, so protocol transcripts
+        and the service can attribute verify latency per algorithm.
+        """
         edge_bits = self.network.crossbar.bits_for_edges(challenge.bits)
         instance = self.network.flow_network(edge_bits)
+        solve_stats = stats if stats is not None else SolveStats()
         start = time.perf_counter()
         result = solve_max_flow(
-            instance, challenge.source, challenge.sink, algorithm=algorithm
+            instance, challenge.source, challenge.sink,
+            algorithm=algorithm, stats=solve_stats,
         )
         elapsed = time.perf_counter() - start
         return FlowClaim(
@@ -102,17 +133,31 @@ class PpufProver:
             flow=result.flow,
             value=result.value,
             elapsed_seconds=elapsed,
+            algorithm=algorithm,
+            solve_stats=solve_stats,
         )
 
-    def answer_compact(self, challenge: Challenge, *, algorithm: str = "dinic") -> CompactClaim:
+    def answer_compact(
+        self,
+        challenge: Challenge,
+        *,
+        algorithm: str = "dinic",
+        stats: Optional[SolveStats] = None,
+    ) -> CompactClaim:
         """Answer with a path decomposition instead of the dense matrix."""
-        claim = self.answer(challenge, algorithm=algorithm)
-        paths = decompose_flow(claim.flow, challenge.source, challenge.sink)
+        claim = self.answer(challenge, algorithm=algorithm, stats=stats)
+        # Push-relabel flows may carry cycles (same value, not path-
+        # decomposable); cancel them before decomposing.
+        paths = decompose_flow(
+            cancel_cycles(claim.flow), challenge.source, challenge.sink
+        )
         return CompactClaim(
             challenge=challenge,
             paths=paths,
             value=claim.value,
             elapsed_seconds=claim.elapsed_seconds,
+            algorithm=claim.algorithm,
+            solve_stats=claim.solve_stats,
         )
 
 

@@ -316,8 +316,8 @@ class PpufAuthServer:
             claim_wire,
             self.rtol,
         )
-        self.stats.claims_verified += 1
-        self.stats.verify_latency.observe(verify_seconds)
+        # Claims name their solver; telemetry is per-algorithm (STATS verb).
+        self.stats.observe_verify(claim_wire.get("algorithm"), verify_seconds)
         if not accepted:
             return self._verdict(session, False, reason, elapsed)
         if self.sessions.advance(session, device):

@@ -1,14 +1,21 @@
-"""Per-server counters and the verify-latency histogram.
+"""Per-server counters and the verify-latency histograms.
 
 Everything here is mutated from the single event-loop thread, so plain
 integer increments suffice — no locks.  ``snapshot()`` produces the JSON
 payload the ``STATS`` wire request returns.
+
+Verify latency is recorded twice: once in the overall histogram and once
+per solver algorithm (claims carry the registered solver name on the wire,
+validated against :mod:`repro.flow.registry`), so a fleet operator can see
+live which algorithms provers use and what each one costs to verify.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
+
+from repro.flow.registry import is_registered
 
 
 #: Upper bucket edges [s] for the verify-latency histogram — log-spaced so
@@ -61,6 +68,10 @@ class LatencyHistogram:
         }
 
 
+#: Telemetry key for claims naming no (or an unregistered) solver.
+UNKNOWN_ALGORITHM = "unknown"
+
+
 @dataclass
 class ServerStats:
     """Counters for everything the acceptance criteria care about."""
@@ -77,6 +88,23 @@ class ServerStats:
     unknown_devices: int = 0
     protocol_errors: int = 0
     verify_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    solver_latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
+
+    def observe_verify(self, algorithm, seconds: float) -> None:
+        """Record one claim verification: count, overall and per-algorithm.
+
+        ``algorithm`` is the solver name the claim carried over the wire;
+        anything not in the solver registry is bucketed as
+        :data:`UNKNOWN_ALGORITHM` so a hostile client cannot grow the
+        snapshot without bound.
+        """
+        self.claims_verified += 1
+        self.verify_latency.observe(seconds)
+        name = algorithm if is_registered(algorithm) else UNKNOWN_ALGORITHM
+        histogram = self.solver_latency.get(name)
+        if histogram is None:
+            histogram = self.solver_latency[name] = LatencyHistogram()
+        histogram.observe(seconds)
 
     def snapshot(self) -> dict:
         return {
@@ -92,4 +120,8 @@ class ServerStats:
             "unknown_devices": self.unknown_devices,
             "protocol_errors": self.protocol_errors,
             "verify_latency": self.verify_latency.snapshot(),
+            "solver_latency": {
+                name: histogram.snapshot()
+                for name, histogram in sorted(self.solver_latency.items())
+            },
         }

@@ -116,6 +116,8 @@ def claim_to_wire(claim: CompactClaim) -> dict:
         ],
         "value": claim.value,
         "elapsed_seconds": claim.elapsed_seconds,
+        # Solver attribution for the server's per-algorithm telemetry.
+        "algorithm": claim.algorithm,
     }
 
 
@@ -133,6 +135,7 @@ def claim_from_wire(payload: dict) -> CompactClaim:
             paths=paths,
             value=float(payload["value"]),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            algorithm=str(payload.get("algorithm", "dinic")),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ServiceError(f"malformed wire claim: {error}") from error

@@ -7,9 +7,12 @@ from hypothesis import strategies as st
 
 from repro.errors import FlowError
 from repro.flow import (
+    cancel_cycles,
     decompose_flow,
     decomposition_value,
     dinic,
+    push_relabel,
+    random_complete_network,
     random_sparse_network,
     recompose_flow,
 )
@@ -57,6 +60,40 @@ class TestDecompose:
     def test_nonsquare_rejected(self):
         with pytest.raises(FlowError):
             decompose_flow(np.zeros((2, 3)), 0, 1)
+
+
+class TestCancelCycles:
+    def test_removes_pure_cycle(self):
+        flow = np.zeros((4, 4))
+        flow[0, 1] = 1.0
+        flow[1, 3] = 1.0
+        flow[1, 2] = 4.0  # cycle 1 -> 2 -> 1 rides on top of the s-t path
+        flow[2, 1] = 4.0
+        cleaned = cancel_cycles(flow)
+        assert cleaned[1, 2] == 0.0
+        assert cleaned[2, 1] == 0.0
+        paths = decompose_flow(cleaned, 0, 3)
+        assert decomposition_value(paths) == pytest.approx(1.0)
+
+    def test_acyclic_flow_unchanged(self, rng):
+        network = random_sparse_network(10, rng, density=0.4)
+        result = dinic(network, 0, 9)
+        assert np.allclose(cancel_cycles(result.flow), result.flow, atol=1e-12)
+
+    def test_push_relabel_flow_decomposes_after_cancel(self, rng):
+        # Push-relabel legitimately returns max flows with cycles; after
+        # cancellation they decompose with the full value intact.
+        for _ in range(5):
+            network = random_complete_network(10, rng, relative_sigma=0.3)
+            result = push_relabel(network, 0, 9)
+            paths = decompose_flow(cancel_cycles(result.flow), 0, 9)
+            assert decomposition_value(paths) == pytest.approx(
+                result.value, abs=1e-9
+            )
+
+    def test_nonsquare_rejected(self):
+        with pytest.raises(FlowError):
+            cancel_cycles(np.zeros((2, 3)))
 
 
 class TestRecompose:

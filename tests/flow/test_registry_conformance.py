@@ -1,0 +1,180 @@
+"""Cross-solver conformance through the registry (ISSUE 3, satellite 3).
+
+Every registered *exact* solver — whatever its internals — must produce the
+same max-flow value on the same instance, and the SolveStats telemetry each
+solve emits must be internally consistent (phase seconds accounting for the
+total).  Error wording is unified across every dispatch point.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.flow import (
+    SolveStats,
+    get_solver,
+    random_complete_network,
+    random_sparse_network,
+    read_dimacs,
+    registered_solvers,
+    solve_max_flow,
+    solver_names,
+)
+
+#: Diamond with a cross edge; max flow s->t is exactly 5.
+DIMACS_DIAMOND = (
+    "c diamond fixture\n"
+    "p max 4 5\n"
+    "n 1 s\n"
+    "n 4 t\n"
+    "a 1 2 3.0\n"
+    "a 1 3 2.0\n"
+    "a 2 3 1.0\n"
+    "a 2 4 2.0\n"
+    "a 3 4 3.0\n"
+)
+
+#: Two arcs in series; the bottleneck (2.5) is the max flow.
+DIMACS_BOTTLENECK = (
+    "p max 3 2\n"
+    "n 1 s\n"
+    "n 3 t\n"
+    "a 1 2 4.5\n"
+    "a 2 3 2.5\n"
+)
+
+
+def exact_names():
+    return [spec.name for spec in registered_solvers(kind="exact")]
+
+
+class TestRegistryContents:
+    def test_lists_at_least_six_solvers_with_capabilities(self):
+        names = solver_names()
+        assert len(names) >= 6
+        for spec in registered_solvers():
+            caps = spec.capabilities()
+            assert caps["name"] == spec.name
+            assert caps["kind"] in ("exact", "approx")
+            assert isinstance(caps["supports_batch"], bool)
+            assert isinstance(caps["recursion_free"], bool)
+            assert caps["complexity"]
+            assert caps["description"]
+
+    def test_exact_filter_excludes_approx(self):
+        assert "approx" not in exact_names()
+        assert "approx" in solver_names(kind="approx")
+
+
+class TestExactSolverAgreement:
+    @pytest.mark.parametrize("n,density", [(6, 1.0), (10, 0.4), (12, 0.25)])
+    def test_agree_on_random_instances(self, n, density):
+        rng = np.random.default_rng(n * 100 + int(density * 10))
+        if density >= 1.0:
+            network = random_complete_network(n, rng, relative_sigma=0.3)
+        else:
+            network = random_sparse_network(n, rng, density=density)
+        values = {
+            name: solve_max_flow(network.copy(), 0, n - 1, algorithm=name).value
+            for name in exact_names()
+        }
+        reference = values["dinic"]
+        for name, value in values.items():
+            assert value == pytest.approx(reference, rel=1e-9, abs=1e-12), name
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [(DIMACS_DIAMOND, 5.0), (DIMACS_BOTTLENECK, 2.5)],
+        ids=["diamond", "bottleneck"],
+    )
+    def test_agree_on_dimacs_fixtures(self, text, expected):
+        for name in exact_names():
+            network, source, sink = read_dimacs(io.StringIO(text))
+            result = solve_max_flow(network, source, sink, algorithm=name)
+            assert result.value == pytest.approx(expected, rel=1e-12), name
+
+    def test_compact_claims_verify_for_every_exact_solver(self, rng):
+        # The full prover->verifier round: every exact solver's flow must
+        # survive path decomposition (cycle cancellation included) and the
+        # residual-graph check.
+        from repro.ppuf import Ppuf
+        from repro.ppuf.verification import PpufProver, PpufVerifier
+
+        ppuf = Ppuf.create(10, 3, rng)
+        challenge = ppuf.challenge_space().random(rng)
+        prover = PpufProver(ppuf.network_a)
+        verifier = PpufVerifier(ppuf.network_a)
+        for name in exact_names():
+            claim = prover.answer_compact(challenge, algorithm=name)
+            assert claim.algorithm == name
+            assert verifier.verify_compact(claim), name
+
+    def test_approx_solver_close_to_exact(self):
+        rng = np.random.default_rng(7)
+        network = random_complete_network(8, rng, relative_sigma=0.3)
+        exact = solve_max_flow(network.copy(), 0, 7, algorithm="dinic").value
+        approx = solve_max_flow(network.copy(), 0, 7, algorithm="approx").value
+        assert approx == pytest.approx(exact, rel=0.05)
+
+
+class TestSolveStatsConsistency:
+    @pytest.mark.parametrize("name", sorted(set(exact_names()) | {"approx"}))
+    def test_phase_seconds_account_for_total(self, name):
+        rng = np.random.default_rng(3)
+        network = random_complete_network(8, rng, relative_sigma=0.3)
+        stats = SolveStats()
+        solve_max_flow(network, 0, 7, algorithm=name, stats=stats)
+        assert stats.algorithm == name
+        assert stats.solves == 1
+        assert stats.total_seconds >= 0
+        # Single solves are charged entirely to the "solve" phase, so the
+        # phase sum matches the total up to float noise.
+        assert stats.phase_total() == pytest.approx(
+            stats.total_seconds, rel=1e-6, abs=1e-9
+        )
+
+    def test_stats_accumulate_across_solves(self):
+        rng = np.random.default_rng(4)
+        network = random_complete_network(6, rng, relative_sigma=0.3)
+        stats = SolveStats()
+        solve_max_flow(network.copy(), 0, 5, algorithm="dinic", stats=stats)
+        solve_max_flow(network.copy(), 0, 5, algorithm="dinic", stats=stats)
+        assert stats.solves == 2
+        assert stats.operations > 0
+
+
+class TestUnifiedErrorWording:
+    def test_solve_max_flow_unknown_algorithm(self, rng):
+        network = random_complete_network(4, rng)
+        with pytest.raises(SolverError, match="unknown algorithm 'simplex'"):
+            solve_max_flow(network, 0, 3, algorithm="simplex")
+
+    def test_get_solver_lists_registered_names(self):
+        with pytest.raises(SolverError) as excinfo:
+            get_solver("simplex")
+        message = str(excinfo.value)
+        assert "expected one of" in message
+        for name in solver_names():
+            assert name in message
+
+    def test_batch_evaluator_unknown_algorithm(self, rng):
+        from repro.ppuf import BatchEvaluator, Ppuf
+
+        ppuf = Ppuf.create(8, 3, rng)
+        with pytest.raises(SolverError, match="unknown algorithm 'simplex'"):
+            BatchEvaluator(ppuf, algorithm="simplex")
+
+    def test_batch_evaluator_rejects_approx(self, rng):
+        from repro.ppuf import BatchEvaluator, Ppuf
+
+        ppuf = Ppuf.create(8, 3, rng)
+        with pytest.raises(SolverError, match="exact solver"):
+            BatchEvaluator(ppuf, algorithm="approx")
+
+    def test_check_engine_same_wording(self):
+        from repro.ppuf.engines import check_engine
+
+        with pytest.raises(SolverError, match="unknown engine 'spice'"):
+            check_engine("spice")

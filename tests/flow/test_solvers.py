@@ -125,8 +125,10 @@ class TestDispatch:
         assert len(set(round(v, 15) for v in values.values())) == 1
 
     def test_unknown_algorithm_rejected(self, rng):
+        from repro.errors import SolverError
+
         network = random_complete_network(4, rng)
-        with pytest.raises(ValueError, match="unknown algorithm"):
+        with pytest.raises(SolverError, match="unknown algorithm"):
             solve_max_flow(network, 0, 3, algorithm="simplex")
 
 

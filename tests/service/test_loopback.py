@@ -59,7 +59,39 @@ class TestHappyPath:
         assert stats["claims_verified"] == 3
         assert stats["verify_latency"]["observations"] == 3
         assert stats["verify_latency"]["mean_seconds"] > 0
+        assert stats["solver_latency"]["dinic"]["observations"] == 3
         assert stats["active_sessions"] == 0
+
+    def test_per_algorithm_verify_telemetry(self, device):
+        async def go():
+            async with await serve() as server:
+                async with ServiceClient("127.0.0.1", server.port) as client:
+                    await client.enroll(device)
+                    for algorithm in ("dinic", "push_relabel", "push_relabel"):
+                        outcome = await client.authenticate(
+                            device, rounds=1, algorithm=algorithm
+                        )
+                        assert outcome.accepted
+
+                    # A spoofed solver label must not grow the snapshot —
+                    # unregistered names share the "unknown" bucket.
+                    def spoof(claim_wire):
+                        claim_wire["algorithm"] = "totally-made-up"
+                        return claim_wire
+
+                    outcome = await client.authenticate(
+                        device, rounds=1, tamper=spoof
+                    )
+                    assert outcome.accepted  # label is telemetry, not auth
+                    return await client.stats()
+
+        stats = run(go())
+        latency = stats["solver_latency"]
+        assert latency["dinic"]["observations"] == 1
+        assert latency["push_relabel"]["observations"] == 2
+        assert latency["unknown"]["observations"] == 1
+        assert "totally-made-up" not in latency
+        assert stats["claims_verified"] == 4
 
     def test_both_networks_authenticate(self, device):
         async def go():

@@ -46,5 +46,24 @@ class TestServerStats:
             "replays_rejected",
             "unknown_devices",
             "protocol_errors",
+            "solver_latency",
         ):
             assert key in snapshot
+
+    def test_observe_verify_attributes_per_algorithm(self):
+        stats = ServerStats()
+        stats.observe_verify("dinic", 0.01)
+        stats.observe_verify("push_relabel", 0.02)
+        stats.observe_verify("push_relabel", 0.03)
+        assert stats.claims_verified == 3
+        assert stats.verify_latency.observations == 3
+        snapshot = stats.snapshot()["solver_latency"]
+        assert snapshot["dinic"]["observations"] == 1
+        assert snapshot["push_relabel"]["observations"] == 2
+
+    def test_unregistered_algorithm_bucketed_as_unknown(self):
+        stats = ServerStats()
+        for label in ("simplex", None, 42, "also-not-a-solver"):
+            stats.observe_verify(label, 0.01)
+        assert set(stats.solver_latency) == {"unknown"}
+        assert stats.solver_latency["unknown"].observations == 4

@@ -124,3 +124,53 @@ class TestCommands:
         main(["create", "--nodes", "8", "--grid", "2", "--output", str(path)])
         assert main(["protocol", "--ppuf", str(path), "--rounds", "2"]) == 0
         assert "ACCEPTED" in capsys.readouterr().out
+
+    def test_protocol_with_registry_algorithm(self, tmp_path, capsys):
+        path = tmp_path / "device.json"
+        main(["create", "--nodes", "8", "--grid", "2", "--output", str(path)])
+        assert (
+            main(
+                [
+                    "protocol", "--ppuf", str(path), "--rounds", "2",
+                    "--algorithm", "push_relabel",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "algorithm=push_relabel" in out
+        assert "ACCEPTED" in out
+
+    def test_respond_algorithm_selects_solver(self, tmp_path, capsys):
+        path = tmp_path / "device.json"
+        main(["create", "--nodes", "8", "--grid", "2", "--output", str(path)])
+        capsys.readouterr()
+        main(["respond", "--ppuf", str(path), "--count", "4", "--seed", "3"])
+        default = capsys.readouterr()
+        main(
+            [
+                "respond", "--ppuf", str(path), "--count", "4", "--seed", "3",
+                "--algorithm", "highest_label",
+            ]
+        )
+        other = capsys.readouterr()
+        assert default.out == other.out  # same bits whatever the solver
+        assert '"algorithm": "highest_label"' in other.err
+
+    def test_solvers_lists_registry(self, capsys):
+        assert main(["solvers"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "approx", "batched", "capacity_scaling", "dinic",
+            "edmonds_karp", "highest_label", "push_relabel",
+        ):
+            assert name in out
+        assert "complexity" in out
+
+    def test_solvers_json_capabilities(self, capsys):
+        assert main(["solvers", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) >= 6
+        by_name = {entry["name"]: entry for entry in payload}
+        assert by_name["batched"]["supports_batch"] is True
+        assert by_name["approx"]["kind"] == "approx"

@@ -184,6 +184,11 @@ def _command_serve(arguments) -> int:
         workers=arguments.workers,
         seed=arguments.seed,
         allow_enroll=not arguments.no_enroll,
+        connection_timeout=arguments.timeout if arguments.timeout > 0 else None,
+        verify_timeout=(
+            arguments.verify_timeout if arguments.verify_timeout > 0 else None
+        ),
+        max_connections=arguments.max_connections,
     )
 
     async def _serve() -> None:
@@ -206,11 +211,18 @@ def _command_serve(arguments) -> int:
 
 
 def _command_auth(arguments) -> int:
-    from repro.service import authenticate_device, enroll_device, fetch_stats
+    from repro.service import (
+        RetryPolicy,
+        authenticate_device,
+        enroll_device,
+        fetch_stats,
+    )
 
+    retry = RetryPolicy(attempts=max(1, arguments.retries + 1))
+    resilience = dict(timeout=arguments.timeout, retry=retry)
     ppuf = load_ppuf(arguments.ppuf)
     if arguments.enroll:
-        device_id = enroll_device(arguments.host, arguments.port, ppuf)
+        device_id = enroll_device(arguments.host, arguments.port, ppuf, **resilience)
         print(f"enrolled as {device_id[:16]}…", file=sys.stderr)
     outcome = authenticate_device(
         arguments.host,
@@ -219,6 +231,7 @@ def _command_auth(arguments) -> int:
         network=arguments.network,
         rounds=arguments.rounds,
         algorithm=arguments.algorithm,
+        **resilience,
     )
     for entry in outcome.transcript:
         print(
@@ -227,7 +240,11 @@ def _command_auth(arguments) -> int:
         )
     print(f"{'ACCEPTED' if outcome.accepted else 'REJECTED'} ({outcome.reason})")
     if arguments.stats:
-        print(json.dumps(fetch_stats(arguments.host, arguments.port), indent=2))
+        print(
+            json.dumps(
+                fetch_stats(arguments.host, arguments.port, **resilience), indent=2
+            )
+        )
     return 0 if outcome.accepted else 1
 
 
@@ -328,6 +345,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-enroll", action="store_true", help="reject wire enrollment requests"
     )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-connection idle read timeout [s] (0 disables)",
+    )
+    serve.add_argument(
+        "--verify-timeout",
+        type=float,
+        default=60.0,
+        help="per-claim verification cutoff [s] (0 disables)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=256,
+        help="concurrent connection cap (excess gets a wire error)",
+    )
     serve.set_defaults(handler=_command_serve)
 
     auth = commands.add_parser("auth", help="authenticate against a running server")
@@ -346,6 +381,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     auth.add_argument(
         "--algorithm", default="dinic", help="exact solver the prover answers with"
+    )
+    auth.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-operation network timeout [s]",
+    )
+    auth.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="reconnect-and-retry count for idempotent verbs (claims are "
+        "never retried)",
     )
     auth.set_defaults(handler=_command_auth)
 

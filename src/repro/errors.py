@@ -45,3 +45,18 @@ class AttackError(ReproError):
 
 class ServiceError(ReproError):
     """Raised for networked-service failures (wire, registry, sessions)."""
+
+
+class ServiceTimeout(ServiceError, TimeoutError):
+    """Raised when a network operation exceeds its per-operation timeout.
+
+    Also a :class:`TimeoutError`, so callers that only know stdlib timeout
+    semantics (``except TimeoutError``) still catch it.
+    """
+
+
+class ConnectionLost(ServiceError, ConnectionError):
+    """Raised when the peer closes or resets the connection mid-operation.
+
+    Also a :class:`ConnectionError`, mirroring :class:`ServiceTimeout`.
+    """

@@ -18,12 +18,15 @@ from repro.service.client import (
     enroll_device,
     fetch_stats,
 )
+from repro.service.faults import FaultPlan, FaultyTransport
 from repro.service.registry import DeviceRegistry, device_id_for
+from repro.service.resilience import DEFAULT_TIMEOUT, RetryPolicy
 from repro.service.server import PpufAuthServer, VerificationPool
 from repro.service.sessions import (
     ReplayRejected,
     Session,
     SessionExpired,
+    SessionLimitExceeded,
     SessionManager,
     UnknownSession,
 )
@@ -35,13 +38,18 @@ __all__ = [
     "authenticate_device",
     "enroll_device",
     "fetch_stats",
+    "FaultPlan",
+    "FaultyTransport",
     "DeviceRegistry",
     "device_id_for",
+    "DEFAULT_TIMEOUT",
+    "RetryPolicy",
     "PpufAuthServer",
     "VerificationPool",
     "Session",
     "SessionManager",
     "SessionExpired",
+    "SessionLimitExceeded",
     "ReplayRejected",
     "UnknownSession",
     "LatencyHistogram",

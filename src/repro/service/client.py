@@ -9,6 +9,17 @@ Test hooks mirror the adversaries of the paper's argument: ``tamper``
 mutates the outgoing wire claim (a cheating prover), ``delay`` stalls
 before answering (a simulator paying the ESG and missing the deadline).
 
+Resilience (:mod:`repro.service.resilience`): every network operation has
+a finite per-operation ``timeout`` (default
+:data:`~repro.service.resilience.DEFAULT_TIMEOUT`), transport failures are
+classified — :class:`~repro.errors.ServiceTimeout` for a stalled peer,
+:class:`~repro.errors.ConnectionLost` for a dropped connection, plain
+:class:`~repro.errors.ServiceError` for a server-reported error — and
+idempotent verbs (ENROLL / HELLO / STATS) are transparently
+reconnected-and-retried under the client's :class:`RetryPolicy`.  CLAIM is
+never auto-retried; its nonce is already consumed, so a resend would be
+rejected as a replay.
+
 Both an async :class:`ServiceClient` and blocking one-shot helpers
 (:func:`enroll_device`, :func:`authenticate_device`, :func:`fetch_stats`)
 are provided; the CLI and tests use the blocking forms.
@@ -20,12 +31,26 @@ import asyncio
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.errors import ServiceError
+from repro.errors import ConnectionLost, ServiceError
 from repro.ppuf.device import Ppuf
 from repro.ppuf.io import ppuf_to_dict
 from repro.ppuf.verification import PpufProver
 from repro.service import wire
 from repro.service.registry import device_id_for
+from repro.service.resilience import (
+    DEFAULT_TIMEOUT,
+    IDEMPOTENT_TYPES,
+    RetryPolicy,
+    with_timeout,
+)
+
+#: Transport-level exceptions normalised into :class:`ConnectionLost`.
+_CONNECTION_ERRORS = (
+    ConnectionResetError,
+    ConnectionRefusedError,
+    BrokenPipeError,
+    asyncio.IncompleteReadError,
+)
 
 
 @dataclass
@@ -40,18 +65,49 @@ class AuthOutcome:
 
 
 class ServiceClient:
-    """One TCP connection to a :class:`~repro.service.server.PpufAuthServer`."""
+    """One TCP connection to a :class:`~repro.service.server.PpufAuthServer`.
 
-    def __init__(self, host: str, port: int):
+    Parameters
+    ----------
+    timeout:
+        Per-operation deadline [s] applied to connect and to every
+        request/response exchange.  Finite by default — a dead server
+        surfaces as :class:`~repro.errors.ServiceTimeout`, never a hang.
+    retry:
+        Policy for reconnect-and-retry of idempotent verbs.  ``None``
+        uses the default :class:`RetryPolicy`; pass
+        ``RetryPolicy.no_retry()`` to disable.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.host = host
         self.port = port
+        self.timeout = timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.retries_performed = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
     async def connect(self) -> "ServiceClient":
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port, limit=wire.MAX_LINE_BYTES
-        )
+        try:
+            self._reader, self._writer = await with_timeout(
+                asyncio.open_connection(
+                    self.host, self.port, limit=wire.MAX_LINE_BYTES
+                ),
+                self.timeout,
+                f"connect to {self.host}:{self.port}",
+            )
+        except OSError as error:
+            raise ConnectionLost(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
         return self
 
     async def close(self) -> None:
@@ -59,7 +115,7 @@ class ServiceClient:
             self._writer.close()
             try:
                 await self._writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):
+            except _CONNECTION_ERRORS:
                 pass
             self._reader = self._writer = None
 
@@ -70,32 +126,96 @@ class ServiceClient:
         await self.close()
 
     # ------------------------------------------------------------------
-    async def request(self, message: dict) -> dict:
-        """Send one message and read one reply (raising on wire errors)."""
+    async def request(self, message: dict, *, timeout: Optional[float] = None) -> dict:
+        """Send one message and read one reply within the deadline.
+
+        Raises :class:`ServiceTimeout` on a stalled exchange and
+        :class:`ConnectionLost` when the server drops the connection —
+        both subclasses of :class:`ServiceError`, so existing handlers
+        still work.  Never retries; see :meth:`request_ok`.
+        """
         if self._writer is None:
             raise ServiceError("client is not connected")
-        await wire.write_message(self._writer, message)
-        reply = await wire.read_message(self._reader)
+        deadline = self.timeout if timeout is None else timeout
+        try:
+            reply = await with_timeout(
+                self._exchange(message), deadline, f"{message.get('type')} exchange"
+            )
+        except _CONNECTION_ERRORS as error:
+            raise ConnectionLost(f"connection lost mid-request: {error}") from error
         if reply is None:
-            raise ServiceError("server closed the connection")
+            raise ConnectionLost("server closed the connection")
         return reply
 
-    async def request_ok(self, message: dict) -> dict:
-        reply = await self.request(message)
-        if reply["type"] == wire.ERROR:
+    async def _exchange(self, message: dict) -> Optional[dict]:
+        await wire.write_message(self._writer, message)
+        return await wire.read_message(self._reader)
+
+    async def request_ok(
+        self,
+        message: dict,
+        *,
+        timeout: Optional[float] = None,
+        retry: bool = False,
+    ) -> dict:
+        """Request, raising :class:`ServiceError` on an ``error`` reply.
+
+        With ``retry=True`` — allowed only for idempotent verbs — a
+        transport failure tears the connection down, backs off per the
+        policy, reconnects and resends.  Retried frames carry a ``retry``
+        attempt counter so the server's ``retries_observed`` telemetry
+        sees them.
+        """
+        if retry:
+            reply = await self._request_idempotent(message, timeout=timeout)
+        else:
+            reply = await self.request(message, timeout=timeout)
+        reply_type = reply.get("type")
+        if not isinstance(reply_type, str):
+            raise ServiceError(f"server reply missing a 'type' string: {reply!r}")
+        if reply_type == wire.ERROR:
             raise ServiceError(f"server error: {reply.get('error')}")
         return reply
+
+    async def _request_idempotent(
+        self, message: dict, *, timeout: Optional[float] = None
+    ) -> dict:
+        message_type = message.get("type")
+        if message_type not in IDEMPOTENT_TYPES:
+            raise ServiceError(
+                f"refusing to auto-retry non-idempotent verb {message_type!r}"
+            )
+        policy = self.retry
+        last_error: Optional[BaseException] = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                await asyncio.sleep(policy.delay(attempt))
+                self.retries_performed += 1
+                message = {**message, "retry": attempt}
+                try:
+                    await self.close()
+                    await self.connect()
+                except ServiceError as error:
+                    last_error = error
+                    continue
+            try:
+                return await self.request(message, timeout=timeout)
+            except ServiceError as error:
+                if not policy.is_retryable(error):
+                    raise
+                last_error = error
+        raise last_error  # type: ignore[misc]  # attempts >= 1 guarantees it's set
 
     # ------------------------------------------------------------------
     async def enroll(self, ppuf: Ppuf) -> str:
         """Publish the device description; returns the server's device id."""
         reply = await self.request_ok(
-            {"type": wire.ENROLL, "device": ppuf_to_dict(ppuf)}
+            {"type": wire.ENROLL, "device": ppuf_to_dict(ppuf)}, retry=True
         )
         return reply["device_id"]
 
     async def stats(self) -> dict:
-        reply = await self.request_ok({"type": wire.STATS})
+        reply = await self.request_ok({"type": wire.STATS}, retry=True)
         return reply["stats"]
 
     async def authenticate(
@@ -113,6 +233,11 @@ class ServiceClient:
         ``tamper`` receives each outgoing wire-claim dict and returns the
         (possibly mutated) dict to send; ``delay`` sleeps that many seconds
         before answering each challenge.
+
+        The opening HELLO is retried under the client policy (a fresh
+        session costs the server nothing); once a challenge is
+        outstanding, CLAIM goes out exactly once — a transport failure
+        there raises and the whole authentication must be restarted.
         """
         device_id = device_id_for(ppuf_to_dict(ppuf))
         net = ppuf.network_a if network == "a" else ppuf.network_b
@@ -120,7 +245,7 @@ class ServiceClient:
         message = {"type": wire.HELLO, "device_id": device_id, "network": network}
         if rounds is not None:
             message["rounds"] = int(rounds)
-        reply = await self.request_ok(message)
+        reply = await self.request_ok(message, retry=True)
         transcript: List[dict] = []
         while reply["type"] == wire.CHALLENGE:
             challenge = wire.challenge_from_wire(reply["challenge"])
@@ -160,23 +285,61 @@ class ServiceClient:
 # ----------------------------------------------------------------------
 # blocking one-shot helpers (CLI entry points)
 # ----------------------------------------------------------------------
-async def _with_client(host: str, port: int, action):
-    async with ServiceClient(host, port) as client:
+async def _with_client(
+    host: str,
+    port: int,
+    action,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    retry: Optional[RetryPolicy] = None,
+):
+    async with ServiceClient(host, port, timeout=timeout, retry=retry) as client:
         return await action(client)
 
 
-def enroll_device(host: str, port: int, ppuf: Ppuf) -> str:
+def enroll_device(
+    host: str,
+    port: int,
+    ppuf: Ppuf,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    retry: Optional[RetryPolicy] = None,
+) -> str:
     """Blocking enroll of one device."""
-    return asyncio.run(_with_client(host, port, lambda c: c.enroll(ppuf)))
-
-
-def authenticate_device(host: str, port: int, ppuf: Ppuf, **kwargs) -> AuthOutcome:
-    """Blocking authentication of one device (see :meth:`ServiceClient.authenticate`)."""
     return asyncio.run(
-        _with_client(host, port, lambda c: c.authenticate(ppuf, **kwargs))
+        _with_client(host, port, lambda c: c.enroll(ppuf), timeout=timeout, retry=retry)
     )
 
 
-def fetch_stats(host: str, port: int) -> dict:
+def authenticate_device(
+    host: str,
+    port: int,
+    ppuf: Ppuf,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    retry: Optional[RetryPolicy] = None,
+    **kwargs,
+) -> AuthOutcome:
+    """Blocking authentication of one device (see :meth:`ServiceClient.authenticate`)."""
+    return asyncio.run(
+        _with_client(
+            host,
+            port,
+            lambda c: c.authenticate(ppuf, **kwargs),
+            timeout=timeout,
+            retry=retry,
+        )
+    )
+
+
+def fetch_stats(
+    host: str,
+    port: int,
+    *,
+    timeout: float = DEFAULT_TIMEOUT,
+    retry: Optional[RetryPolicy] = None,
+) -> dict:
     """Blocking ``STATS`` snapshot."""
-    return asyncio.run(_with_client(host, port, lambda c: c.stats()))
+    return asyncio.run(
+        _with_client(host, port, lambda c: c.stats(), timeout=timeout, retry=retry)
+    )

@@ -1,0 +1,253 @@
+"""Fault injection between a real client and server on loopback.
+
+:class:`FaultyTransport` is a TCP proxy that forwards JSON-line frames in
+both directions and injects transport faults according to a
+:class:`FaultPlan` — the harness the resilience test suite drives.  The
+fault vocabulary maps onto the adversaries the protocol must survive:
+
+=============  ==========================================================
+kind           what the peer sees
+=============  ==========================================================
+``drop``       the frame silently never arrives (lossy network; the
+               reader blocks until its timeout)
+``stall``      the frame arrives ``seconds`` late (a simulator paying the
+               ESG, or plain congestion)
+``garbage``    the frame is replaced by bytes that are not JSON (a
+               tamperer or a corrupted link)
+``truncate``   the first half of the frame arrives, then the connection
+               closes (a mid-frame crash)
+``disconnect`` the connection closes before the frame is forwarded
+=============  ==========================================================
+
+Frames are matched by direction (:data:`C2S` client→server, :data:`S2C`
+server→client), by per-direction frame index, and/or by the JSON ``type``
+of the frame — so a plan can say "drop the 2nd CLAIM" or "stall every
+CHALLENGE".  Each rule fires at most ``times`` times (default once), so an
+honest client with a retry policy can make progress through a flaky plan.
+
+The proxy is intentionally byte-oriented below the fault layer: it never
+validates frames it merely forwards, so it also transports the garbage the
+tests send on purpose.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service import wire
+
+#: Direction tags for :class:`FaultPlan` rules.
+C2S = "c2s"  # client -> server
+S2C = "s2c"  # server -> client
+
+DROP = "drop"
+STALL = "stall"
+GARBAGE = "garbage"
+TRUNCATE = "truncate"
+DISCONNECT = "disconnect"
+
+FAULT_KINDS = (DROP, STALL, GARBAGE, TRUNCATE, DISCONNECT)
+
+#: What a ``garbage`` fault sends unless the rule overrides it.
+DEFAULT_GARBAGE = b"{this is not json]]\n"
+
+
+@dataclass
+class _Rule:
+    kind: str
+    direction: str
+    index: Optional[int]
+    message_type: Optional[str]
+    seconds: float
+    payload: bytes
+    times: int
+    fired: int = 0
+
+    def matches(self, direction: str, index: int, frame_type: Optional[str]) -> bool:
+        if self.fired >= self.times:
+            return False
+        if self.direction != direction:
+            return False
+        if self.index is not None and self.index != index:
+            return False
+        if self.message_type is not None and self.message_type != frame_type:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """An ordered list of injection rules; first match per frame wins."""
+
+    rules: List[_Rule] = field(default_factory=list)
+
+    def inject(
+        self,
+        kind: str,
+        *,
+        direction: str = C2S,
+        index: Optional[int] = None,
+        message_type: Optional[str] = None,
+        seconds: float = 0.2,
+        payload: bytes = DEFAULT_GARBAGE,
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Add one rule (chainable).  ``index`` counts frames per direction."""
+        if kind not in FAULT_KINDS:
+            raise ServiceError(f"unknown fault kind {kind!r} (have {FAULT_KINDS})")
+        if direction not in (C2S, S2C):
+            raise ServiceError(f"direction must be {C2S!r} or {S2C!r}, got {direction!r}")
+        if times < 1:
+            raise ServiceError(f"times must be >= 1, got {times}")
+        self.rules.append(
+            _Rule(kind, direction, index, message_type, seconds, payload, times)
+        )
+        return self
+
+    def fault_for(self, direction: str, index: int, frame: bytes) -> Optional[_Rule]:
+        frame_type: Optional[str] = None
+        if any(r.message_type is not None for r in self.rules):
+            try:
+                parsed = json.loads(frame)
+                if isinstance(parsed, dict) and isinstance(parsed.get("type"), str):
+                    frame_type = parsed["type"]
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                frame_type = None
+        for rule in self.rules:
+            if rule.matches(direction, index, frame_type):
+                rule.fired += 1
+                return rule
+        return None
+
+
+class FaultyTransport:
+    """A loopback TCP proxy that injects faults from a :class:`FaultPlan`.
+
+    >>> plan = FaultPlan().inject("drop", direction=S2C, message_type="challenge")
+    >>> # async with FaultyTransport(server.port, plan) as proxy:
+    >>> #     client = ServiceClient("127.0.0.1", proxy.port, ...)
+
+    ``injected`` counts fired faults per kind and ``frames`` counts frames
+    seen per direction, so tests can assert the fault actually happened.
+    """
+
+    def __init__(
+        self,
+        upstream_port: int,
+        plan: Optional[FaultPlan] = None,
+        *,
+        upstream_host: str = "127.0.0.1",
+        host: str = "127.0.0.1",
+    ):
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self.host = host
+        self.port: Optional[int] = None
+        self.plan = plan if plan is not None else FaultPlan()
+        self.injected: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        self.frames: Dict[str, int] = {C2S: 0, S2C: 0}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._tasks: set = set()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> "FaultyTransport":
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, 0, limit=wire.MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        self._tasks.clear()
+
+    async def __aenter__(self) -> "FaultyTransport":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, client_reader: asyncio.StreamReader, client_writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            server_reader, server_writer = await asyncio.open_connection(
+                self.upstream_host, self.upstream_port, limit=wire.MAX_LINE_BYTES
+            )
+        except OSError:
+            client_writer.close()
+            return
+        up = asyncio.create_task(
+            self._pump(C2S, client_reader, server_writer, client_writer)
+        )
+        down = asyncio.create_task(
+            self._pump(S2C, server_reader, client_writer, server_writer)
+        )
+        self._tasks.update((up, down))
+        up.add_done_callback(self._tasks.discard)
+        down.add_done_callback(self._tasks.discard)
+
+    async def _pump(
+        self,
+        direction: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        reverse_writer: asyncio.StreamWriter,
+    ) -> None:
+        """Forward frames one way, consulting the plan for each."""
+        try:
+            while True:
+                frame = await reader.readline()
+                if not frame:
+                    break
+                index = self.frames[direction]
+                self.frames[direction] = index + 1
+                rule = self.plan.fault_for(direction, index, frame)
+                if rule is None:
+                    writer.write(frame)
+                    await writer.drain()
+                    continue
+                self.injected[rule.kind] += 1
+                if rule.kind == DROP:
+                    continue
+                if rule.kind == STALL:
+                    await asyncio.sleep(rule.seconds)
+                    writer.write(frame)
+                    await writer.drain()
+                elif rule.kind == GARBAGE:
+                    payload = rule.payload
+                    if not payload.endswith(b"\n"):
+                        payload += b"\n"
+                    writer.write(payload)
+                    await writer.drain()
+                elif rule.kind == TRUNCATE:
+                    writer.write(frame[: max(1, len(frame) // 2)])
+                    await writer.drain()
+                    break
+                elif rule.kind == DISCONNECT:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+        ):
+            pass
+        finally:
+            for w in (writer, reverse_writer):
+                try:
+                    w.close()
+                except RuntimeError:
+                    pass

@@ -1,0 +1,134 @@
+"""Client-side resilience: per-operation timeouts and retry with backoff.
+
+The ESG argument of the paper bounds what an *honest* exchange costs; it
+says nothing about a stalled verifier or a flaky network.  This module is
+the client's answer: every network operation gets a finite deadline
+(:func:`with_timeout` — no code path may block forever on a dead server),
+and transient failures of *idempotent* verbs are retried under a
+:class:`RetryPolicy` with exponential backoff and seeded jitter.
+
+Idempotency is decided by wire verb, not by call site:
+
+* ``ENROLL`` — re-enrolling the same public description returns the same
+  content-derived device id (the registry is a no-op on duplicates);
+* ``HELLO`` — retrying opens a fresh session; an orphaned half-open one
+  is swept by the server's idle reaper;
+* ``STATS`` — a pure read.
+
+``CLAIM`` is **never** auto-retried: the nonce was consumed the moment the
+original claim was admitted, so a blind resend is indistinguishable from a
+replay attack and would be rejected as one.  A lost claim ends the attempt
+and the caller decides whether to authenticate again from scratch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import asyncio
+
+from repro.errors import ConnectionLost, ServiceError, ServiceTimeout
+
+#: Default per-operation deadline [s] for every client network call.  Finite
+#: by design: acceptance requires that no client path can hang forever.
+DEFAULT_TIMEOUT = 30.0
+
+#: Wire verbs that are safe to reconnect-and-retry (see module docstring).
+#: ``claim`` is deliberately absent.
+IDEMPOTENT_TYPES = frozenset({"enroll", "hello", "stats"})
+
+#: Errors that indicate a transient transport failure worth retrying.
+#: Server-reported errors (plain :class:`ServiceError`) are *not* here: the
+#: server answered, so resending the same message would fail the same way.
+RETRYABLE_ERRORS: Tuple[type, ...] = (
+    ServiceTimeout,
+    ConnectionLost,
+    ConnectionError,
+    asyncio.IncompleteReadError,
+    TimeoutError,
+)
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether ``error`` is a transient transport failure (see above)."""
+    if isinstance(error, (ServiceTimeout, ConnectionLost)):
+        return True
+    # A ServiceError that is neither of the above is a server-reported or
+    # protocol-level failure; retrying the same bytes cannot help.
+    if isinstance(error, ServiceError):
+        return False
+    return isinstance(error, RETRYABLE_ERRORS)
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry and how long to back off in between.
+
+    ``attempts`` counts total tries (first try included), so ``attempts=1``
+    means no retries.  The delay before retry *k* (1-based) is::
+
+        min(base_delay * multiplier**(k-1), max_delay) * (1 + U(-jitter, +jitter))
+
+    with ``U`` drawn from a private :class:`random.Random` seeded with
+    ``seed`` — two policies built with the same seed produce the same
+    schedule, which is what the backoff-determinism tests pin.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        if self.attempts < 1:
+            raise ServiceError(f"attempts must be >= 1, got {self.attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ServiceError("backoff delays must be non-negative")
+        if not 0 <= self.jitter < 1:
+            raise ServiceError(f"jitter must be in [0, 1), got {self.jitter}")
+        self._rng = random.Random(self.seed)
+
+    @classmethod
+    def no_retry(cls) -> "RetryPolicy":
+        """A policy that tries exactly once."""
+        return cls(attempts=1)
+
+    # ------------------------------------------------------------------
+    def delay(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (1-based), jitter applied."""
+        if retry_index < 1:
+            raise ServiceError(f"retry index must be >= 1, got {retry_index}")
+        base = min(
+            self.base_delay * self.multiplier ** (retry_index - 1), self.max_delay
+        )
+        if self.jitter:
+            base *= 1.0 + self._rng.uniform(-self.jitter, self.jitter)
+        return base
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full backoff schedule: one delay per allowed retry."""
+        return tuple(self.delay(k) for k in range(1, self.attempts))
+
+    # ------------------------------------------------------------------
+    def is_retryable(self, error: BaseException) -> bool:
+        """Instance-level alias of :func:`is_retryable` (overridable)."""
+        return is_retryable(error)
+
+
+async def with_timeout(awaitable, seconds: Optional[float], what: str):
+    """Await with a deadline; :class:`ServiceTimeout` names the operation.
+
+    ``seconds=None`` disables the deadline (trusted in-process use only —
+    the client never passes ``None``).
+    """
+    if seconds is None:
+        return await awaitable
+    try:
+        return await asyncio.wait_for(awaitable, timeout=seconds)
+    except asyncio.TimeoutError:
+        raise ServiceTimeout(f"{what} timed out after {seconds:g} s") from None

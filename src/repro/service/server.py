@@ -12,15 +12,28 @@ cost center at secure sizes.  Claims are therefore verified in a
 (``workers == 0``), never on the event loop, and a semaphore bounds how
 many verifications may be in flight so a claim flood degrades into
 backpressure instead of unbounded memory growth.
+
+Fault containment (the resilience layer): the server treats every remote
+input and every internal worker as hostile or broken until proven
+otherwise.  Malformed frames and unknown verbs are answered with wire
+``ERROR`` replies and counted, worker exceptions become ``infeasible``
+verdicts instead of dead connections, the idle-session sweeper logs and
+survives its own failures, connection/session limits turn floods into
+backpressure, stalled verifications and stalled connections are cut by
+timeouts, and :meth:`PpufAuthServer.stop` drains in-flight verifications
+before tearing the pool down.  Every containment path increments a
+dedicated :class:`ServerStats` counter exported over ``STATS``.
 """
 
 from __future__ import annotations
 
 import asyncio
+import logging
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.errors import ServiceError, VerificationError
+from repro.errors import ServiceError, ServiceTimeout, VerificationError
 from repro.flow.graph import DEFAULT_RTOL
 from repro.ppuf.delay import lin_mead_delay_bound
 from repro.ppuf.io import ppuf_from_dict
@@ -30,13 +43,36 @@ from repro.service.registry import DeviceRegistry
 from repro.service.sessions import ReplayRejected, Session, SessionManager
 from repro.service.stats import ServerStats
 
+logger = logging.getLogger(__name__)
+
 #: Deadline slack relayed to clients as ``paper_deadline_seconds`` — the
 #: modeled time bound of :class:`repro.ppuf.protocol.AuthenticationSession`.
 PAPER_DEADLINE_SLACK = 100.0
 
-# Process-local device cache for pool workers: rebuilding a PpufNetwork
-# (and its capacity caches) per claim would swamp the verify itself.
-_WORKER_DEVICES: Dict[str, object] = {}
+#: Bound on the per-worker device cache below.  Small on purpose: a pool
+#: worker only needs the devices it is actively verifying; a fleet of
+#: millions must not be mirrored into every worker's memory.
+WORKER_DEVICE_CACHE_SIZE = 32
+
+# Process-local LRU device cache for pool workers: rebuilding a PpufNetwork
+# (and its capacity caches) per claim would swamp the verify itself, but an
+# unbounded dict would grow with the enrolled fleet.  Keyed by device_id
+# (content-derived), so a stale entry is impossible — a changed description
+# is a different id.
+_WORKER_DEVICES: "OrderedDict[str, object]" = OrderedDict()
+
+
+def _cached_device(device_id: str, public: dict):
+    """Fetch-or-rebuild a device, keeping at most the LRU cache bound."""
+    device = _WORKER_DEVICES.get(device_id)
+    if device is None:
+        device = ppuf_from_dict(public)
+        _WORKER_DEVICES[device_id] = device
+        while len(_WORKER_DEVICES) > WORKER_DEVICE_CACHE_SIZE:
+            _WORKER_DEVICES.popitem(last=False)
+    else:
+        _WORKER_DEVICES.move_to_end(device_id)
+    return device
 
 
 def _verify_claim_task(
@@ -44,35 +80,56 @@ def _verify_claim_task(
 ) -> tuple:
     """Verify one wire claim; runs inside a pool worker (or thread).
 
-    Returns ``(accepted, reason, verify_seconds)`` with ``reason`` one of
-    ``"ok"``, ``"incorrect"`` (feasible but wrong), ``"infeasible"``
-    (conservation/capacity violation or malformed paths).
+    Returns ``(accepted, reason, verify_seconds, fault)`` with ``reason``
+    one of ``"ok"``, ``"incorrect"`` (feasible but wrong), ``"infeasible"``
+    (conservation/capacity violation or malformed paths).  ``fault`` is
+    ``None`` for expected outcomes; for any *unexpected* exception (e.g. an
+    ``IndexError`` from out-of-range path vertices) it carries the error
+    text and the claim is still rejected as ``"infeasible"`` — a worker
+    exception must never escape the pool and kill the connection.
     """
     import time
 
-    device = _WORKER_DEVICES.get(device_id)
-    if device is None:
-        device = ppuf_from_dict(public)
-        _WORKER_DEVICES[device_id] = device
-    net = device.network_a if network == "a" else device.network_b
-    verifier = PpufVerifier(net)
-    claim = wire.claim_from_wire(claim_wire)
     start = time.perf_counter()
     try:
+        device = _cached_device(device_id, public)
+        net = device.network_a if network == "a" else device.network_b
+        verifier = PpufVerifier(net)
+        claim = wire.claim_from_wire(claim_wire)
         accepted = verifier.verify_compact(claim, rtol=rtol)
         reason = "ok" if accepted else "incorrect"
+        fault = None
     except (VerificationError, ServiceError):
+        accepted, reason, fault = False, "infeasible", None
+    except Exception as error:  # noqa: BLE001 — containment is the point
         accepted, reason = False, "infeasible"
-    return accepted, reason, time.perf_counter() - start
+        fault = f"{type(error).__name__}: {error}"
+    return accepted, reason, time.perf_counter() - start, fault
 
 
 class VerificationPool:
-    """Bounded off-loop executor for :func:`_verify_claim_task`."""
+    """Bounded off-loop executor for :func:`_verify_claim_task`.
 
-    def __init__(self, workers: int = 0, *, max_pending: Optional[int] = None):
+    ``timeout`` cuts off any single verification: a claim that wedges a
+    worker raises :class:`ServiceTimeout` to the caller instead of holding
+    its connection (and a semaphore slot) forever.  ``active`` counts
+    in-flight verifications so :meth:`PpufAuthServer.stop` can drain.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        *,
+        max_pending: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ):
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
+        if timeout is not None and timeout <= 0:
+            raise ServiceError(f"verify timeout must be positive, got {timeout}")
         self.workers = workers
+        self.timeout = timeout
+        self.active = 0
         self._executor = ProcessPoolExecutor(max_workers=workers) if workers else None
         self._semaphore = asyncio.Semaphore(max_pending or max(4, 2 * workers))
 
@@ -81,7 +138,7 @@ class VerificationPool:
     ) -> tuple:
         async with self._semaphore:
             loop = asyncio.get_running_loop()
-            return await loop.run_in_executor(
+            future = loop.run_in_executor(
                 self._executor,
                 _verify_claim_task,
                 device_id,
@@ -90,6 +147,18 @@ class VerificationPool:
                 claim_wire,
                 rtol,
             )
+            self.active += 1
+            try:
+                if self.timeout is None:
+                    return await future
+                try:
+                    return await asyncio.wait_for(future, timeout=self.timeout)
+                except asyncio.TimeoutError:
+                    raise ServiceTimeout(
+                        f"verification exceeded {self.timeout:g} s"
+                    ) from None
+            finally:
+                self.active -= 1
 
     def shutdown(self) -> None:
         if self._executor is not None:
@@ -107,7 +176,7 @@ class PpufAuthServer:
     host, port:
         Bind address; ``port=0`` picks a free port (see :attr:`port` after
         :meth:`start`).
-    deadline_seconds, idle_timeout, rounds, seed:
+    deadline_seconds, idle_timeout, rounds, seed, max_sessions:
         Session-manager knobs (see :class:`SessionManager`).
     workers:
         Verification processes; ``0`` verifies in the default thread
@@ -117,6 +186,22 @@ class PpufAuthServer:
     allow_enroll:
         Accept ``enroll`` messages over the wire (disable for a
         pre-provisioned fleet).
+    verify_timeout:
+        Per-claim verification cutoff [s]; blown → ``verify_timeout``
+        verdict + ``stats.verify_timeouts``.  ``None`` disables.
+    connection_timeout:
+        Per-read idle cutoff [s] on open connections; a peer that stalls
+        mid-session is disconnected (``stats.connection_timeouts``).
+        ``None`` disables (the session idle sweeper still applies).
+    max_connections:
+        Cap on concurrently open connections; excess connects get one
+        wire ``ERROR`` and a close (``stats.connections_rejected``).
+    max_messages_per_connection:
+        Per-connection message budget — backpressure against a single
+        connection monopolising the server.  ``None`` disables.
+    drain_seconds:
+        How long :meth:`stop` waits for in-flight verifications to
+        complete before shutting the pool down.
     """
 
     def __init__(
@@ -132,20 +217,34 @@ class PpufAuthServer:
         rtol: float = DEFAULT_RTOL,
         seed: Optional[int] = None,
         allow_enroll: bool = True,
+        verify_timeout: Optional[float] = 60.0,
+        connection_timeout: Optional[float] = 300.0,
+        max_connections: int = 256,
+        max_messages_per_connection: Optional[int] = 100_000,
+        max_sessions: Optional[int] = 4096,
+        drain_seconds: float = 5.0,
     ):
+        if max_connections < 1:
+            raise ServiceError(f"max_connections must be >= 1, got {max_connections}")
         self.registry = registry if registry is not None else DeviceRegistry()
         self.host = host
         self.port = port
         self.rtol = rtol
         self.allow_enroll = allow_enroll
+        self.connection_timeout = connection_timeout
+        self.max_connections = max_connections
+        self.max_messages_per_connection = max_messages_per_connection
+        self.drain_seconds = drain_seconds
         self.sessions = SessionManager(
             deadline_seconds=deadline_seconds,
             idle_timeout=idle_timeout,
             rounds=rounds,
             seed=seed,
+            max_sessions=max_sessions,
         )
-        self.pool = VerificationPool(workers)
+        self.pool = VerificationPool(workers, timeout=verify_timeout)
         self.stats = ServerStats()
+        self._connections = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._sweeper: Optional[asyncio.Task] = None
 
@@ -162,6 +261,14 @@ class PpufAuthServer:
         self._sweeper = asyncio.create_task(self._sweep_idle_sessions())
 
     async def stop(self) -> None:
+        # Stop accepting first, then drain in-flight verifications so a
+        # claim that already paid for its verify still gets its verdict,
+        # then tear down the sweeper and the pool.
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self._drain_verifications()
         if self._sweeper is not None:
             self._sweeper.cancel()
             try:
@@ -169,11 +276,18 @@ class PpufAuthServer:
             except asyncio.CancelledError:
                 pass
             self._sweeper = None
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
         self.pool.shutdown()
+
+    async def _drain_verifications(self) -> None:
+        deadline = asyncio.get_running_loop().time() + self.drain_seconds
+        while self.pool.active and asyncio.get_running_loop().time() < deadline:
+            await asyncio.sleep(0.01)
+        if self.pool.active:
+            logger.warning(
+                "stop(): %d verification(s) still in flight after %.1f s drain",
+                self.pool.active,
+                self.drain_seconds,
+            )
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -191,7 +305,13 @@ class PpufAuthServer:
         interval = max(self.sessions.idle_timeout / 4.0, 0.05)
         while True:
             await asyncio.sleep(interval)
-            self.stats.sessions_expired += self.sessions.expire_idle()
+            try:
+                self.stats.sessions_expired += self.sessions.expire_idle()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 — the sweeper must keep sweeping
+                self.stats.sweeper_faults += 1
+                logger.exception("idle-session sweep failed; continuing")
 
     # ------------------------------------------------------------------
     # connection handling
@@ -200,25 +320,70 @@ class PpufAuthServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            while True:
-                try:
-                    message = await wire.read_message(reader)
-                except ServiceError as error:
-                    self.stats.protocol_errors += 1
-                    await wire.write_message(writer, {"type": wire.ERROR, "error": str(error)})
-                    break
-                if message is None:
-                    break
-                reply = await self._dispatch(message)
-                await wire.write_message(writer, reply)
+            if self._connections >= self.max_connections:
+                self.stats.connections_rejected += 1
+                await wire.write_message(
+                    writer,
+                    {"type": wire.ERROR, "error": "server at connection capacity"},
+                    timeout=self.connection_timeout,
+                )
+                return
+            self._connections += 1
+            self.stats.connections_opened += 1
+            try:
+                await self._serve_connection(reader, writer)
+            finally:
+                self._connections -= 1
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
             pass
+        except ServiceTimeout:
+            pass  # counted where it was detected
+        except Exception:  # noqa: BLE001 — one bad connection must not escape
+            self.stats.internal_errors += 1
+            logger.exception("connection handler failed")
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        served = 0
+        while True:
+            if (
+                self.max_messages_per_connection is not None
+                and served >= self.max_messages_per_connection
+            ):
+                self.stats.connections_rejected += 1
+                await wire.write_message(
+                    writer,
+                    {"type": wire.ERROR, "error": "per-connection message limit"},
+                )
+                break
+            try:
+                message = await wire.read_message(
+                    reader, timeout=self.connection_timeout
+                )
+            except ServiceTimeout:
+                self.stats.connection_timeouts += 1
+                await wire.write_message(
+                    writer, {"type": wire.ERROR, "error": "connection idle timeout"}
+                )
+                break
+            except ServiceError as error:
+                self.stats.protocol_errors += 1
+                await wire.write_message(
+                    writer, {"type": wire.ERROR, "error": str(error)}
+                )
+                break
+            if message is None:
+                break
+            served += 1
+            reply = await self._dispatch(message)
+            await wire.write_message(writer, reply)
 
     async def _dispatch(self, message: dict) -> dict:
         handlers = {
@@ -227,10 +392,22 @@ class PpufAuthServer:
             wire.CLAIM: self._on_claim,
             wire.STATS: self._on_stats,
         }
-        handler = handlers.get(message["type"])
+        message_type = message.get("type")
+        if not isinstance(message_type, str):
+            # Never key ``handlers`` with whatever arrived on the wire: a
+            # frame without a "type" string is a protocol error, not a crash.
+            self.stats.protocol_errors += 1
+            return {
+                "type": wire.ERROR,
+                "error": "message must carry a 'type' string",
+            }
+        retry = message.get("retry")
+        if isinstance(retry, int) and not isinstance(retry, bool) and retry > 0:
+            self.stats.retries_observed += 1
+        handler = handlers.get(message_type)
         if handler is None:
             self.stats.protocol_errors += 1
-            return {"type": wire.ERROR, "error": f"unknown message type {message['type']!r}"}
+            return {"type": wire.ERROR, "error": f"unknown message type {message_type!r}"}
         try:
             return await handler(message)
         except ReplayRejected as error:
@@ -240,6 +417,10 @@ class PpufAuthServer:
         except ServiceError as error:
             self.stats.protocol_errors += 1
             return {"type": wire.ERROR, "error": str(error)}
+        except Exception:  # noqa: BLE001 — a handler bug yields ERROR, not EOF
+            self.stats.internal_errors += 1
+            logger.exception("handler for %r failed", message_type)
+            return {"type": wire.ERROR, "error": "internal server error"}
 
     # ------------------------------------------------------------------
     # message handlers
@@ -309,13 +490,30 @@ class PpufAuthServer:
             return self._verdict(session, False, "wrong_challenge", elapsed)
 
         device = self.registry.device(session.device_id)
-        accepted, reason, verify_seconds = await self.pool.verify(
-            session.device_id,
-            self.registry.public(session.device_id),
-            session.network,
-            claim_wire,
-            self.rtol,
-        )
+        try:
+            accepted, reason, verify_seconds, fault = await self.pool.verify(
+                session.device_id,
+                self.registry.public(session.device_id),
+                session.network,
+                claim_wire,
+                self.rtol,
+            )
+        except ServiceTimeout:
+            self.stats.verify_timeouts += 1
+            logger.warning(
+                "verification of session %s timed out after %g s",
+                session.session_id,
+                self.pool.timeout,
+            )
+            return self._verdict(session, False, "verify_timeout", elapsed)
+        if fault is not None:
+            self.stats.worker_faults += 1
+            logger.warning(
+                "verification worker fault on session %s (rejected as "
+                "infeasible): %s",
+                session.session_id,
+                fault,
+            )
         # Claims name their solver; telemetry is per-algorithm (STATS verb).
         self.stats.observe_verify(claim_wire.get("algorithm"), verify_seconds)
         if not accepted:
@@ -349,4 +547,5 @@ class PpufAuthServer:
         snapshot = self.stats.snapshot()
         snapshot["active_sessions"] = len(self.sessions)
         snapshot["devices"] = len(self.registry)
+        snapshot["open_connections"] = self._connections
         return {"type": wire.STATS, "stats": snapshot}

@@ -46,6 +46,10 @@ class ReplayRejected(ServiceError):
     """The claim cites a nonce that was already consumed (or never issued)."""
 
 
+class SessionLimitExceeded(ServiceError):
+    """The manager is at ``max_sessions``; HELLO floods get backpressure."""
+
+
 AWAITING_CLAIM = "awaiting_claim"
 CLOSED = "closed"
 
@@ -82,6 +86,11 @@ class SessionManager:
     seed:
         Challenge-sampling seed (``None`` → OS entropy).  Nonces and
         session ids always come from :mod:`secrets`.
+    max_sessions:
+        Hard cap on concurrent sessions; :meth:`open` raises
+        :class:`SessionLimitExceeded` beyond it, so a HELLO flood costs
+        the server one error reply instead of unbounded session state.
+        ``None`` disables the cap.
     """
 
     def __init__(
@@ -91,15 +100,19 @@ class SessionManager:
         idle_timeout: float = 60.0,
         rounds: int = 4,
         seed: Optional[int] = None,
+        max_sessions: Optional[int] = 4096,
         clock=time.monotonic,
     ):
         if deadline_seconds <= 0:
             raise ServiceError(f"deadline must be positive, got {deadline_seconds}")
         if idle_timeout <= 0:
             raise ServiceError(f"idle timeout must be positive, got {idle_timeout}")
+        if max_sessions is not None and max_sessions < 1:
+            raise ServiceError(f"max_sessions must be >= 1, got {max_sessions}")
         self.deadline_seconds = deadline_seconds
         self.idle_timeout = idle_timeout
         self.default_rounds = rounds
+        self.max_sessions = max_sessions
         self.clock = clock
         self._rng = np.random.default_rng(seed)
         self._sessions: Dict[str, Session] = {}
@@ -125,6 +138,13 @@ class SessionManager:
         rounds = self.default_rounds if rounds is None else int(rounds)
         if not 1 <= rounds <= 1024:
             raise ServiceError(f"rounds must be in [1, 1024], got {rounds}")
+        if self.max_sessions is not None and len(self._sessions) >= self.max_sessions:
+            # Expiry may free room before we refuse: sweep first.
+            self.expire_idle()
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionLimitExceeded(
+                    f"session capacity {self.max_sessions} reached; retry later"
+                )
         session = Session(
             session_id=secrets.token_hex(8),
             device_id=device_id,

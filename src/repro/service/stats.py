@@ -87,6 +87,23 @@ class ServerStats:
     replays_rejected: int = 0
     unknown_devices: int = 0
     protocol_errors: int = 0
+    # --- fault-containment counters (the resilience layer) -------------
+    #: verifications that exceeded the server's ``verify_timeout``
+    verify_timeouts: int = 0
+    #: connections dropped for idling past ``connection_timeout`` mid-read
+    connection_timeouts: int = 0
+    #: pool-worker exceptions contained into "infeasible" verdicts
+    worker_faults: int = 0
+    #: exceptions survived (logged + counted) by the idle-session sweeper
+    sweeper_faults: int = 0
+    #: connections refused or cut by the connection/message limits
+    connections_rejected: int = 0
+    #: connections accepted by the listener
+    connections_opened: int = 0
+    #: client frames carrying a ``retry`` attempt marker (> 0)
+    retries_observed: int = 0
+    #: unexpected handler exceptions contained into ERROR replies
+    internal_errors: int = 0
     verify_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     solver_latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
 
@@ -119,6 +136,14 @@ class ServerStats:
             "replays_rejected": self.replays_rejected,
             "unknown_devices": self.unknown_devices,
             "protocol_errors": self.protocol_errors,
+            "verify_timeouts": self.verify_timeouts,
+            "connection_timeouts": self.connection_timeouts,
+            "worker_faults": self.worker_faults,
+            "sweeper_faults": self.sweeper_faults,
+            "connections_rejected": self.connections_rejected,
+            "connections_opened": self.connections_opened,
+            "retries_observed": self.retries_observed,
+            "internal_errors": self.internal_errors,
             "verify_latency": self.verify_latency.snapshot(),
             "solver_latency": {
                 name: histogram.snapshot()

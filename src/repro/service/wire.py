@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.errors import ServiceError
 from repro.flow.decomposition import PathFlow
+from repro.service.resilience import with_timeout
 from repro.ppuf.challenge import Challenge
 from repro.ppuf.verification import CompactClaim
 
@@ -59,11 +60,18 @@ def encode_message(message: dict) -> bytes:
 
 
 async def read_message(
-    reader: asyncio.StreamReader, *, limit: int = MAX_LINE_BYTES
+    reader: asyncio.StreamReader,
+    *,
+    limit: int = MAX_LINE_BYTES,
+    timeout: Optional[float] = None,
 ) -> Optional[dict]:
-    """Read one frame; ``None`` on clean EOF; :class:`ServiceError` on junk."""
+    """Read one frame; ``None`` on clean EOF; :class:`ServiceError` on junk.
+
+    With ``timeout``, a peer that stalls mid-frame raises
+    :class:`~repro.errors.ServiceTimeout` instead of blocking forever.
+    """
     try:
-        line = await reader.readline()
+        line = await with_timeout(reader.readline(), timeout, "wire read")
     except (asyncio.LimitOverrunError, ValueError) as error:
         raise ServiceError(f"wire frame exceeds reader limit: {error}") from error
     if not line:
@@ -79,10 +87,12 @@ async def read_message(
     return message
 
 
-async def write_message(writer: asyncio.StreamWriter, message: dict) -> None:
-    """Encode, enqueue and flush one frame."""
+async def write_message(
+    writer: asyncio.StreamWriter, message: dict, *, timeout: Optional[float] = None
+) -> None:
+    """Encode, enqueue and flush one frame (``timeout`` bounds the drain)."""
     writer.write(encode_message(message))
-    await writer.drain()
+    await with_timeout(writer.drain(), timeout, "wire write")
 
 
 # ----------------------------------------------------------------------

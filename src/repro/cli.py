@@ -3,12 +3,15 @@
 ``python -m repro <command>``:
 
 * ``create``     fabricate a PPUF and save its variation state to JSON
-* ``respond``    evaluate challenges on a saved PPUF
+* ``compile``    precompile a saved PPUF into an evaluation artifact (npz)
+* ``respond``    evaluate challenges on a saved PPUF (or ``--compiled``
+  artifact)
 * ``solvers``    list the registered max-flow solvers and capabilities
 * ``protocol``   run a time-bounded authentication session against itself
 * ``serve``      host the networked authentication service (see
   :mod:`repro.service`)
-* ``auth``       authenticate a saved PPUF against a running server
+* ``auth``       authenticate a saved PPUF (or ``--compiled`` artifact)
+  against a running server
 * ``experiments``  regenerate the paper's tables/figures (see
   :mod:`repro.experiments.all`)
 
@@ -29,6 +32,7 @@ import sys
 import numpy as np
 
 from repro.errors import ReproError
+from repro.flow.registry import DEFAULT_ALGORITHM
 from repro.ppuf import Ppuf
 
 
@@ -36,10 +40,12 @@ from repro.ppuf import Ppuf
 # persistence (re-exported from repro.ppuf.io for backward compatibility)
 # ----------------------------------------------------------------------
 from repro.ppuf.io import (  # noqa: E402,F401
+    load_compiled,
     load_crps,
     load_ppuf,
     ppuf_from_dict,
     ppuf_to_dict,
+    save_compiled,
     save_crps,
     save_ppuf,
 )
@@ -59,10 +65,26 @@ def _command_create(arguments) -> int:
     return 0
 
 
+def _command_compile(arguments) -> int:
+    ppuf = load_ppuf(arguments.ppuf)
+    compiled = ppuf.compile(include_circuit=not arguments.no_circuit)
+    save_compiled(compiled, arguments.output)
+    tables = "capacity+circuit" if compiled.has_circuit_tables else "capacity"
+    print(
+        f"compiled {arguments.ppuf} ({compiled.n} nodes, "
+        f"{compiled.num_edges} edges, {tables} tables, "
+        f"device {compiled.device_id[:16]}…) -> {arguments.output}"
+    )
+    return 0
+
+
 def _command_respond(arguments) -> int:
     from repro.ppuf import BatchEvaluator, CRP, CRPDataset
 
-    ppuf = load_ppuf(arguments.ppuf)
+    if arguments.compiled:
+        ppuf = load_compiled(arguments.compiled)
+    else:
+        ppuf = load_ppuf(arguments.ppuf)
     rng = np.random.default_rng(arguments.seed)
     if arguments.input:
         challenges = [crp.challenge for crp in load_crps(arguments.input)]
@@ -90,7 +112,7 @@ def _command_respond(arguments) -> int:
         from repro.flow import SolveStats
 
         stats = SolveStats()
-        algorithm = arguments.algorithm or "dinic"
+        algorithm = arguments.algorithm or DEFAULT_ALGORITHM
         bits = [
             ppuf.response(c, engine=arguments.engine, algorithm=algorithm, stats=stats)
             for c in challenges
@@ -184,6 +206,7 @@ def _command_serve(arguments) -> int:
         workers=arguments.workers,
         seed=arguments.seed,
         allow_enroll=not arguments.no_enroll,
+        use_compiled=arguments.compiled,
         connection_timeout=arguments.timeout if arguments.timeout > 0 else None,
         verify_timeout=(
             arguments.verify_timeout if arguments.verify_timeout > 0 else None
@@ -220,7 +243,15 @@ def _command_auth(arguments) -> int:
 
     retry = RetryPolicy(attempts=max(1, arguments.retries + 1))
     resilience = dict(timeout=arguments.timeout, retry=retry)
-    ppuf = load_ppuf(arguments.ppuf)
+    if arguments.compiled:
+        if arguments.enroll:
+            raise ReproError(
+                "--enroll needs the full public description; pass --ppuf "
+                "(a compiled artifact carries only evaluation tables)"
+            )
+        ppuf = load_compiled(arguments.compiled)
+    else:
+        ppuf = load_ppuf(arguments.ppuf)
     if arguments.enroll:
         device_id = enroll_device(arguments.host, arguments.port, ppuf, **resilience)
         print(f"enrolled as {device_id[:16]}…", file=sys.stderr)
@@ -270,8 +301,28 @@ def build_parser() -> argparse.ArgumentParser:
     create.add_argument("--output", default="ppuf.json")
     create.set_defaults(handler=_command_create)
 
+    compile_cmd = commands.add_parser(
+        "compile", help="precompile a saved PPUF into an evaluation artifact"
+    )
+    compile_cmd.add_argument("--ppuf", default="ppuf.json")
+    compile_cmd.add_argument("--output", default="ppuf.npz")
+    compile_cmd.add_argument(
+        "--no-circuit",
+        action="store_true",
+        help="skip the circuit I-V tables (capacity-only artifact; enough "
+        "for max-flow evaluation and claim verification)",
+    )
+    compile_cmd.set_defaults(handler=_command_compile)
+
     respond = commands.add_parser("respond", help="evaluate random challenges")
     respond.add_argument("--ppuf", default="ppuf.json")
+    respond.add_argument(
+        "--compiled",
+        default=None,
+        metavar="NPZ",
+        help="evaluate a compiled artifact (from `repro compile`) instead "
+        "of --ppuf",
+    )
     respond.add_argument("--count", type=int, default=5)
     respond.add_argument("--seed", type=int, default=0)
     respond.add_argument("--engine", choices=("maxflow", "circuit"), default="maxflow")
@@ -313,7 +364,9 @@ def build_parser() -> argparse.ArgumentParser:
     protocol.add_argument("--rounds", type=int, default=4)
     protocol.add_argument("--seed", type=int, default=0)
     protocol.add_argument(
-        "--algorithm", default="dinic", help="exact solver the prover answers with"
+        "--algorithm",
+        default=DEFAULT_ALGORITHM,
+        help="exact solver the prover answers with",
     )
     protocol.set_defaults(handler=_command_protocol)
 
@@ -363,12 +416,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=256,
         help="concurrent connection cap (excess gets a wire error)",
     )
+    serve.add_argument(
+        "--compiled",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="ship compiled artifacts to verification workers "
+        "(--no-compiled restores the legacy public-dict transport)",
+    )
     serve.set_defaults(handler=_command_serve)
 
     auth = commands.add_parser("auth", help="authenticate against a running server")
     auth.add_argument("--host", default="127.0.0.1")
     auth.add_argument("--port", type=int, default=7341)
     auth.add_argument("--ppuf", default="ppuf.json")
+    auth.add_argument(
+        "--compiled",
+        default=None,
+        metavar="NPZ",
+        help="authenticate with a compiled artifact (from `repro compile`) "
+        "instead of --ppuf",
+    )
     auth.add_argument("--network", choices=("a", "b"), default="a")
     auth.add_argument(
         "--rounds", type=int, default=None, help="request a round count (server caps)"
@@ -380,7 +447,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats", action="store_true", help="print the server STATS snapshot afterwards"
     )
     auth.add_argument(
-        "--algorithm", default="dinic", help="exact solver the prover answers with"
+        "--algorithm",
+        default=DEFAULT_ALGORITHM,
+        help="exact solver the prover answers with",
     )
     auth.add_argument(
         "--timeout",

@@ -19,6 +19,7 @@ import numpy as np
 from repro.circuit.ptm32 import PTM32
 from repro.experiments.base import ExperimentTable
 from repro.ppuf import CurrentComparator, Ppuf
+from repro.flow.registry import DEFAULT_ALGORITHM
 from repro.ppuf.engines import network_current
 
 
@@ -120,7 +121,7 @@ def solver_consistency_ablation(
         columns=("algorithm", "agreement_with_dinic"),
     )
     reference = [
-        network_current(ppuf.network_a, c, "maxflow", algorithm="dinic")
+        network_current(ppuf.network_a, c, "maxflow", algorithm=DEFAULT_ALGORITHM)
         for c in challenge_list
     ]
     for algorithm in (

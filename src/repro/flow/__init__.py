@@ -28,6 +28,7 @@ Public API
 """
 
 from repro.flow.registry import (
+    DEFAULT_ALGORITHM,
     SolveStats,
     SolverSpec,
     get_solver,
@@ -81,7 +82,7 @@ SOLVERS = {
 }
 
 
-def solve_max_flow(network, source, sink, *, algorithm="dinic", stats=None, **kwargs):
+def solve_max_flow(network, source, sink, *, algorithm=DEFAULT_ALGORITHM, stats=None, **kwargs):
     """Solve max-flow with a named algorithm from the registry.
 
     Parameters
@@ -108,6 +109,7 @@ def solve_max_flow(network, source, sink, *, algorithm="dinic", stats=None, **kw
 
 
 __all__ = [
+    "DEFAULT_ALGORITHM",
     "FlowNetwork",
     "FlowResult",
     "SOLVERS",

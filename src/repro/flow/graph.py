@@ -70,6 +70,45 @@ class FlowNetwork:
         network.adjacency = capacity > 0
         return network
 
+    @classmethod
+    def from_arrays(
+        cls,
+        n: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        capacities: np.ndarray,
+    ) -> "FlowNetwork":
+        """Build a network directly from flat edge arrays (no Python loop).
+
+        The fast path for compiled PPUF artifacts
+        (:mod:`repro.ppuf.compiled`): ``src``/``dst``/``capacities`` are
+        parallel length-E arrays and the whole construction is two fancy
+        index assignments.  Unlike :meth:`from_capacity_matrix`, every
+        listed edge is recorded in the adjacency mask even at zero
+        capacity (the documented bookkeeping for challenge-configured
+        edges).
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        capacities = np.asarray(capacities, dtype=np.float64)
+        if not (src.shape == dst.shape == capacities.shape) or src.ndim != 1:
+            raise GraphError(
+                f"edge arrays must be 1-D and congruent, got shapes "
+                f"{src.shape}, {dst.shape}, {capacities.shape}"
+            )
+        if src.size and (
+            src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n
+        ):
+            raise GraphError(f"edge endpoints out of range [0, {n})")
+        if np.any(src == dst):
+            raise GraphError("self-loop edges are not allowed")
+        if np.any(capacities < 0):
+            raise GraphError("capacities must be non-negative")
+        network = cls(n)
+        network.capacity[src, dst] = capacities
+        network.adjacency[src, dst] = True
+        return network
+
     def add_edge(self, u: int, v: int, capacity: float) -> None:
         """Add (or overwrite) the directed edge ``u -> v``."""
         self._check_vertex(u)

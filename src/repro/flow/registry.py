@@ -30,6 +30,12 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.errors import SolverError
 
+#: The default exact solver every evaluation layer falls back to when no
+#: ``algorithm`` is named.  One constant instead of a ``"dinic"`` literal
+#: scattered across engines, devices, provers, the wire format and the CLI —
+#: change it here and every default moves together.
+DEFAULT_ALGORITHM = "dinic"
+
 
 # ----------------------------------------------------------------------
 # telemetry

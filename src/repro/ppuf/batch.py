@@ -18,10 +18,15 @@ turns the loop inside out:
   :meth:`~repro.flow.registry.SolverSpec.solve_matrix` — bit-for-bit
   identical to looping :meth:`~repro.ppuf.device.Ppuf.response` — still
   skipping the per-challenge object churn;
-* ``workers > 1`` fans chunks out over a :class:`ProcessPoolExecutor`;
-  chunk results are reassembled in submission order, and because no
-  arithmetic couples challenges, the response bits are independent of the
-  worker count and chunking.
+* ``workers > 1`` fans chunks out over a :class:`ProcessPoolExecutor`.
+  The device ships to workers as a :class:`~repro.ppuf.compiled.CompiledDevice`
+  placed in one :mod:`multiprocessing.shared_memory` block: each worker
+  *maps* the per-bit capacity / I–V tables (zero copies, one small manifest
+  pickle) instead of receiving a full device pickle and re-deriving the
+  caches.  Pass ``share_memory=False`` to fall back to pickling (the
+  benchmark baseline).  Chunk results are reassembled in submission order,
+  and because no arithmetic couples challenges, the response bits are
+  independent of the worker count and chunking.
 
 Every chunk fills one :class:`~repro.flow.registry.SolveStats` (phases
 ``prepare``/``solve``/``compare`` plus the solver's operation counts);
@@ -46,6 +51,7 @@ import numpy as np
 from repro.errors import SolverError
 from repro.flow.registry import SolveStats, get_solver
 from repro.ppuf.challenge import Challenge
+from repro.ppuf.compiled import CompiledDevice, attach_compiled, share_compiled
 from repro.ppuf.engines import check_engine
 
 #: The cross-challenge vectorised solver (see :mod:`repro.flow.batched`).
@@ -126,7 +132,9 @@ class BatchEvaluator:
     Parameters
     ----------
     ppuf:
-        The :class:`~repro.ppuf.device.Ppuf` to evaluate.
+        The device to evaluate: a :class:`~repro.ppuf.device.Ppuf` or a
+        :class:`~repro.ppuf.compiled.CompiledDevice` (both expose the same
+        evaluation surface).
     engine:
         ``"maxflow"`` (default) or ``"circuit"``.
     algorithm:
@@ -136,6 +144,11 @@ class BatchEvaluator:
         Process count; 1 evaluates inline.
     chunk_size:
         Challenges per solver chunk (default :data:`DEFAULT_CHUNK_SIZE`).
+    share_memory:
+        With ``workers > 1``, ship the device to pool workers as a
+        compiled artifact in shared memory (default).  ``False`` pickles
+        the device to every worker instead — the legacy transport, kept
+        for comparison benchmarks.
     """
 
     def __init__(
@@ -146,6 +159,7 @@ class BatchEvaluator:
         algorithm: str = BATCHED_ALGORITHM,
         workers: int = 1,
         chunk_size: Optional[int] = None,
+        share_memory: bool = True,
     ):
         check_engine(engine)
         spec = get_solver(algorithm)
@@ -166,6 +180,10 @@ class BatchEvaluator:
         self._spec = spec
         self.workers = int(workers)
         self.chunk_size = int(chunk_size)
+        self.share_memory = bool(share_memory)
+        self._compiled: Optional[CompiledDevice] = (
+            ppuf if isinstance(ppuf, CompiledDevice) else None
+        )
         crossbar = ppuf.crossbar
         self._cells = crossbar.edge_cells()
         self._edge_src, self._edge_dst = crossbar.edge_endpoints()
@@ -209,19 +227,25 @@ class BatchEvaluator:
             workers_used = 1
         else:
             workers_used = min(self.workers, len(chunks))
-            with ProcessPoolExecutor(
-                max_workers=workers_used,
-                initializer=_worker_init,
-                initargs=(
-                    self.ppuf,
-                    self.engine,
-                    self.algorithm,
-                    self.chunk_size,
-                ),
-            ) as pool:
-                # Executor.map preserves submission order, so the result
-                # vector is deterministic regardless of completion order.
-                outcomes = list(pool.map(_worker_chunk, chunks))
+            payload, shm = self._worker_payload()
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers_used,
+                    initializer=_worker_init,
+                    initargs=(
+                        payload,
+                        self.engine,
+                        self.algorithm,
+                        self.chunk_size,
+                    ),
+                ) as pool:
+                    # Executor.map preserves submission order, so the result
+                    # vector is deterministic regardless of completion order.
+                    outcomes = list(pool.map(_worker_chunk, chunks))
+            finally:
+                if shm is not None:
+                    shm.close()
+                    shm.unlink()
 
         bits = np.concatenate([chunk_bits for chunk_bits, _ in outcomes])
         report = BatchReport(
@@ -237,6 +261,40 @@ class BatchEvaluator:
         # the report's total is the end-to-end wall clock either way.
         report.total_seconds = time.perf_counter() - started
         return bits, report
+
+    # ------------------------------------------------------------------
+    # worker transport
+    # ------------------------------------------------------------------
+    def compiled_device(self) -> CompiledDevice:
+        """The compiled artifact shipped to workers (compiled once, cached).
+
+        The circuit engine needs the I–V tables; the max-flow engine ships
+        capacities only.
+        """
+        need_circuit = self.engine == "circuit"
+        cached = self._compiled
+        if cached is None or (need_circuit and not cached.has_circuit_tables):
+            if isinstance(self.ppuf, CompiledDevice):
+                # A capacity-only artifact cannot grow circuit tables; ship
+                # it as-is and let the circuit path raise its clear error.
+                return self.ppuf
+            cached = self.ppuf.compile(include_circuit=need_circuit)
+            self._compiled = cached
+        return cached
+
+    def _worker_payload(self):
+        """``(initializer payload, owned shm | None)`` for the pool fan-out.
+
+        Shared-memory transport ships one small manifest pickle per worker
+        and maps the tables; the fallback pickles the device (the compiled
+        artifact when we have one — a plain :class:`Ppuf` otherwise, whose
+        workers re-derive their caches: the legacy baseline).
+        """
+        if self.share_memory:
+            shm, manifest = share_compiled(self.compiled_device())
+            return ("shm", shm.name, manifest), shm
+        device = self._compiled if self._compiled is not None else self.ppuf
+        return ("pickle", device), None
 
     # ------------------------------------------------------------------
     # chunk evaluation (also runs inside pool workers)
@@ -333,12 +391,21 @@ class BatchEvaluator:
 # process-pool plumbing (module level so the pool can pickle it)
 # ----------------------------------------------------------------------
 _WORKER_EVALUATOR: Optional[BatchEvaluator] = None
+_WORKER_SHM = None  # keeps the worker's shared-memory mapping alive
 
 
-def _worker_init(ppuf, engine, algorithm, chunk_size):
-    global _WORKER_EVALUATOR
+def _worker_init(payload, engine, algorithm, chunk_size):
+    global _WORKER_EVALUATOR, _WORKER_SHM
+    kind = payload[0]
+    if kind == "shm":
+        _, name, manifest = payload
+        device, _WORKER_SHM = attach_compiled(name, manifest)
+    elif kind == "pickle":
+        device = payload[1]
+    else:  # pragma: no cover - transport tags are internal
+        raise SolverError(f"unknown worker payload kind {kind!r}")
     _WORKER_EVALUATOR = BatchEvaluator(
-        ppuf,
+        device,
         engine=engine,
         algorithm=algorithm,
         workers=1,

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.errors import ChallengeError
 from repro.ppuf.challenge import Challenge
+from repro.ppuf.formats import FORMAT_VERSION, check_format
 
 
 @dataclass(frozen=True)
@@ -83,11 +84,22 @@ class CRPDataset:
         return CRPDataset(self.crps[:train_count]), CRPDataset(self.crps[train_count:])
 
     def to_json(self) -> str:
-        return json.dumps([crp.to_dict() for crp in self.crps])
+        return json.dumps(
+            {
+                "format": FORMAT_VERSION,
+                "crps": [crp.to_dict() for crp in self.crps],
+            }
+        )
 
     @classmethod
     def from_json(cls, text: str) -> "CRPDataset":
-        return cls([CRP.from_dict(item) for item in json.loads(text)])
+        data = json.loads(text)
+        if isinstance(data, list):  # legacy pre-versioning form: a bare list
+            items = data
+        else:
+            check_format("CRP dataset", data)
+            items = data["crps"]
+        return cls([CRP.from_dict(item) for item in items])
 
 
 def collect_crps(ppuf, challenges, *, engine: str = "maxflow") -> CRPDataset:

@@ -30,8 +30,10 @@ from repro.circuit.table import EdgeTable
 from repro.circuit.variation import VariationModel, VariationSample
 from repro.errors import ChallengeError, GraphError
 from repro.flow import FlowNetwork, solve_max_flow
+from repro.flow.registry import DEFAULT_ALGORITHM
 from repro.ppuf.challenge import Challenge, ChallengeSpace
 from repro.ppuf.comparator import CurrentComparator
+from repro.ppuf.compiled import CompiledDevice, NetworkTables, compile_ppuf
 from repro.ppuf.crossbar import Crossbar
 from repro.ppuf.engines import network_current
 
@@ -70,6 +72,56 @@ class PpufNetwork:
         self._edge_src, self._edge_dst = crossbar.edge_endpoints()
 
     # ------------------------------------------------------------------
+    # pickling: the lazy caches are derivable, so they never travel.  A
+    # warmed parent would otherwise ship megabytes of I-V tables to every
+    # pool worker that is about to build (or map) its own anyway.
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        for key in ("_capacities", "_tables", "_edge_src", "_edge_dst"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._capacities = {}
+        self._tables = {}
+        self._edge_src, self._edge_dst = self.crossbar.edge_endpoints()
+
+    # ------------------------------------------------------------------
+    # compiled-artifact interop
+    # ------------------------------------------------------------------
+    def compile(self, *, include_circuit: bool = True) -> NetworkTables:
+        """This network's per-bit tables in compiled (flat-array) form.
+
+        Forces the lazy caches, so compiling a warmed network copies
+        nothing.  With ``include_circuit=False`` the I–V tables are skipped
+        (verification-only consumers need just the capacities).
+        """
+        return NetworkTables(
+            cap0=self._capacities_for_bit(0),
+            cap1=self._capacities_for_bit(1),
+            table0=self._table_for_bit(0) if include_circuit else None,
+            table1=self._table_for_bit(1) if include_circuit else None,
+        )
+
+    def adopt_compiled(self, tables: NetworkTables) -> None:
+        """Seed the lazy caches from compiled tables, skipping derivation.
+
+        The inverse of :meth:`compile`: a network that adopts an artifact's
+        tables answers every subsequent challenge by row selection without
+        ever running the capacity bisection or the I–V tabulation.
+        """
+        if tables.cap0.shape != (self.crossbar.num_edges,):
+            raise GraphError(
+                f"compiled tables cover {tables.cap0.shape[0]} edges but the "
+                f"crossbar has {self.crossbar.num_edges}"
+            )
+        self._capacities = {0: tables.cap0, 1: tables.cap1}
+        if tables.table0 is not None and tables.table1 is not None:
+            self._tables = {0: tables.table0, 1: tables.table1}
+
+    # ------------------------------------------------------------------
     # capacity cache (max-flow engine)
     # ------------------------------------------------------------------
     def _capacities_for_bit(self, bit: int) -> np.ndarray:
@@ -99,7 +151,9 @@ class PpufNetwork:
 
     def flow_network(self, edge_bits: np.ndarray) -> FlowNetwork:
         """The public max-flow instance for a challenge configuration."""
-        return FlowNetwork.from_capacity_matrix(self.capacity_matrix(edge_bits))
+        return FlowNetwork.from_arrays(
+            self.crossbar.n, self._edge_src, self._edge_dst, self.capacities(edge_bits)
+        )
 
     def maxflow_current(
         self,
@@ -107,7 +161,7 @@ class PpufNetwork:
         source: int,
         sink: int,
         *,
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
         stats=None,
     ) -> float:
         """Simulated source current: the max-flow value.
@@ -237,12 +291,31 @@ class Ppuf:
     def challenge_space(self) -> ChallengeSpace:
         return ChallengeSpace(self.crossbar)
 
+    def compile(
+        self,
+        *,
+        include_circuit: bool = True,
+        device_id: Optional[str] = None,
+    ) -> CompiledDevice:
+        """Compile this device into an immutable evaluation artifact.
+
+        See :mod:`repro.ppuf.compiled`: the artifact holds both networks'
+        per-bit tables as flat arrays, evaluates bit-identically to this
+        device, pickles light, persists via
+        :func:`repro.ppuf.io.save_compiled` and fans out to workers over
+        shared memory.  ``include_circuit=False`` skips the I–V tabulation
+        for verification-only use.
+        """
+        return compile_ppuf(
+            self, include_circuit=include_circuit, device_id=device_id
+        )
+
     def currents(
         self,
         challenge: Challenge,
         *,
         engine: str = "maxflow",
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
         stats=None,
     ) -> Tuple[float, float]:
         """Source currents of the two networks for a challenge.
@@ -262,7 +335,7 @@ class Ppuf:
         challenge: Challenge,
         *,
         engine: str = "maxflow",
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
         stats=None,
     ) -> int:
         """The response bit: comparator decision on the two currents."""
@@ -278,7 +351,7 @@ class Ppuf:
         *,
         votes: int = 1,
         engine: str = "maxflow",
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
     ) -> int:
         """Response under comparator noise, optionally majority-voted.
 
@@ -293,7 +366,7 @@ class Ppuf:
         challenges,
         *,
         engine: str = "maxflow",
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
         stats=None,
     ) -> np.ndarray:
         """Vector of response bits for a challenge list."""

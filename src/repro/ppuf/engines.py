@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
-from repro.flow.registry import SolveStats, unknown_name_error
+from repro.flow.registry import DEFAULT_ALGORITHM, SolveStats, unknown_name_error
 
 #: Engine dispatch table: name -> fn(network, challenge, algorithm, stats).
 ENGINES: Dict[str, Callable] = {}
@@ -79,7 +79,7 @@ def network_current(
     challenge,
     engine: str,
     *,
-    algorithm: str = "dinic",
+    algorithm: str = DEFAULT_ALGORITHM,
     stats: Optional[SolveStats] = None,
 ) -> float:
     """Source current of one PPUF network for a challenge.

@@ -1,0 +1,42 @@
+"""On-disk schema versioning for every PPUF persistence surface.
+
+Every serialised artifact — the public device JSON
+(:func:`repro.ppuf.io.ppuf_to_dict`), the CRP dataset wire format
+(:meth:`repro.ppuf.crp.CRPDataset.to_json`) and the compiled evaluation
+artifact (:func:`repro.ppuf.io.save_compiled`) — stamps the same
+``"format"`` field.  Readers check it *first* and fail with one clear
+message instead of erroring deep inside reconstruction when a future
+format changes shape.
+
+This lives in its own module because :mod:`repro.ppuf.io` imports the
+container modules (a constant shared the other way would be a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Current schema version stamped into every saved artifact.
+FORMAT_VERSION = 1
+
+
+def format_mismatch(what: str, found, *, path: Optional[str] = None) -> str:
+    """The one wording for a version mismatch (names the path when known)."""
+    where = f" file {path!r}" if path is not None else ""
+    return (
+        f"{what}{where} has format {found!r}; this build reads "
+        f"format {FORMAT_VERSION}"
+    )
+
+
+def check_format(what: str, data: dict, *, path: Optional[str] = None) -> None:
+    """Raise ``ValueError`` unless ``data``'s ``format`` field is readable.
+
+    A missing field is accepted as the legacy (pre-versioning) form of
+    version 1; an explicit mismatching value is not.  Callers that know the
+    file path catch the ``ValueError`` and re-raise their own error type
+    with the path woven in (or pass ``path`` here directly).
+    """
+    found = data.get("format", FORMAT_VERSION)
+    if found != FORMAT_VERSION:
+        raise ValueError(format_mismatch(what, found, path=path))

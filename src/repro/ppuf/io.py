@@ -22,6 +22,7 @@ from repro.errors import ReproError
 from repro.ppuf.crossbar import Crossbar
 from repro.ppuf.crp import CRPDataset
 from repro.ppuf.device import Ppuf, PpufNetwork
+from repro.ppuf.formats import FORMAT_VERSION, check_format
 
 
 def ppuf_to_dict(ppuf: Ppuf) -> dict:
@@ -34,6 +35,7 @@ def ppuf_to_dict(ppuf: Ppuf) -> dict:
         }
 
     return {
+        "format": FORMAT_VERSION,
         "n": ppuf.n,
         "l": ppuf.l,
         "technology": dataclasses.asdict(ppuf.network_a.tech),
@@ -44,7 +46,15 @@ def ppuf_to_dict(ppuf: Ppuf) -> dict:
 
 
 def ppuf_from_dict(data: dict) -> Ppuf:
-    """Rebuild a PPUF from its saved description."""
+    """Rebuild a PPUF from its saved description.
+
+    A missing ``"format"`` field is accepted as the legacy pre-versioning
+    form; an explicit mismatch raises :class:`ReproError`.
+    """
+    try:
+        check_format("PPUF description", data)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
     try:
         crossbar = Crossbar(n=int(data["n"]), l=int(data["l"]))
         tech = Technology(**data["technology"])
@@ -111,6 +121,10 @@ def load_ppuf(path: str) -> Ppuf:
         raise ReproError(f"cannot read PPUF file {path!r}: {error}") from error
     except json.JSONDecodeError as error:
         raise ReproError(f"malformed PPUF file {path!r}: {error}") from error
+    try:
+        check_format("PPUF", data if isinstance(data, dict) else {}, path=path)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
     return ppuf_from_dict(data)
 
 
@@ -136,3 +150,64 @@ def load_crps(path: str) -> CRPDataset:
         raise ReproError(f"cannot read CRP file {path!r}: {error}") from error
     except (KeyError, TypeError, ValueError) as error:
         raise ReproError(f"malformed CRP file {path!r}: {error}") from error
+
+
+def save_compiled(device, path: str) -> None:
+    """Write a compiled artifact to ``path`` (npz archive + JSON header).
+
+    The archive holds the artifact's flat arrays under their canonical
+    names plus one ``header`` entry: the JSON metadata (format version,
+    geometry, technology card, device id).  The write is atomic, like
+    every other writer in this module.
+    """
+    header = np.array(json.dumps(device.header()))
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp.npz"
+    )
+    os.close(descriptor)
+    try:
+        # temp_path ends in .npz, so np.savez appends nothing.
+        np.savez(temp_path, header=header, **device.to_arrays())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def load_compiled(path: str):
+    """Read a compiled artifact written by :func:`save_compiled`.
+
+    Raises :class:`ReproError` (naming the path, and the found version on
+    a schema mismatch) on an unreadable, malformed or wrong-format file.
+    """
+    import zipfile
+
+    from repro.ppuf.compiled import CompiledDevice
+
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            if "header" not in data.files:
+                raise ReproError(
+                    f"malformed compiled artifact {path!r}: no header entry"
+                )
+            header = json.loads(str(data["header"][()]))
+            arrays = {name: data[name] for name in data.files if name != "header"}
+    except ReproError:
+        raise
+    except OSError as error:
+        raise ReproError(
+            f"cannot read compiled artifact {path!r}: {error}"
+        ) from error
+    except (ValueError, KeyError, zipfile.BadZipFile) as error:
+        raise ReproError(
+            f"malformed compiled artifact {path!r}: {error}"
+        ) from error
+    try:
+        check_format("compiled PPUF artifact", header, path=path)
+    except ValueError as error:
+        raise ReproError(str(error)) from None
+    return CompiledDevice.from_arrays(header, arrays)

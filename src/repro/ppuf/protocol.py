@@ -28,7 +28,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import VerificationError
-from repro.flow.registry import SolveStats
+from repro.flow.registry import DEFAULT_ALGORITHM, SolveStats
 from repro.ppuf.challenge import Challenge
 from repro.ppuf.delay import lin_mead_delay_bound
 from repro.ppuf.esg import ESGModel
@@ -51,7 +51,7 @@ class RoundRecord:
     prover_model_seconds: float
     deadline_seconds: float
     verifier_seconds: float
-    algorithm: str = "dinic"
+    algorithm: str = DEFAULT_ALGORITHM
     solve_stats: Optional[SolveStats] = None
 
     @property
@@ -116,7 +116,7 @@ class AuthenticationSession:
         *,
         rounds: int = 4,
         prover_time_model=None,
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
     ) -> SessionResult:
         """Run the session against an honest (device-holding) prover.
 
@@ -170,7 +170,7 @@ class AuthenticationSession:
         rng: np.random.Generator,
         *,
         rounds: int = 4,
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
     ) -> SessionResult:
         """Run against an attacker who must *simulate* each response.
 

@@ -26,7 +26,7 @@ import numpy as np
 
 from repro.errors import FlowError, VerificationError
 from repro.flow import solve_max_flow, verify_max_flow
-from repro.flow.registry import SolveStats
+from repro.flow.registry import DEFAULT_ALGORITHM, SolveStats
 from repro.flow.decomposition import (
     PathFlow,
     cancel_cycles,
@@ -50,7 +50,7 @@ class CompactClaim:
     paths: List[PathFlow]
     value: float
     elapsed_seconds: float
-    algorithm: str = "dinic"
+    algorithm: str = DEFAULT_ALGORITHM
     solve_stats: Optional[SolveStats] = None
 
     def to_flow_claim(self, n: int) -> "FlowClaim":
@@ -90,7 +90,7 @@ class FlowClaim:
     flow: np.ndarray
     value: float
     elapsed_seconds: float
-    algorithm: str = "dinic"
+    algorithm: str = DEFAULT_ALGORITHM
     solve_stats: Optional[SolveStats] = None
 
 
@@ -110,7 +110,7 @@ class PpufProver:
         self,
         challenge: Challenge,
         *,
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
         stats: Optional[SolveStats] = None,
     ) -> FlowClaim:
         """Answer a challenge with any registered exact solver.
@@ -141,7 +141,7 @@ class PpufProver:
         self,
         challenge: Challenge,
         *,
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
         stats: Optional[SolveStats] = None,
     ) -> CompactClaim:
         """Answer with a path decomposition instead of the dense matrix."""

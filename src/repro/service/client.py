@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.errors import ConnectionLost, ServiceError
+from repro.flow.registry import DEFAULT_ALGORITHM
+from repro.ppuf.compiled import CompiledDevice
 from repro.ppuf.device import Ppuf
 from repro.ppuf.io import ppuf_to_dict
 from repro.ppuf.verification import PpufProver
@@ -220,15 +222,20 @@ class ServiceClient:
 
     async def authenticate(
         self,
-        ppuf: Ppuf,
+        ppuf,
         *,
         network: str = "a",
         rounds: Optional[int] = None,
-        algorithm: str = "dinic",
+        algorithm: str = DEFAULT_ALGORITHM,
         tamper: Optional[Callable[[dict], dict]] = None,
         delay: float = 0.0,
     ) -> AuthOutcome:
         """Run one full authentication session as the device holder.
+
+        ``ppuf`` may be a live :class:`~repro.ppuf.device.Ppuf` or a
+        :class:`~repro.ppuf.compiled.CompiledDevice` (whose stamped
+        ``device_id`` identifies the enrolled silicon — ``repro compile``
+        produces these and ``repro auth --compiled`` loads them).
 
         ``tamper`` receives each outgoing wire-claim dict and returns the
         (possibly mutated) dict to send; ``delay`` sleeps that many seconds
@@ -239,7 +246,10 @@ class ServiceClient:
         outstanding, CLAIM goes out exactly once — a transport failure
         there raises and the whole authentication must be restarted.
         """
-        device_id = device_id_for(ppuf_to_dict(ppuf))
+        if isinstance(ppuf, CompiledDevice):
+            device_id = ppuf.device_id
+        else:
+            device_id = device_id_for(ppuf_to_dict(ppuf))
         net = ppuf.network_a if network == "a" else ppuf.network_b
         prover = PpufProver(net)
         message = {"type": wire.HELLO, "device_id": device_id, "network": network}
@@ -314,7 +324,7 @@ def enroll_device(
 def authenticate_device(
     host: str,
     port: int,
-    ppuf: Ppuf,
+    ppuf,  # a Ppuf or a CompiledDevice
     *,
     timeout: float = DEFAULT_TIMEOUT,
     retry: Optional[RetryPolicy] = None,

@@ -10,6 +10,13 @@ model registry).
 With a ``directory``, every enrollment is persisted as
 ``<device_id>.json`` via the atomic writer in :mod:`repro.ppuf.io`, and a
 restarted server reloads its fleet from disk.
+
+The registry also serves *compiled* evaluation artifacts
+(:class:`~repro.ppuf.compiled.CompiledDevice`): :meth:`DeviceRegistry.compiled`
+compiles a device's capacity tables once (persisting them as
+``<device_id>.npz`` next to the JSON when a directory is configured) so
+the verification workers map precomputed tables instead of re-deriving
+capacity caches on every cold claim.
 """
 
 from __future__ import annotations
@@ -20,8 +27,15 @@ import os
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError, ServiceError
+from repro.ppuf.compiled import CompiledDevice
 from repro.ppuf.device import Ppuf
-from repro.ppuf.io import atomic_write_text, ppuf_from_dict, ppuf_to_dict
+from repro.ppuf.io import (
+    atomic_write_text,
+    load_compiled,
+    ppuf_from_dict,
+    ppuf_to_dict,
+    save_compiled,
+)
 
 
 def canonical_json(public: dict) -> str:
@@ -53,6 +67,7 @@ class DeviceRegistry:
         self.directory = directory
         self._public: Dict[str, dict] = {}
         self._devices: Dict[str, Ppuf] = {}
+        self._compiled: Dict[str, CompiledDevice] = {}
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             self.load_directory()
@@ -102,6 +117,34 @@ class DeviceRegistry:
             self._devices[device_id] = ppuf_from_dict(self.public(device_id))
         return self._devices[device_id]
 
+    def compiled(self, device_id: str) -> CompiledDevice:
+        """The compiled (capacity-only) evaluation artifact for a device id.
+
+        Compiled once per registry lifetime; with a ``directory`` the
+        artifact is persisted as ``<device_id>.npz`` and reloaded instead
+        of recompiled on restart.  Verification needs only the capacity
+        tables, so circuit I–V tables are not built here.
+        """
+        artifact = self._compiled.get(device_id)
+        if artifact is not None:
+            return artifact
+        path = self._compiled_path(device_id) if self.directory else None
+        if path is not None and os.path.exists(path):
+            try:
+                artifact = load_compiled(path)
+                if artifact.device_id != device_id:
+                    artifact = None  # stale or foreign artifact: recompile
+            except ReproError:
+                artifact = None
+        if artifact is None:
+            artifact = self.device(device_id).compile(
+                include_circuit=False, device_id=device_id
+            )
+            if path is not None:
+                save_compiled(artifact, path)
+        self._compiled[device_id] = artifact
+        return artifact
+
     # ------------------------------------------------------------------
     def load_directory(self) -> int:
         """(Re)load every ``*.json`` under ``directory``; returns the count.
@@ -130,3 +173,6 @@ class DeviceRegistry:
 
     def _path(self, device_id: str) -> str:
         return os.path.join(self.directory, f"{device_id}.json")
+
+    def _compiled_path(self, device_id: str) -> str:
+        return os.path.join(self.directory, f"{device_id}.npz")

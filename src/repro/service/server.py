@@ -54,19 +54,28 @@ PAPER_DEADLINE_SLACK = 100.0
 #: millions must not be mirrored into every worker's memory.
 WORKER_DEVICE_CACHE_SIZE = 32
 
-# Process-local LRU device cache for pool workers: rebuilding a PpufNetwork
-# (and its capacity caches) per claim would swamp the verify itself, but an
-# unbounded dict would grow with the enrolled fleet.  Keyed by device_id
-# (content-derived), so a stale entry is impossible — a changed description
-# is a different id.
+# Process-local LRU device cache for pool workers: re-deriving capacity
+# caches per claim would swamp the verify itself, but an unbounded dict
+# would grow with the enrolled fleet.  The cache holds
+# :class:`~repro.ppuf.compiled.CompiledDevice` artifacts on the compiled
+# path (precomputed tables, nothing to derive) or rebuilt ``Ppuf`` objects
+# on the legacy public-dict path.  Keyed by device_id (content-derived), so
+# a stale entry is impossible — a changed description is a different id.
 _WORKER_DEVICES: "OrderedDict[str, object]" = OrderedDict()
 
 
-def _cached_device(device_id: str, public: dict):
-    """Fetch-or-rebuild a device, keeping at most the LRU cache bound."""
+def _cached_device(device_id: str, payload):
+    """Fetch-or-materialise a device, keeping at most the LRU cache bound.
+
+    ``payload`` is either the enrolled public description (dict — the
+    legacy path, rebuilt via :func:`ppuf_from_dict` with all the lazy
+    re-derivation that implies) or a
+    :class:`~repro.ppuf.compiled.CompiledDevice` (already materialised;
+    cached as-is so later claims skip even the unpickling).
+    """
     device = _WORKER_DEVICES.get(device_id)
     if device is None:
-        device = ppuf_from_dict(public)
+        device = ppuf_from_dict(payload) if isinstance(payload, dict) else payload
         _WORKER_DEVICES[device_id] = device
         while len(_WORKER_DEVICES) > WORKER_DEVICE_CACHE_SIZE:
             _WORKER_DEVICES.popitem(last=False)
@@ -76,12 +85,14 @@ def _cached_device(device_id: str, public: dict):
 
 
 def _verify_claim_task(
-    device_id: str, public: dict, network: str, claim_wire: dict, rtol: float
+    device_id: str, payload, network: str, claim_wire: dict, rtol: float
 ) -> tuple:
     """Verify one wire claim; runs inside a pool worker (or thread).
 
-    Returns ``(accepted, reason, verify_seconds, fault)`` with ``reason``
-    one of ``"ok"``, ``"incorrect"`` (feasible but wrong), ``"infeasible"``
+    ``payload`` is the device transport: a public dict or a compiled
+    artifact (see :func:`_cached_device`).  Returns ``(accepted, reason,
+    verify_seconds, fault)`` with ``reason`` one of ``"ok"``,
+    ``"incorrect"`` (feasible but wrong), ``"infeasible"``
     (conservation/capacity violation or malformed paths).  ``fault`` is
     ``None`` for expected outcomes; for any *unexpected* exception (e.g. an
     ``IndexError`` from out-of-range path vertices) it carries the error
@@ -92,7 +103,7 @@ def _verify_claim_task(
 
     start = time.perf_counter()
     try:
-        device = _cached_device(device_id, public)
+        device = _cached_device(device_id, payload)
         net = device.network_a if network == "a" else device.network_b
         verifier = PpufVerifier(net)
         claim = wire.claim_from_wire(claim_wire)
@@ -134,7 +145,7 @@ class VerificationPool:
         self._semaphore = asyncio.Semaphore(max_pending or max(4, 2 * workers))
 
     async def verify(
-        self, device_id: str, public: dict, network: str, claim_wire: dict, rtol: float
+        self, device_id: str, payload, network: str, claim_wire: dict, rtol: float
     ) -> tuple:
         async with self._semaphore:
             loop = asyncio.get_running_loop()
@@ -142,7 +153,7 @@ class VerificationPool:
                 self._executor,
                 _verify_claim_task,
                 device_id,
-                public,
+                payload,
                 network,
                 claim_wire,
                 rtol,
@@ -186,6 +197,11 @@ class PpufAuthServer:
     allow_enroll:
         Accept ``enroll`` messages over the wire (disable for a
         pre-provisioned fleet).
+    use_compiled:
+        Ship :class:`~repro.ppuf.compiled.CompiledDevice` artifacts to
+        verification workers (default) — a cold claim maps precomputed
+        capacity tables instead of rebuilding the device and re-deriving
+        its caches.  ``False`` restores the legacy public-dict transport.
     verify_timeout:
         Per-claim verification cutoff [s]; blown → ``verify_timeout``
         verdict + ``stats.verify_timeouts``.  ``None`` disables.
@@ -217,6 +233,7 @@ class PpufAuthServer:
         rtol: float = DEFAULT_RTOL,
         seed: Optional[int] = None,
         allow_enroll: bool = True,
+        use_compiled: bool = True,
         verify_timeout: Optional[float] = 60.0,
         connection_timeout: Optional[float] = 300.0,
         max_connections: int = 256,
@@ -231,6 +248,7 @@ class PpufAuthServer:
         self.port = port
         self.rtol = rtol
         self.allow_enroll = allow_enroll
+        self.use_compiled = use_compiled
         self.connection_timeout = connection_timeout
         self.max_connections = max_connections
         self.max_messages_per_connection = max_messages_per_connection
@@ -490,10 +508,11 @@ class PpufAuthServer:
             return self._verdict(session, False, "wrong_challenge", elapsed)
 
         device = self.registry.device(session.device_id)
+        payload = await self._device_payload(session.device_id)
         try:
             accepted, reason, verify_seconds, fault = await self.pool.verify(
                 session.device_id,
-                self.registry.public(session.device_id),
+                payload,
                 session.network,
                 claim_wire,
                 self.rtol,
@@ -529,6 +548,19 @@ class PpufAuthServer:
             "reason": "ok",
             "rounds_run": session.rounds_total,
         }
+
+    async def _device_payload(self, device_id: str):
+        """The device transport handed to verification workers.
+
+        On the compiled path the first claim per device pays one
+        compilation (offloaded to the default executor so the event loop
+        keeps serving); every later claim reuses the registry's cached
+        artifact.  Legacy path: the enrolled public dict.
+        """
+        if not self.use_compiled:
+            return self.registry.public(device_id)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.registry.compiled, device_id)
 
     def _verdict(self, session: Session, accepted: bool, reason: str, elapsed: float) -> dict:
         self.sessions.close(session)

@@ -34,6 +34,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.errors import ServiceError
+from repro.flow.registry import DEFAULT_ALGORITHM
 from repro.flow.decomposition import PathFlow
 from repro.service.resilience import with_timeout
 from repro.ppuf.challenge import Challenge
@@ -145,7 +146,7 @@ def claim_from_wire(payload: dict) -> CompactClaim:
             paths=paths,
             value=float(payload["value"]),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
-            algorithm=str(payload.get("algorithm", "dinic")),
+            algorithm=str(payload.get("algorithm", DEFAULT_ALGORITHM)),
         )
     except (KeyError, TypeError, ValueError) as error:
         raise ServiceError(f"malformed wire claim: {error}") from error

@@ -69,6 +69,44 @@ class TestConstruction:
         assert network.capacity[0, 1] == 1.0
 
 
+class TestFromArrays:
+    def test_builds_same_network_as_capacity_matrix(self):
+        matrix = np.array([[0.0, 1.0, 0.0], [0.0, 0.0, 2.0], [3.0, 0.0, 0.0]])
+        via_matrix = FlowNetwork.from_capacity_matrix(matrix)
+        via_arrays = FlowNetwork.from_arrays(
+            3, np.array([0, 1, 2]), np.array([1, 2, 0]), np.array([1.0, 2.0, 3.0])
+        )
+        assert np.array_equal(via_arrays.capacity, via_matrix.capacity)
+
+    def test_zero_capacity_edge_keeps_adjacency(self):
+        # Unlike from_capacity_matrix, an explicitly listed edge stays in
+        # the adjacency even at zero capacity — compiled PPUF instances
+        # have a fixed edge set and only the capacities vary per challenge.
+        network = FlowNetwork.from_arrays(
+            3, np.array([0, 1]), np.array([1, 2]), np.array([0.0, 1.0])
+        )
+        assert network.adjacency[0, 1]
+        assert network.capacity[0, 1] == 0.0
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            FlowNetwork.from_arrays(
+                3, np.array([0, 1]), np.array([1]), np.array([1.0, 2.0])
+            )
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            FlowNetwork.from_arrays(3, np.array([1]), np.array([1]), np.array([1.0]))
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(GraphError):
+            FlowNetwork.from_arrays(3, np.array([0]), np.array([3]), np.array([1.0]))
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(GraphError):
+            FlowNetwork.from_arrays(3, np.array([0]), np.array([1]), np.array([-1.0]))
+
+
 class TestQueries:
     def test_complete_network_detection(self):
         matrix = np.ones((4, 4))

@@ -115,6 +115,49 @@ class TestHappyPath:
         assert run(go()).accepted
 
 
+class TestCompiledVerification:
+    """The server's compiled fast path must not change any verdict."""
+
+    def test_verdict_identical_with_and_without_compiled(self, device):
+        async def authenticate(use_compiled):
+            async with await serve(use_compiled=use_compiled) as server:
+                async with ServiceClient("127.0.0.1", server.port) as client:
+                    await client.enroll(device)
+                    honest = await client.authenticate(device)
+                    tampered = await client.authenticate(
+                        device, tamper=lambda c: {**c, "value": c["value"] * 2.0}
+                    )
+            return honest, tampered
+
+        for use_compiled in (True, False):
+            honest, tampered = run(authenticate(use_compiled))
+            assert honest.accepted and honest.reason == "ok"
+            assert not tampered.accepted and tampered.reason == "incorrect"
+
+    def test_compiled_with_process_pool(self, device):
+        async def go():
+            async with await serve(workers=1, rounds=2) as server:
+                async with ServiceClient("127.0.0.1", server.port) as client:
+                    await client.enroll(device)
+                    return await client.authenticate(device)
+
+        assert run(go()).accepted
+
+    def test_prover_can_run_off_the_artifact(self, device):
+        # A holder carrying only the compiled artifact (repro auth
+        # --compiled) authenticates like one holding the full description.
+        artifact = device.compile(include_circuit=False)
+
+        async def go():
+            async with await serve(rounds=2) as server:
+                async with ServiceClient("127.0.0.1", server.port) as client:
+                    await client.enroll(device)
+                    return await client.authenticate(artifact)
+
+        outcome = run(go())
+        assert outcome.accepted and outcome.reason == "ok"
+
+
 class TestRejections:
     def test_tampered_value_rejected(self, device):
         async def go():

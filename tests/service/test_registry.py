@@ -58,6 +58,61 @@ class TestEnrollment:
             registry.enroll({"n": 5})
 
 
+class TestCompiledArtifacts:
+    def test_compiled_once_then_cached(self, tiny_ppuf, rng):
+        registry = DeviceRegistry()
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        artifact = registry.compiled(device_id)
+        assert artifact is registry.compiled(device_id)
+        assert artifact.device_id == device_id
+        assert not artifact.has_circuit_tables  # verification-only build
+        challenges = tiny_ppuf.challenge_space().random_batch(8, rng)
+        assert np.array_equal(
+            artifact.response_bits(challenges), tiny_ppuf.response_bits(challenges)
+        )
+
+    def test_compiled_unknown_device_raises(self):
+        with pytest.raises(ServiceError):
+            DeviceRegistry().compiled("deadbeef")
+
+    def test_compiled_persists_as_npz_and_reloads(
+        self, tiny_ppuf, tmp_path, rng, monkeypatch
+    ):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        registry.compiled(device_id)
+        assert os.path.exists(tmp_path / f"{device_id}.npz")
+
+        reloaded = DeviceRegistry(str(tmp_path))
+        # The restarted registry must come up from the persisted artifact —
+        # recompiling here would mean the npz was written for nothing.
+        monkeypatch.setattr(
+            Ppuf, "compile", lambda *a, **k: pytest.fail("recompiled from scratch")
+        )
+        artifact = reloaded.compiled(device_id)
+        challenges = tiny_ppuf.challenge_space().random_batch(8, rng)
+        assert np.array_equal(
+            artifact.response_bits(challenges), tiny_ppuf.response_bits(challenges)
+        )
+
+    def test_npz_files_do_not_break_directory_reload(self, tiny_ppuf, tmp_path):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        registry.compiled(device_id)
+        reloaded = DeviceRegistry(str(tmp_path))
+        assert len(reloaded) == 1  # the .npz next to the .json is not an entry
+
+    def test_corrupt_artifact_is_recompiled(self, tiny_ppuf, tmp_path, rng):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        (tmp_path / f"{device_id}.npz").write_bytes(b"not an archive")
+        artifact = registry.compiled(device_id)
+        challenges = tiny_ppuf.challenge_space().random_batch(8, rng)
+        assert np.array_equal(
+            artifact.response_bits(challenges), tiny_ppuf.response_bits(challenges)
+        )
+
+
 class TestPersistence:
     def test_enrollment_persists_and_reloads(self, tiny_ppuf, tmp_path):
         registry = DeviceRegistry(str(tmp_path))

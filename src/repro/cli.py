@@ -4,14 +4,16 @@
 
 * ``create``     fabricate a PPUF and save its variation state to JSON
 * ``compile``    precompile a saved PPUF into an evaluation artifact (npz)
+* ``pack``       build/append/inspect packed artifact fleets (one mmap'd
+  file for many devices; see :mod:`repro.ppuf.pack`)
 * ``respond``    evaluate challenges on a saved PPUF (or ``--compiled``
   artifact)
 * ``solvers``    list the registered max-flow solvers and capabilities
 * ``protocol``   run a time-bounded authentication session against itself
 * ``serve``      host the networked authentication service (see
-  :mod:`repro.service`)
-* ``auth``       authenticate a saved PPUF (or ``--compiled`` artifact)
-  against a running server
+  :mod:`repro.service`); ``--pack`` serves a packed fleet
+* ``auth``       authenticate a saved PPUF (or ``--compiled`` artifact, or
+  a ``--pack`` member) against a running server
 * ``experiments``  regenerate the paper's tables/figures (see
   :mod:`repro.experiments.all`)
 
@@ -75,6 +77,63 @@ def _command_compile(arguments) -> int:
         f"{compiled.num_edges} edges, {tables} tables, "
         f"device {compiled.device_id[:16]}…) -> {arguments.output}"
     )
+    return 0
+
+
+def _pack_sources(arguments):
+    """Yield compiled devices from the pack command's input flags (streaming)."""
+    include_circuit = bool(getattr(arguments, "circuit", False))
+    for path in arguments.ppuf:
+        yield load_ppuf(path).compile(include_circuit=include_circuit)
+    if arguments.registry:
+        import os
+
+        names = sorted(
+            name
+            for name in os.listdir(arguments.registry)
+            if name.endswith(".json")
+        )
+        if not names:
+            raise ReproError(
+                f"registry directory {arguments.registry!r} holds no device JSON"
+            )
+        for name in names:
+            ppuf = load_ppuf(os.path.join(arguments.registry, name))
+            yield ppuf.compile(include_circuit=include_circuit)
+    if arguments.create:
+        rng = np.random.default_rng(arguments.seed)
+        for _ in range(arguments.create):
+            ppuf = Ppuf.create(arguments.nodes, arguments.grid, rng)
+            yield ppuf.compile(include_circuit=include_circuit)
+
+
+def _command_pack(arguments) -> int:
+    from repro.ppuf.pack import ArtifactPack, append_pack, build_pack
+
+    if arguments.pack_command == "inspect":
+        pack = ArtifactPack(arguments.pack)
+        if arguments.json:
+            print(json.dumps({**pack.stats(), "ids": pack.ids()}, indent=2))
+        else:
+            stats = pack.stats()
+            print(
+                f"{stats['path']}: format {stats['format']}, "
+                f"{stats['devices']} device(s), {stats['file_bytes']} bytes"
+            )
+            for device_id in pack.ids():
+                header = pack.header(device_id)
+                tables = "capacity+circuit" if header.get("circuit_tables") else "capacity"
+                print(f"  {device_id[:16]}…  n={header['n']} l={header['l']} {tables}")
+        return 0
+
+    builder = build_pack if arguments.pack_command == "build" else append_pack
+    if not (arguments.ppuf or arguments.registry or arguments.create):
+        raise ReproError(
+            "nothing to pack: pass --ppuf, --registry and/or --create"
+        )
+    count = builder(arguments.output, _pack_sources(arguments))
+    verb = "packed" if arguments.pack_command == "build" else "appended"
+    print(f"{verb} {count} device(s) -> {arguments.output}", file=sys.stderr)
     return 0
 
 
@@ -192,7 +251,7 @@ def _command_serve(arguments) -> int:
 
     from repro.service import DeviceRegistry, PpufAuthServer
 
-    registry = DeviceRegistry(arguments.registry)
+    registry = DeviceRegistry(arguments.registry, pack=arguments.pack)
     for path in arguments.enroll:
         device_id = registry.enroll_ppuf(load_ppuf(path))
         print(f"enrolled {path} as {device_id[:16]}…", file=sys.stderr)
@@ -243,13 +302,18 @@ def _command_auth(arguments) -> int:
 
     retry = RetryPolicy(attempts=max(1, arguments.retries + 1))
     resilience = dict(timeout=arguments.timeout, retry=retry)
-    if arguments.compiled:
+    if (arguments.compiled is not None) and (arguments.pack is not None):
+        raise ReproError("--compiled and --pack are mutually exclusive")
+    if arguments.compiled or arguments.pack:
         if arguments.enroll:
             raise ReproError(
                 "--enroll needs the full public description; pass --ppuf "
                 "(a compiled artifact carries only evaluation tables)"
             )
+    if arguments.compiled:
         ppuf = load_compiled(arguments.compiled)
+    elif arguments.pack:
+        ppuf = _pack_member(arguments.pack, arguments.device_id)
     else:
         ppuf = load_ppuf(arguments.ppuf)
     if arguments.enroll:
@@ -277,6 +341,28 @@ def _command_auth(arguments) -> int:
             )
         )
     return 0 if outcome.accepted else 1
+
+
+def _pack_member(pack_path: str, device_id):
+    """Resolve one device out of a pack (unique-prefix ids accepted)."""
+    from repro.ppuf.pack import ArtifactPack
+
+    pack = ArtifactPack(pack_path)
+    ids = pack.ids()
+    if device_id is None:
+        if len(ids) == 1:
+            return pack.device(ids[0])
+        raise ReproError(
+            f"pack {pack_path!r} holds {len(ids)} devices; pick one with "
+            "--device-id (a unique id prefix is enough)"
+        )
+    matches = [known for known in ids if known.startswith(device_id)]
+    if len(matches) != 1:
+        raise ReproError(
+            f"--device-id {device_id!r} matches {len(matches)} device(s) in "
+            f"{pack_path!r}; need exactly one"
+        )
+    return pack.device(matches[0])
 
 
 def _command_experiments(arguments) -> int:
@@ -313,6 +399,54 @@ def build_parser() -> argparse.ArgumentParser:
         "for max-flow evaluation and claim verification)",
     )
     compile_cmd.set_defaults(handler=_command_compile)
+
+    pack = commands.add_parser(
+        "pack", help="build, append to, or inspect a packed artifact fleet"
+    )
+    pack_commands = pack.add_subparsers(dest="pack_command", required=True)
+
+    def _pack_inputs(subparser):
+        subparser.add_argument("--output", default="fleet.pack")
+        subparser.add_argument(
+            "--ppuf",
+            action="append",
+            default=[],
+            metavar="PPUF_JSON",
+            help="compile and pack a saved PPUF (repeatable)",
+        )
+        subparser.add_argument(
+            "--registry",
+            default=None,
+            metavar="DIR",
+            help="compile and pack every device JSON under a registry directory",
+        )
+        subparser.add_argument(
+            "--create",
+            type=int,
+            default=0,
+            metavar="COUNT",
+            help="fabricate COUNT fresh devices straight into the pack",
+        )
+        subparser.add_argument("--nodes", type=int, default=20)
+        subparser.add_argument("--grid", type=int, default=4)
+        subparser.add_argument("--seed", type=int, default=0)
+        subparser.add_argument(
+            "--circuit",
+            action="store_true",
+            help="include circuit I-V tables (default: capacity-only rows)",
+        )
+        subparser.set_defaults(handler=_command_pack)
+
+    _pack_inputs(pack_commands.add_parser("build", help="create a new pack"))
+    _pack_inputs(
+        pack_commands.add_parser(
+            "append", help="append devices to an existing pack (never rewrites)"
+        )
+    )
+    inspect = pack_commands.add_parser("inspect", help="summarise a pack")
+    inspect.add_argument("pack", help="pack file to inspect")
+    inspect.add_argument("--json", action="store_true", help="emit JSON")
+    inspect.set_defaults(handler=_command_pack)
 
     respond = commands.add_parser("respond", help="evaluate random challenges")
     respond.add_argument("--ppuf", default="ppuf.json")
@@ -377,6 +511,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--registry", default=None, help="directory of enrolled devices (persistent)"
     )
     serve.add_argument(
+        "--pack",
+        default=None,
+        metavar="PACK",
+        help="serve a packed artifact fleet (from `repro pack build`); "
+        "verification slices the pack's mmap instead of loading per-device "
+        "files",
+    )
+    serve.add_argument(
         "--enroll",
         action="append",
         default=[],
@@ -435,6 +577,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NPZ",
         help="authenticate with a compiled artifact (from `repro compile`) "
         "instead of --ppuf",
+    )
+    auth.add_argument(
+        "--pack",
+        default=None,
+        metavar="PACK",
+        help="authenticate with a device from a packed fleet instead of "
+        "--ppuf (pick one with --device-id)",
+    )
+    auth.add_argument(
+        "--device-id",
+        default=None,
+        help="device to pull from --pack (a unique id prefix is enough; "
+        "optional when the pack holds exactly one device)",
     )
     auth.add_argument("--network", choices=("a", "b"), default="a")
     auth.add_argument(

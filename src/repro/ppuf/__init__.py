@@ -14,6 +14,7 @@ from repro.ppuf.comparator import CurrentComparator
 from repro.ppuf.device import Ppuf, PpufNetwork
 from repro.ppuf.batch import BatchEvaluator, BatchReport
 from repro.ppuf.crp import CRP, CRPDataset
+from repro.ppuf.pack import ArtifactPack, PackWriter, append_pack, build_pack
 from repro.ppuf.delay import lin_mead_delay_bound, effective_edge_resistance
 from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
 from repro.ppuf.feedback import FeedbackChain, run_feedback_chain
@@ -31,6 +32,10 @@ __all__ = [
     "PpufNetwork",
     "BatchEvaluator",
     "BatchReport",
+    "ArtifactPack",
+    "PackWriter",
+    "append_pack",
+    "build_pack",
     "CRP",
     "CRPDataset",
     "lin_mead_delay_bound",

@@ -8,6 +8,14 @@ artifact (:func:`repro.ppuf.io.save_compiled`) — stamps the same
 message instead of erroring deep inside reconstruction when a future
 format changes shape.
 
+The packed fleet container (:mod:`repro.ppuf.pack`) is a *different*
+on-disk surface with its own version line: ``format: 2`` identifies the
+pack container, while the per-device headers embedded in its records stay
+on the compiled-artifact schema (version 1) so a record slice rebuilds
+through the exact same :meth:`CompiledDevice.from_arrays
+<repro.ppuf.compiled.CompiledDevice.from_arrays>` path as a standalone
+``.npz``.
+
 This lives in its own module because :mod:`repro.ppuf.io` imports the
 container modules (a constant shared the other way would be a cycle).
 """
@@ -16,27 +24,38 @@ from __future__ import annotations
 
 from typing import Optional
 
-#: Current schema version stamped into every saved artifact.
+#: Current schema version stamped into every saved per-device artifact.
 FORMAT_VERSION = 1
 
+#: Schema version of the packed fleet container (:mod:`repro.ppuf.pack`).
+PACK_FORMAT_VERSION = 2
 
-def format_mismatch(what: str, found, *, path: Optional[str] = None) -> str:
+
+def format_mismatch(
+    what: str, found, *, path: Optional[str] = None, expected: int = FORMAT_VERSION
+) -> str:
     """The one wording for a version mismatch (names the path when known)."""
     where = f" file {path!r}" if path is not None else ""
     return (
         f"{what}{where} has format {found!r}; this build reads "
-        f"format {FORMAT_VERSION}"
+        f"format {expected}"
     )
 
 
-def check_format(what: str, data: dict, *, path: Optional[str] = None) -> None:
+def check_format(
+    what: str,
+    data: dict,
+    *,
+    path: Optional[str] = None,
+    expected: int = FORMAT_VERSION,
+) -> None:
     """Raise ``ValueError`` unless ``data``'s ``format`` field is readable.
 
     A missing field is accepted as the legacy (pre-versioning) form of
-    version 1; an explicit mismatching value is not.  Callers that know the
-    file path catch the ``ValueError`` and re-raise their own error type
-    with the path woven in (or pass ``path`` here directly).
+    ``expected``; an explicit mismatching value is not.  Callers that know
+    the file path catch the ``ValueError`` and re-raise their own error
+    type with the path woven in (or pass ``path`` here directly).
     """
-    found = data.get("format", FORMAT_VERSION)
-    if found != FORMAT_VERSION:
-        raise ValueError(format_mismatch(what, found, path=path))
+    found = data.get("format", expected)
+    if found != expected:
+        raise ValueError(format_mismatch(what, found, path=path, expected=expected))

@@ -75,14 +75,37 @@ def ppuf_from_dict(data: dict) -> Ppuf:
         raise ReproError(f"malformed PPUF save file: {error}") from error
 
 
+def current_umask() -> int:
+    """The process umask (read without changing it for longer than a call)."""
+    mask = os.umask(0)
+    os.umask(mask)
+    return mask
+
+
+def publish_temp(temp_path: str, path: str) -> None:
+    """Publish a fully written temp file at ``path`` (the atomic contract).
+
+    ``mkstemp`` creates temp files with mode 0600, which is the wrong
+    permission set to *publish*: a registry directory read by verify
+    workers under another uid would silently lose access.  The temp file
+    is re-moded to the umask-respecting 0666-derived permissions a plain
+    :func:`open` would have produced, then moved over ``path`` with
+    :func:`os.replace`.  The caller must already have flushed and fsynced
+    the content; the rename itself is atomic on POSIX.
+    """
+    os.chmod(temp_path, 0o666 & ~current_umask())
+    os.replace(temp_path, path)
+
+
 def atomic_write_text(path: str, text: str) -> None:
     """Write ``text`` to ``path`` atomically.
 
-    The text lands in a temporary file in the same directory and is moved
-    into place with :func:`os.replace`, so a crashed or killed writer (a
-    registry server mid-enrollment, say) never leaves a truncated file at
-    ``path`` — readers see either the old content or the new, never a
-    partial write.
+    The text lands in a temporary file in the same directory, is flushed
+    and fsynced, and is moved into place with :func:`os.replace`, so a
+    crashed or killed writer (a registry server mid-enrollment, say) never
+    leaves a truncated file at ``path`` — readers see either the old
+    content or the new, never a partial write — and a power loss straight
+    after the rename cannot surface an empty file.
     """
     directory = os.path.dirname(os.path.abspath(path))
     descriptor, temp_path = tempfile.mkstemp(
@@ -93,7 +116,7 @@ def atomic_write_text(path: str, text: str) -> None:
             handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(temp_path, path)
+        publish_temp(temp_path, path)
     except BaseException:
         try:
             os.unlink(temp_path)
@@ -157,8 +180,11 @@ def save_compiled(device, path: str) -> None:
 
     The archive holds the artifact's flat arrays under their canonical
     names plus one ``header`` entry: the JSON metadata (format version,
-    geometry, technology card, device id).  The write is atomic, like
-    every other writer in this module.
+    geometry, technology card, device id).  The write follows the same
+    durability contract as every other writer in this module: the temp
+    file is fsynced before :func:`publish_temp` re-modes it (mkstemp's
+    0600 would hide the artifact from other-uid readers) and atomically
+    renames it over ``path``.
     """
     header = np.array(json.dumps(device.header()))
     directory = os.path.dirname(os.path.abspath(path))
@@ -169,7 +195,9 @@ def save_compiled(device, path: str) -> None:
     try:
         # temp_path ends in .npz, so np.savez appends nothing.
         np.savez(temp_path, header=header, **device.to_arrays())
-        os.replace(temp_path, path)
+        with open(temp_path, "rb") as handle:
+            os.fsync(handle.fileno())
+        publish_temp(temp_path, path)
     except BaseException:
         try:
             os.unlink(temp_path)

@@ -9,22 +9,33 @@ model registry).
 
 With a ``directory``, every enrollment is persisted as
 ``<device_id>.json`` via the atomic writer in :mod:`repro.ppuf.io`, and a
-restarted server reloads its fleet from disk.
+restarted server reloads its fleet from disk.  :meth:`DeviceRegistry.load_directory`
+is a *rebuild*: it replaces the resident fleet with what the directory
+holds right now (deleted files drop out, cached compiled artifacts are
+invalidated) and skips — with a logged warning — any ``<id>.json`` whose
+filename does not match its content-derived digest, so a renamed or
+tampered file can never enroll under an id other than the one written on
+its name.
 
 The registry also serves *compiled* evaluation artifacts
-(:class:`~repro.ppuf.compiled.CompiledDevice`): :meth:`DeviceRegistry.compiled`
-compiles a device's capacity tables once (persisting them as
-``<device_id>.npz`` next to the JSON when a directory is configured) so
-the verification workers map precomputed tables instead of re-deriving
-capacity caches on every cold claim.
+(:class:`~repro.ppuf.compiled.CompiledDevice`) through a bounded LRU of
+warm per-device handles.  Cold misses fill from, in order:
+
+1. a packed fleet file (:class:`~repro.ppuf.pack.ArtifactPack`, one mmap
+   shared by every device — the fleet-scale tier);
+2. the legacy per-device ``<device_id>.npz`` next to the JSON;
+3. compilation from the enrolled description (persisted as ``.npz`` when
+   a directory is configured).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
-from typing import Dict, List, Optional
+from collections import OrderedDict
+from typing import Dict, List, Optional, Union
 
 from repro.errors import ReproError, ServiceError
 from repro.ppuf.compiled import CompiledDevice
@@ -36,6 +47,14 @@ from repro.ppuf.io import (
     ppuf_to_dict,
     save_compiled,
 )
+from repro.ppuf.pack import ArtifactPack
+
+logger = logging.getLogger(__name__)
+
+#: Default bound on the warm compiled-artifact LRU.  Pack-backed artifacts
+#: are cheap mmap views, but each still pins Python-side index objects —
+#: a million-device fleet must not mirror itself into the warm tier.
+DEFAULT_COMPILED_CACHE_SIZE = 256
 
 
 def canonical_json(public: dict) -> str:
@@ -61,26 +80,55 @@ class DeviceRegistry:
     directory:
         Optional persistence root.  When given, enrollments are written
         there atomically and ``load_directory`` is called on construction.
+    pack:
+        Optional packed fleet: a path or an open
+        :class:`~repro.ppuf.pack.ArtifactPack`.  Devices found in the pack
+        are served as zero-copy mmap slices; ids in the pack count as
+        enrolled for lookup/verification (the public JSON directory can
+        stay empty for a pre-provisioned fleet).
+    compiled_cache_size:
+        Bound on the warm compiled-artifact LRU (see the module docstring
+        for the tiering).  ``None`` disables the bound.
     """
 
-    def __init__(self, directory: Optional[str] = None):
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        pack: Union[ArtifactPack, str, None] = None,
+        *,
+        compiled_cache_size: Optional[int] = DEFAULT_COMPILED_CACHE_SIZE,
+    ):
+        if compiled_cache_size is not None and compiled_cache_size < 1:
+            raise ServiceError(
+                f"compiled_cache_size must be >= 1, got {compiled_cache_size}"
+            )
         self.directory = directory
+        self.pack = ArtifactPack(pack) if isinstance(pack, (str, os.PathLike)) else pack
+        self.compiled_cache_size = compiled_cache_size
         self._public: Dict[str, dict] = {}
         self._devices: Dict[str, Ppuf] = {}
-        self._compiled: Dict[str, CompiledDevice] = {}
+        self._compiled: "OrderedDict[str, CompiledDevice]" = OrderedDict()
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
             self.load_directory()
 
     # ------------------------------------------------------------------
+    def _known_ids(self) -> set:
+        known = set(self._public)
+        if self.pack is not None:
+            known.update(self.pack.ids())
+        return known
+
     def __len__(self) -> int:
-        return len(self._public)
+        return len(self._known_ids())
 
     def __contains__(self, device_id: str) -> bool:
-        return device_id in self._public
+        return device_id in self._public or (
+            self.pack is not None and device_id in self.pack
+        )
 
     def ids(self) -> List[str]:
-        return sorted(self._public)
+        return sorted(self._known_ids())
 
     # ------------------------------------------------------------------
     def enroll(self, public: dict) -> str:
@@ -88,15 +136,20 @@ class DeviceRegistry:
 
         The description is validated by rebuilding the device from it
         (:class:`ReproError` propagates for a malformed dict).  Re-enrolling
-        an already-known device is a no-op returning the same id.
+        an already-known device returns the same id — and restores the
+        on-disk JSON if it went missing (a lost file must not stay lost
+        just because the id is still resident).
         """
         device = ppuf_from_dict(public)
         device_id = device_id_for(public)
-        if device_id not in self._public:
+        known = device_id in self._public
+        if not known:
             self._public[device_id] = public
             self._devices[device_id] = device
-            if self.directory is not None:
-                atomic_write_text(self._path(device_id), canonical_json(public))
+        if self.directory is not None:
+            path = self._path(device_id)
+            if not known or not os.path.exists(path):
+                atomic_write_text(path, canonical_json(public))
         return device_id
 
     def enroll_ppuf(self, ppuf: Ppuf) -> str:
@@ -111,23 +164,37 @@ class DeviceRegistry:
         except KeyError:
             raise ServiceError(f"unknown device id {device_id!r}") from None
 
-    def device(self, device_id: str) -> Ppuf:
-        """The rebuilt (cached) device for a device id."""
-        if device_id not in self._devices:
-            self._devices[device_id] = ppuf_from_dict(self.public(device_id))
+    def device(self, device_id: str):
+        """The rebuilt (cached) device for a device id.
+
+        For an id that lives only in the pack (no public JSON enrolled)
+        this returns the compiled artifact instead — call-compatible with
+        :class:`~repro.ppuf.device.Ppuf` for every evaluation and
+        challenge-issuing consumer.
+        """
+        if device_id in self._devices:
+            return self._devices[device_id]
+        if device_id not in self._public and self.pack is not None:
+            if device_id in self.pack:
+                return self.compiled(device_id)
+        self._devices[device_id] = ppuf_from_dict(self.public(device_id))
         return self._devices[device_id]
 
     def compiled(self, device_id: str) -> CompiledDevice:
         """The compiled (capacity-only) evaluation artifact for a device id.
 
-        Compiled once per registry lifetime; with a ``directory`` the
-        artifact is persisted as ``<device_id>.npz`` and reloaded instead
-        of recompiled on restart.  Verification needs only the capacity
-        tables, so circuit I–V tables are not built here.
+        Warm hits come from a bounded LRU; cold misses fill from the pack
+        (an mmap row slice), then the legacy ``<device_id>.npz``, then
+        compilation (persisted as ``.npz`` when a directory is
+        configured).  Verification needs only the capacity tables, so
+        circuit I–V tables are not built here.
         """
         artifact = self._compiled.get(device_id)
         if artifact is not None:
+            self._compiled.move_to_end(device_id)
             return artifact
+        if self.pack is not None and device_id in self.pack:
+            return self._remember(device_id, self.pack.device(device_id))
         path = self._compiled_path(device_id) if self.directory else None
         if path is not None and os.path.exists(path):
             try:
@@ -142,18 +209,34 @@ class DeviceRegistry:
             )
             if path is not None:
                 save_compiled(artifact, path)
+        return self._remember(device_id, artifact)
+
+    def _remember(self, device_id: str, artifact: CompiledDevice) -> CompiledDevice:
         self._compiled[device_id] = artifact
+        self._compiled.move_to_end(device_id)
+        if self.compiled_cache_size is not None:
+            while len(self._compiled) > self.compiled_cache_size:
+                self._compiled.popitem(last=False)
         return artifact
 
     # ------------------------------------------------------------------
     def load_directory(self) -> int:
         """(Re)load every ``*.json`` under ``directory``; returns the count.
 
-        Files that fail to parse are skipped (a server should come up with
-        the healthy part of its fleet, not crash on one bad entry).
+        This *rebuilds* the resident fleet: devices whose files were
+        deleted drop out, and the compiled-artifact cache is invalidated
+        wholesale so a re-enrolled id can never be served a stale
+        artifact.  Files that fail to parse are skipped (a server should
+        come up with the healthy part of its fleet, not crash on one bad
+        entry), as are files whose name does not match the content-derived
+        digest of what they hold — silently enrolling such a file would
+        register it under a different id than the one on its filename.
         """
         if self.directory is None:
             return 0
+        self._public.clear()
+        self._devices.clear()
+        self._compiled.clear()
         loaded = 0
         for name in sorted(os.listdir(self.directory)):
             if not name.endswith(".json"):
@@ -166,6 +249,12 @@ class DeviceRegistry:
             except (OSError, json.JSONDecodeError, ReproError):
                 continue
             device_id = device_id_for(public)
+            if name != f"{device_id}.json":
+                logger.warning(
+                    "registry reload: skipping %s — filename does not match "
+                    "the content-derived digest %s", path, device_id,
+                )
+                continue
             self._public[device_id] = public
             self._devices[device_id] = device
             loaded += 1

@@ -63,19 +63,42 @@ WORKER_DEVICE_CACHE_SIZE = 32
 # a stale entry is impossible — a changed description is a different id.
 _WORKER_DEVICES: "OrderedDict[str, object]" = OrderedDict()
 
+# Process-local pack mappings, keyed by path.  A pool worker serving a
+# pack-backed fleet maps the file exactly once; every device it verifies
+# afterwards is an index lookup + row slice into that one mapping, and all
+# workers mapping the same pack share pages through the OS page cache —
+# the artifact bytes exist once per machine, not once per worker.
+_WORKER_PACKS: dict = {}
+
+
+def _pack_device(path: str, device_id: str):
+    from repro.ppuf.pack import ArtifactPack
+
+    pack = _WORKER_PACKS.get(path)
+    if pack is None:
+        pack = _WORKER_PACKS[path] = ArtifactPack(path)
+    return pack.device(device_id)
+
 
 def _cached_device(device_id: str, payload):
     """Fetch-or-materialise a device, keeping at most the LRU cache bound.
 
-    ``payload`` is either the enrolled public description (dict — the
+    ``payload`` is one of: the enrolled public description (dict — the
     legacy path, rebuilt via :func:`ppuf_from_dict` with all the lazy
-    re-derivation that implies) or a
-    :class:`~repro.ppuf.compiled.CompiledDevice` (already materialised;
-    cached as-is so later claims skip even the unpickling).
+    re-derivation that implies), a ``("pack", path)`` reference resolved
+    against the worker's own pack mapping (a row slice, nothing pickled
+    but the path), or a :class:`~repro.ppuf.compiled.CompiledDevice`
+    (already materialised; cached as-is so later claims skip even the
+    unpickling).
     """
     device = _WORKER_DEVICES.get(device_id)
     if device is None:
-        device = ppuf_from_dict(payload) if isinstance(payload, dict) else payload
+        if isinstance(payload, dict):
+            device = ppuf_from_dict(payload)
+        elif isinstance(payload, tuple) and payload and payload[0] == "pack":
+            device = _pack_device(payload[1], device_id)
+        else:
+            device = payload
         _WORKER_DEVICES[device_id] = device
         while len(_WORKER_DEVICES) > WORKER_DEVICE_CACHE_SIZE:
             _WORKER_DEVICES.popitem(last=False)
@@ -552,13 +575,20 @@ class PpufAuthServer:
     async def _device_payload(self, device_id: str):
         """The device transport handed to verification workers.
 
-        On the compiled path the first claim per device pays one
-        compilation (offloaded to the default executor so the event loop
-        keeps serving); every later claim reuses the registry's cached
-        artifact.  Legacy path: the enrolled public dict.
+        A device that lives in the registry's artifact pack ships as a
+        ``("pack", path)`` reference — each worker resolves it against its
+        own long-lived mapping of the pack, so the claim's verify is an
+        index lookup + row slice with no artifact bytes on the wire.
+        Otherwise, on the compiled path the first claim per device pays
+        one compilation (offloaded to the default executor so the event
+        loop keeps serving); every later claim reuses the registry's
+        cached artifact.  Legacy path: the enrolled public dict.
         """
         if not self.use_compiled:
             return self.registry.public(device_id)
+        pack = getattr(self.registry, "pack", None)
+        if pack is not None and device_id in pack:
+            return ("pack", pack.path)
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(None, self.registry.compiled, device_id)
 

@@ -10,8 +10,10 @@ from repro.errors import ReproError
 from repro.ppuf import CRP, CRPDataset, Ppuf
 from repro.ppuf.io import (
     atomic_write_text,
+    load_compiled,
     load_crps,
     load_ppuf,
+    save_compiled,
     save_crps,
     save_ppuf,
 )
@@ -78,6 +80,54 @@ class TestAtomicWrites:
         save_crps(dataset, path)
         assert os.listdir(tmp_path) == ["crps.json"]
         assert len(load_crps(path)) == 1
+
+
+class TestSaveCompiledDurability:
+    """The npz writer must honour the module-wide atomic-write contract."""
+
+    def test_crash_between_write_and_replace_keeps_old_artifact(
+        self, tiny_ppuf, tmp_path, monkeypatch, rng
+    ):
+        path = str(tmp_path / "device.npz")
+        original = tiny_ppuf.compile(include_circuit=False)
+        save_compiled(original, path)
+        monkeypatch.setattr(os, "replace", _boom)
+        with pytest.raises(RuntimeError):
+            save_compiled(tiny_ppuf.compile(include_circuit=True), path)
+        monkeypatch.undo()
+        survivor = load_compiled(path)
+        assert not survivor.has_circuit_tables  # the old artifact, intact
+        challenges = tiny_ppuf.challenge_space().random_batch(4, rng)
+        assert np.array_equal(
+            survivor.response_bits(challenges), tiny_ppuf.response_bits(challenges)
+        )
+        assert os.listdir(tmp_path) == ["device.npz"]  # no temp droppings
+
+    def test_temp_file_is_fsynced_before_publish(
+        self, tiny_ppuf, tmp_path, monkeypatch
+    ):
+        synced = []
+        real_fsync = os.fsync
+        monkeypatch.setattr(
+            os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd))
+        )
+        save_compiled(
+            tiny_ppuf.compile(include_circuit=False), str(tmp_path / "d.npz")
+        )
+        assert synced  # durability: content reaches disk before the rename
+
+    def test_published_mode_respects_umask(self, tiny_ppuf, tmp_path):
+        # mkstemp's 0600 must not leak through to the published artifact.
+        previous = os.umask(0o022)
+        try:
+            path = str(tmp_path / "d.npz")
+            save_compiled(tiny_ppuf.compile(include_circuit=False), path)
+            assert os.stat(path).st_mode & 0o777 == 0o644
+            text_path = str(tmp_path / "d.json")
+            atomic_write_text(text_path, "{}")
+            assert os.stat(text_path).st_mode & 0o777 == 0o644
+        finally:
+            os.umask(previous)
 
 
 def _boom(src, dst):

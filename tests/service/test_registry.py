@@ -113,6 +113,150 @@ class TestCompiledArtifacts:
         )
 
 
+class TestReload:
+    """(Re)load must rebuild the fleet, not merge into stale state."""
+
+    def test_reload_drops_deleted_devices(self, tiny_ppuf, tmp_path):
+        registry = DeviceRegistry(str(tmp_path))
+        other = Ppuf.create(6, 2, np.random.default_rng(33))
+        kept = registry.enroll_ppuf(tiny_ppuf)
+        dropped = registry.enroll_ppuf(other)
+        os.unlink(tmp_path / f"{dropped}.json")
+        assert registry.load_directory() == 1
+        assert kept in registry
+        assert dropped not in registry
+        assert len(registry) == 1
+        with pytest.raises(ServiceError):
+            registry.device(dropped)
+
+    def test_reload_invalidates_cached_compiled_artifacts(self, tiny_ppuf, tmp_path):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        registry.compiled(device_id)
+        os.unlink(tmp_path / f"{device_id}.json")
+        os.unlink(tmp_path / f"{device_id}.npz")
+        registry.load_directory()
+        # The warm artifact must not survive the fleet it belonged to: a
+        # deleted-then-unknown id serves nothing, stale or otherwise.
+        with pytest.raises(ServiceError):
+            registry.compiled(device_id)
+
+    def test_reenrolled_id_is_not_served_a_stale_artifact(self, tiny_ppuf, tmp_path, rng):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        registry.compiled(device_id)
+        # Simulate the fleet directory being re-provisioned out from under
+        # a running server: same id re-enrolled after a reload cycle.
+        registry.load_directory()
+        artifact = registry.compiled(device_id)
+        assert artifact.device_id == device_id
+        challenges = tiny_ppuf.challenge_space().random_batch(4, rng)
+        assert np.array_equal(
+            artifact.response_bits(challenges), tiny_ppuf.response_bits(challenges)
+        )
+
+    def test_mismatched_filename_is_skipped_with_warning(
+        self, tiny_ppuf, tmp_path, caplog
+    ):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        # A renamed (or tampered-and-renamed) file must not enroll under an
+        # id other than the digest its name claims.
+        os.rename(tmp_path / f"{device_id}.json", tmp_path / ("ab" * 32 + ".json"))
+        with caplog.at_level("WARNING"):
+            loaded = registry.load_directory()
+        assert loaded == 0
+        assert device_id not in registry
+        assert any("does not match" in record.message for record in caplog.records)
+
+    def test_enroll_restores_missing_file(self, tiny_ppuf, tmp_path):
+        registry = DeviceRegistry(str(tmp_path))
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        os.unlink(tmp_path / f"{device_id}.json")
+        assert registry.enroll_ppuf(tiny_ppuf) == device_id
+        assert os.path.exists(tmp_path / f"{device_id}.json")
+
+
+class TestPackBackedRegistry:
+    @pytest.fixture()
+    def fleet(self):
+        rng = np.random.default_rng(55)
+        return [Ppuf.create(6, 2, rng) for _ in range(3)]
+
+    @pytest.fixture()
+    def pack_path(self, tmp_path, fleet):
+        from repro.ppuf.pack import build_pack
+
+        path = str(tmp_path / "fleet.pack")
+        build_pack(path, (d.compile(include_circuit=False) for d in fleet))
+        return path
+
+    def test_pack_devices_count_as_enrolled(self, pack_path, fleet):
+        registry = DeviceRegistry(pack=pack_path)
+        assert len(registry) == 3
+        for device in fleet:
+            assert device_id_for(ppuf_to_dict(device)) in registry
+
+    def test_compiled_serves_mmap_slices(self, pack_path, fleet, rng):
+        registry = DeviceRegistry(pack=pack_path)
+        for device in fleet:
+            artifact = registry.compiled(device_id_for(ppuf_to_dict(device)))
+            challenges = device.challenge_space().random_batch(4, rng)
+            assert np.array_equal(
+                artifact.response_bits(challenges), device.response_bits(challenges)
+            )
+
+    def test_device_falls_back_to_pack_artifact(self, pack_path, fleet):
+        registry = DeviceRegistry(pack=pack_path)
+        device_id = device_id_for(ppuf_to_dict(fleet[0]))
+        served = registry.device(device_id)
+        assert served.crossbar.n == 6  # challenge-issuing surface works
+        with pytest.raises(ServiceError):
+            registry.public(device_id)  # no public JSON was ever enrolled
+
+    def test_directory_fallback_still_compiles(self, pack_path, tiny_ppuf, tmp_path, rng):
+        # A device enrolled via JSON but absent from the pack takes the
+        # legacy npz/compile path transparently.
+        registry = DeviceRegistry(str(tmp_path / "reg"), pack=pack_path)
+        device_id = registry.enroll_ppuf(tiny_ppuf)
+        artifact = registry.compiled(device_id)
+        challenges = tiny_ppuf.challenge_space().random_batch(4, rng)
+        assert np.array_equal(
+            artifact.response_bits(challenges), tiny_ppuf.response_bits(challenges)
+        )
+
+    def test_warm_lru_is_bounded(self, pack_path, fleet, rng):
+        registry = DeviceRegistry(pack=pack_path, compiled_cache_size=1)
+        ids = [device_id_for(ppuf_to_dict(d)) for d in fleet]
+        first = registry.compiled(ids[0])
+        assert registry.compiled(ids[0]) is first  # warm hit
+        registry.compiled(ids[1])  # evicts ids[0]
+        assert len(registry._compiled) == 1
+        refetched = registry.compiled(ids[0])  # cold again: fresh view
+        assert refetched is not first
+        challenges = fleet[0].challenge_space().random_batch(3, rng)
+        assert np.array_equal(
+            refetched.response_bits(challenges), fleet[0].response_bits(challenges)
+        )
+
+    def test_loopback_auth_verifies_off_pack_slices(self, pack_path, fleet):
+        import asyncio
+
+        from repro.service import PpufAuthServer, ServiceClient
+
+        async def go():
+            registry = DeviceRegistry(pack=pack_path)
+            server = PpufAuthServer(
+                registry, workers=0, rounds=2, seed=5, deadline_seconds=30.0
+            )
+            async with server:
+                async with ServiceClient("127.0.0.1", server.port) as client:
+                    return await client.authenticate(fleet[0])
+
+        outcome = asyncio.run(go())
+        assert outcome.accepted and outcome.reason == "ok"
+
+
 class TestPersistence:
     def test_enrollment_persists_and_reloads(self, tiny_ppuf, tmp_path):
         registry = DeviceRegistry(str(tmp_path))

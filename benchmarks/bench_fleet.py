@@ -1,0 +1,210 @@
+"""Fleet scaling: sessions/sec and verify latency versus shard count.
+
+Standalone publisher (not a pytest benchmark): builds a device pack, then
+for each shard count spawns the real production topology — ``repro fleet
+serve`` (supervisor + N ``repro serve`` shard subprocesses + router front
+door) — drives it with the load-generation harness, and records into
+``benchmarks/BENCH_service.json``
+
+* **sessions/sec** — end-to-end authenticated sessions through the
+  router (each session: fresh connection, HELLO → CHALLENGE → CLAIM →
+  VERDICT per round);
+* **p50/p99 session latency** — wall-clock per session as the prover
+  sees it, solve time included.
+
+Shard counts are 1 and 2, plus 4 where the host has ≥4 CPUs; the report
+records ``cpus`` because parallel verify scaling cannot exceed the cores
+physically present — on a 1-CPU host the shard sweep measures routing
+overhead, not parallelism.  The prover's max-flow solve is the expensive
+side of the paper's asymmetry, so the load generator fans out across
+processes (where cores allow) to keep the fleet verify-bound instead of
+loadgen-bound.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_fleet.py [--smoke]``.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.ppuf import Ppuf, build_pack
+from repro.service.fleet import generate_load
+
+NODES = 8
+GRID = 2
+DEVICES = 16
+SEED = 2026
+
+#: Wall-clock budget [s] for the fleet to report its listening event.
+STARTUP_TIMEOUT = 120.0
+
+
+def _shard_counts(cpus):
+    counts = [1, 2]
+    if cpus >= 4:
+        counts.append(4)
+    return counts
+
+
+def _spawn_fleet(pack_path, shards):
+    """Start ``repro fleet serve`` and return (process, router_port)."""
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet",
+            "serve",
+            "--shards",
+            str(shards),
+            "--pack",
+            pack_path,
+            "--port",
+            "0",
+            "--rounds",
+            "1",
+            "--seed",
+            "5",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    deadline = time.monotonic() + STARTUP_TIMEOUT
+    while True:
+        if time.monotonic() > deadline:
+            process.kill()
+            process.wait()
+            raise RuntimeError(f"fleet ({shards} shards) never reported a port")
+        line = process.stdout.readline()
+        if not line:
+            process.wait()
+            raise RuntimeError(
+                f"fleet ({shards} shards) exited with {process.returncode} "
+                "before listening"
+            )
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(event, dict) and event.get("event") == "listening":
+            return process, int(event["port"])
+
+
+def _stop_fleet(process):
+    process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait()
+
+
+def _drive(port, pack_path, *, clients, duration, processes):
+    report = generate_load(
+        "127.0.0.1",
+        port,
+        pack=pack_path,
+        clients=clients,
+        duration_seconds=duration,
+        rounds=1,
+        processes=processes,
+        timeout=60.0,
+    )
+    assert report.sessions > 0, "load run completed no sessions"
+    assert report.errors == 0, f"{report.errors} session errors under load"
+    return report
+
+
+def main(out_dir=None, *, smoke=False):
+    out_dir = out_dir or os.path.dirname(os.path.abspath(__file__))
+    cpus = os.cpu_count() or 1
+    clients = 8 if smoke else 32
+    duration = 2.0 if smoke else 6.0
+    loadgen_processes = 1 if smoke else max(1, min(2, cpus - 1))
+
+    report = {
+        "nodes": NODES,
+        "grid": GRID,
+        "devices": DEVICES,
+        "clients": clients,
+        "duration_seconds": duration,
+        "loadgen_processes": loadgen_processes,
+        "cpus": cpus,
+        "smoke": smoke,
+        "shards": {},
+    }
+
+    with tempfile.TemporaryDirectory(prefix="bench_fleet_") as work:
+        pack_path = os.path.join(work, "fleet.pack")
+        rng = np.random.default_rng(SEED)
+        print(f"fabricating {DEVICES} devices (n={NODES}, grid={GRID}) ...")
+        build_pack(
+            pack_path,
+            [
+                Ppuf.create(NODES, GRID, rng).compile(include_circuit=False)
+                for _ in range(DEVICES)
+            ],
+        )
+
+        for shards in _shard_counts(cpus):
+            print(f"--- {shards} shard(s): starting fleet ...")
+            process, port = _spawn_fleet(pack_path, shards)
+            try:
+                # One warmup beat so every shard has imported + mapped.
+                _drive(
+                    port,
+                    pack_path,
+                    clients=min(4, clients),
+                    duration=0.5,
+                    processes=1,
+                )
+                load = _drive(
+                    port,
+                    pack_path,
+                    clients=clients,
+                    duration=duration,
+                    processes=loadgen_processes,
+                )
+            finally:
+                _stop_fleet(process)
+            row = load.to_dict()
+            del row["hostile_sessions"], row["hostile_rejected"]
+            report["shards"][str(shards)] = row
+            print(
+                f"    {shards} shard(s): {row['sessions_per_second']:>8} sessions/s"
+                f"  p50 {row['latency_ms']['p50']} ms"
+                f"  p99 {row['latency_ms']['p99']} ms"
+                f"  ({row['sessions']} sessions, {row['errors']} errors)"
+            )
+
+    out_path = os.path.join(out_dir, "BENCH_service.json")
+    with open(out_path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return report
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI run: fewer clients, 2 s per shard count",
+    )
+    arguments = parser.parse_args()
+    main(smoke=arguments.smoke)

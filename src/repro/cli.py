@@ -12,6 +12,10 @@
 * ``protocol``   run a time-bounded authentication session against itself
 * ``serve``      host the networked authentication service (see
   :mod:`repro.service`); ``--pack`` serves a packed fleet
+* ``fleet``      scale it out: ``fleet serve`` runs N supervised shard
+  servers behind one hash-sharding router, ``fleet stats`` merges
+  fleet-wide telemetry, ``fleet load`` drives concurrent honest/hostile
+  traffic (see :mod:`repro.service.fleet`)
 * ``auth``       authenticate a saved PPUF (or ``--compiled`` artifact, or
   a ``--pack`` member) against a running server
 * ``experiments``  regenerate the paper's tables/figures (see
@@ -246,6 +250,34 @@ def _command_protocol(arguments) -> int:
     return 0 if result.accepted else 1
 
 
+def _install_stop_handlers(stop) -> None:
+    """Route SIGTERM/SIGINT into ``stop()`` on the running loop.
+
+    A supervisor drains a shard with SIGTERM; an operator drains a
+    foreground server with Ctrl-C.  Both must end in ``server.stop()`` —
+    which drains in-flight verifications — not in a KeyboardInterrupt
+    traceback that tears the pool down mid-claim.
+    """
+    import asyncio
+    import signal
+
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop)
+        except (NotImplementedError, RuntimeError):  # non-Unix loops
+            pass
+
+
+def _emit_listening(port: int, **extra) -> None:
+    """The machine-readable bind report: one JSON line on *stdout*.
+
+    Harnesses (the fleet supervisor, CI scripts) read this instead of
+    parsing the human banner on stderr.
+    """
+    print(json.dumps({"event": "listening", "port": port, **extra}), flush=True)
+
+
 def _command_serve(arguments) -> int:
     import asyncio
 
@@ -275,19 +307,31 @@ def _command_serve(arguments) -> int:
 
     async def _serve() -> None:
         await server.start()
+        stop_requested = asyncio.Event()
+        _install_stop_handlers(stop_requested.set)
+        _emit_listening(server.port, host=server.host, devices=len(registry))
         print(
             f"serving on {server.host}:{server.port} "
             f"({len(registry)} devices, {arguments.workers} verify workers)",
             file=sys.stderr,
         )
+        serve_task = asyncio.create_task(server.serve_forever())
+        stop_task = asyncio.create_task(stop_requested.wait())
         try:
-            await server.serve_forever()
+            await asyncio.wait(
+                {serve_task, stop_task}, return_when=asyncio.FIRST_COMPLETED
+            )
         finally:
-            await server.stop()
+            serve_task.cancel()
+            stop_task.cancel()
+            await asyncio.gather(serve_task, stop_task, return_exceptions=True)
+            await server.stop()  # drains in-flight verifications
+            print("server stopped", file=sys.stderr)
 
     try:
         asyncio.run(_serve())
     except KeyboardInterrupt:
+        # Signal handlers unavailable (rare loops): the legacy path.
         print("server stopped", file=sys.stderr)
     return 0
 
@@ -363,6 +407,148 @@ def _pack_member(pack_path: str, device_id):
             f"{pack_path!r}; need exactly one"
         )
     return pack.device(matches[0])
+
+
+def _command_fleet(arguments) -> int:
+    handlers = {
+        "serve": _fleet_serve,
+        "stats": _fleet_stats,
+        "load": _fleet_load,
+    }
+    return handlers[arguments.fleet_command](arguments)
+
+
+def _fleet_serve(arguments) -> int:
+    import asyncio
+
+    from repro.service.fleet import (
+        FleetRouter,
+        FleetSupervisor,
+        ShardMap,
+        ShardWorkerSpec,
+    )
+
+    spec = ShardWorkerSpec(
+        pack=arguments.pack,
+        registry=arguments.registry,
+        workers=arguments.workers,
+        rounds=arguments.rounds,
+        deadline_seconds=arguments.deadline,
+        idle_timeout=arguments.idle_timeout,
+        connection_timeout=arguments.timeout,
+        verify_timeout=arguments.verify_timeout,
+        max_connections=arguments.max_connections,
+        allow_enroll=not arguments.no_enroll,
+        seed=arguments.seed,
+        host=arguments.host,
+    )
+
+    async def _run() -> None:
+        shard_map = ShardMap()
+        supervisor = FleetSupervisor(
+            arguments.shards,
+            spec,
+            shard_map=shard_map,
+            probe_interval=arguments.probe_interval,
+        )
+        router = FleetRouter(shard_map, host=arguments.host, port=arguments.port)
+        await supervisor.start()
+        try:
+            await router.start()
+            stop_requested = asyncio.Event()
+            _install_stop_handlers(stop_requested.set)
+            _emit_listening(
+                router.port,
+                host=router.host,
+                role="router",
+                shards=[shard.to_dict() for shard in shard_map.shards()],
+            )
+            print(
+                f"fleet front door on {router.host}:{router.port} "
+                f"({arguments.shards} shards: "
+                + ", ".join(
+                    f"{s.name}@{s.port}" for s in shard_map.shards()
+                )
+                + ")",
+                file=sys.stderr,
+            )
+            await stop_requested.wait()
+        finally:
+            await router.stop()
+            await supervisor.stop()
+            print("fleet stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("fleet stopped", file=sys.stderr)
+    return 0
+
+
+def _fleet_stats(arguments) -> int:
+    import asyncio
+
+    from repro.service import ServiceClient, wire as service_wire
+
+    async def _fetch() -> dict:
+        async with ServiceClient(
+            arguments.host, arguments.port, timeout=arguments.timeout
+        ) as client:
+            return await client.request_ok({"type": service_wire.STATS})
+
+    reply = asyncio.run(_fetch())
+    print(json.dumps({k: v for k, v in reply.items() if k != "type"}, indent=2))
+    fleet = reply.get("fleet")
+    if arguments.require_healthy:
+        if not isinstance(fleet, dict):
+            print("error: endpoint reports no fleet detail", file=sys.stderr)
+            return 1
+        shards = fleet.get("shards", [])
+        unhealthy = [s["name"] for s in shards if not s.get("healthy")]
+        if unhealthy or not shards:
+            print(
+                f"error: unhealthy shards: {', '.join(unhealthy) or '(none up)'}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+def _fleet_load(arguments) -> int:
+    from repro.service.fleet import generate_load
+
+    devices = None
+    if arguments.ppuf:
+        devices = [load_ppuf(path) for path in arguments.ppuf]
+        if arguments.enroll:
+            from repro.service import enroll_device
+
+            for device in devices:
+                enroll_device(arguments.host, arguments.port, device)
+    elif not arguments.pack:
+        raise ReproError("fleet load needs --pack or --ppuf")
+    report = generate_load(
+        arguments.host,
+        arguments.port,
+        devices=devices,
+        pack=arguments.pack if devices is None else None,
+        clients=arguments.clients,
+        duration_seconds=arguments.duration,
+        hostile_fraction=arguments.hostile_fraction,
+        rounds=arguments.rounds,
+        algorithm=arguments.algorithm,
+        timeout=arguments.timeout,
+        processes=arguments.processes,
+    )
+    print(json.dumps(report.to_dict(), indent=2))
+    if report.sessions == 0:
+        print("error: no session completed", file=sys.stderr)
+        return 1
+    if report.hostile_rejected != report.hostile_sessions:
+        forged = report.hostile_sessions - report.hostile_rejected
+        print(f"error: {forged} hostile session(s) were ACCEPTED", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _command_experiments(arguments) -> int:
@@ -620,6 +806,105 @@ def build_parser() -> argparse.ArgumentParser:
         "never retried)",
     )
     auth.set_defaults(handler=_command_auth)
+
+    fleet = commands.add_parser(
+        "fleet", help="run a hash-sharded authentication fleet"
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_serve = fleet_commands.add_parser(
+        "serve",
+        help="spawn N shard servers behind one front-door router",
+    )
+    fleet_serve.add_argument("--host", default="127.0.0.1")
+    fleet_serve.add_argument(
+        "--port", type=int, default=7342, help="router bind port (0 = ephemeral)"
+    )
+    fleet_serve.add_argument(
+        "--shards", type=int, default=2, help="shard worker process count"
+    )
+    fleet_serve.add_argument(
+        "--pack",
+        default=None,
+        metavar="PACK",
+        help="packed artifact fleet every shard maps read-only",
+    )
+    fleet_serve.add_argument(
+        "--registry", default=None, help="device registry directory (shared)"
+    )
+    fleet_serve.add_argument(
+        "--workers", type=int, default=0, help="verification processes per shard"
+    )
+    fleet_serve.add_argument("--rounds", type=int, default=4)
+    fleet_serve.add_argument("--deadline", type=float, default=5.0)
+    fleet_serve.add_argument("--idle-timeout", type=float, default=60.0)
+    fleet_serve.add_argument("--timeout", type=float, default=300.0)
+    fleet_serve.add_argument("--verify-timeout", type=float, default=60.0)
+    fleet_serve.add_argument("--max-connections", type=int, default=256)
+    fleet_serve.add_argument("--seed", type=int, default=None)
+    fleet_serve.add_argument("--no-enroll", action="store_true")
+    fleet_serve.add_argument(
+        "--probe-interval",
+        type=float,
+        default=1.0,
+        help="seconds between shard health probes",
+    )
+    fleet_serve.set_defaults(handler=_command_fleet)
+
+    fleet_stats = fleet_commands.add_parser(
+        "stats", help="merged fleet STATS snapshot from the router"
+    )
+    fleet_stats.add_argument("--host", default="127.0.0.1")
+    fleet_stats.add_argument("--port", type=int, default=7342)
+    fleet_stats.add_argument("--timeout", type=float, default=30.0)
+    fleet_stats.add_argument(
+        "--require-healthy",
+        action="store_true",
+        help="exit non-zero unless every shard answered its STATS probe",
+    )
+    fleet_stats.set_defaults(handler=_command_fleet)
+
+    fleet_load = fleet_commands.add_parser(
+        "load", help="drive concurrent honest/hostile load at an endpoint"
+    )
+    fleet_load.add_argument("--host", default="127.0.0.1")
+    fleet_load.add_argument("--port", type=int, default=7342)
+    fleet_load.add_argument("--clients", type=int, default=16)
+    fleet_load.add_argument("--duration", type=float, default=5.0)
+    fleet_load.add_argument(
+        "--pack",
+        default=None,
+        metavar="PACK",
+        help="drive the devices of a packed fleet (pre-provisioned)",
+    )
+    fleet_load.add_argument(
+        "--ppuf",
+        action="append",
+        default=[],
+        metavar="PPUF_JSON",
+        help="drive saved PPUF devices (repeatable; see --enroll)",
+    )
+    fleet_load.add_argument(
+        "--enroll",
+        action="store_true",
+        help="enroll --ppuf devices through the endpoint first",
+    )
+    fleet_load.add_argument(
+        "--hostile-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of clients that forge claim values (must be rejected)",
+    )
+    fleet_load.add_argument("--rounds", type=int, default=1)
+    fleet_load.add_argument("--algorithm", default=DEFAULT_ALGORITHM)
+    fleet_load.add_argument("--timeout", type=float, default=30.0)
+    fleet_load.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        help="loadgen worker processes (escape the prover's GIL bound)",
+    )
+    fleet_load.set_defaults(handler=_command_fleet)
 
     experiments = commands.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

@@ -1,0 +1,56 @@
+"""Hash-sharded authentication fleet: one front door, N shard servers.
+
+The population-scale tier of :mod:`repro.service`.  A fleet is:
+
+* a :class:`~repro.service.fleet.topology.ShardMap` — rendezvous-hashing
+  of ``device_id``s onto named shards (deterministic, minimal-motion
+  membership changes, drain-then-remove);
+* a :class:`~repro.service.fleet.supervisor.FleetSupervisor` — N
+  ``repro serve`` worker subprocesses over one shared artifact pack,
+  health-checked and restarted with seeded backoff;
+* a :class:`~repro.service.fleet.router.FleetRouter` — the wire-level
+  front door that pins each connection to its device's shard and merges
+  fleet-wide ``STATS``;
+* a load-generation harness
+  (:func:`~repro.service.fleet.loadgen.generate_load`) for honest and
+  hostile traffic at fleet scale.
+
+Entry points: ``python -m repro fleet serve|stats|load``, or
+
+>>> from repro.service.fleet import FleetRouter, FleetSupervisor, ShardMap
+"""
+
+from repro.service.fleet.loadgen import LoadReport, generate_load, run_load
+from repro.service.fleet.router import FleetRouter, RouterStats
+from repro.service.fleet.supervisor import (
+    FleetSupervisor,
+    ShardWorkerSpec,
+    probe_stats,
+)
+from repro.service.fleet.topology import (
+    ACTIVE,
+    DOWN,
+    DRAINING,
+    ShardDescriptor,
+    ShardMap,
+    default_shard_names,
+    shard_score,
+)
+
+__all__ = [
+    "ACTIVE",
+    "DOWN",
+    "DRAINING",
+    "FleetRouter",
+    "FleetSupervisor",
+    "LoadReport",
+    "RouterStats",
+    "ShardDescriptor",
+    "ShardMap",
+    "ShardWorkerSpec",
+    "default_shard_names",
+    "generate_load",
+    "probe_stats",
+    "run_load",
+    "shard_score",
+]

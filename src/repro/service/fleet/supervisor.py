@@ -1,0 +1,432 @@
+"""Shard lifecycle: spawn, health-check, restart.
+
+:class:`FleetSupervisor` turns ``repro serve`` into a horizontally scaled
+fleet: it spawns N shard workers as subprocesses — each one a full
+:class:`~repro.service.server.PpufAuthServer` with its own asyncio loop
+and verification pool, all mapping the *same* artifact pack read-only, so
+the fleet's artifact bytes exist once on disk and once in the page cache
+no matter how many shards serve them.  Workers bind ``port=0`` and report
+the ephemeral port back on stdout as a machine-readable
+``{"event": "listening", "port": …}`` line; the supervisor records it in
+the shared :class:`~repro.service.fleet.topology.ShardMap` that the
+router routes from.
+
+Health: a monitor task polls each worker — process liveness first, then a
+wire ``STATS`` probe (a server that answers STATS has a live event loop,
+registry and stats spine).  A dead or repeatedly unresponsive shard is
+marked ``down`` in the map (the router stops sending it connections),
+killed if needed, and respawned with seeded exponential backoff reusing
+:class:`~repro.service.resilience.RetryPolicy` — the same deterministic
+schedule the client retries with.  The respawned worker keeps its shard
+*name* (so rendezvous routing is undisturbed) but gets a fresh ephemeral
+port, which the map update propagates to the router instantly.
+
+Shutdown is drain-friendly: workers get SIGTERM first — ``repro serve``
+installs handlers that stop the listener and drain in-flight
+verifications — and SIGKILL only after a grace period.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError
+from repro.service import wire
+from repro.service.fleet.topology import (
+    ACTIVE,
+    DOWN,
+    ShardDescriptor,
+    ShardMap,
+    default_shard_names,
+)
+from repro.service.resilience import RetryPolicy
+
+logger = logging.getLogger(__name__)
+
+#: Default wall-clock budget [s] for a worker to report its listening port.
+DEFAULT_STARTUP_TIMEOUT = 60.0
+
+
+@dataclass
+class ShardWorkerSpec:
+    """What every shard worker serves — the ``repro serve`` flag set.
+
+    One spec describes the whole fleet; per-shard variation is limited to
+    the seed (offset by shard index so challenge streams differ) and the
+    ephemeral port.
+    """
+
+    pack: Optional[str] = None
+    registry: Optional[str] = None
+    workers: int = 0
+    rounds: int = 4
+    deadline_seconds: float = 5.0
+    idle_timeout: float = 60.0
+    connection_timeout: float = 300.0
+    verify_timeout: float = 60.0
+    max_connections: int = 256
+    allow_enroll: bool = True
+    use_compiled: bool = True
+    seed: Optional[int] = None
+    host: str = "127.0.0.1"
+
+    def serve_args(self, shard_index: int) -> List[str]:
+        """The ``repro serve`` argv tail for shard ``shard_index``."""
+        args = [
+            "serve",
+            "--host", self.host,
+            "--port", "0",
+            "--workers", str(self.workers),
+            "--rounds", str(self.rounds),
+            "--deadline", str(self.deadline_seconds),
+            "--idle-timeout", str(self.idle_timeout),
+            "--timeout", str(self.connection_timeout),
+            "--verify-timeout", str(self.verify_timeout),
+            "--max-connections", str(self.max_connections),
+        ]
+        if self.pack:
+            args += ["--pack", self.pack]
+        if self.registry:
+            args += ["--registry", self.registry]
+        if self.seed is not None:
+            args += ["--seed", str(self.seed + shard_index)]
+        if not self.allow_enroll:
+            args.append("--no-enroll")
+        if not self.use_compiled:
+            args.append("--no-compiled")
+        return args
+
+
+@dataclass
+class ShardWorker:
+    """One supervised shard: its process handle and restart history."""
+
+    name: str
+    index: int
+    process: Optional[asyncio.subprocess.Process] = None
+    restarts: int = 0
+    probe_failures: int = 0
+    stdout_drain: Optional[asyncio.Task] = field(default=None, repr=False)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.returncode is None
+
+
+def _worker_env() -> dict:
+    """Subprocess env with the live ``repro`` package importable."""
+    import repro
+
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (
+        package_root + os.pathsep + existing if existing else package_root
+    )
+    return env
+
+
+async def probe_stats(host: str, port: int, *, timeout: float = 5.0) -> dict:
+    """One wire ``STATS`` round trip; raises on anything unhealthy."""
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port, limit=wire.MAX_LINE_BYTES),
+        timeout=timeout,
+    )
+    try:
+        await wire.write_message(writer, {"type": wire.STATS})
+        reply = await wire.read_message(reader, timeout=timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+    if reply is None or reply.get("type") != wire.STATS:
+        raise ServiceError(f"unhealthy stats reply: {reply!r}")
+    return reply["stats"]
+
+
+class FleetSupervisor:
+    """Spawn and babysit N shard workers behind one :class:`ShardMap`.
+
+    Parameters
+    ----------
+    shards:
+        Worker count; shard names are ``shard-0 … shard-{N-1}``.
+    spec:
+        The :class:`ShardWorkerSpec` every worker serves.
+    shard_map:
+        Routing table to populate — pass the one the router holds so
+        membership changes propagate by reference.
+    probe_interval, probe_timeout, probe_failures_threshold:
+        Health-check cadence; a worker failing ``threshold`` consecutive
+        STATS probes is killed and restarted.
+    restart_policy:
+        Backoff schedule for respawns (seeded → deterministic in tests).
+    startup_timeout:
+        Budget [s] for a spawned worker to report its listening port.
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        spec: Optional[ShardWorkerSpec] = None,
+        *,
+        shard_map: Optional[ShardMap] = None,
+        probe_interval: float = 1.0,
+        probe_timeout: float = 5.0,
+        probe_failures_threshold: int = 3,
+        restart_policy: Optional[RetryPolicy] = None,
+        startup_timeout: float = DEFAULT_STARTUP_TIMEOUT,
+    ):
+        if shards < 1:
+            raise ServiceError(f"a fleet needs >= 1 shard, got {shards}")
+        self.spec = spec if spec is not None else ShardWorkerSpec()
+        self.shard_map = shard_map if shard_map is not None else ShardMap()
+        self.probe_interval = probe_interval
+        self.probe_timeout = probe_timeout
+        self.probe_failures_threshold = probe_failures_threshold
+        self.restart_policy = (
+            restart_policy
+            if restart_policy is not None
+            else RetryPolicy(base_delay=0.2, max_delay=5.0, seed=0)
+        )
+        self.startup_timeout = startup_timeout
+        self.workers: Dict[str, ShardWorker] = {
+            name: ShardWorker(name=name, index=index)
+            for index, name in enumerate(default_shard_names(shards))
+        }
+        self.events: List[dict] = []
+        self._monitor: Optional[asyncio.Task] = None
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "FleetSupervisor":
+        for worker in self.workers.values():
+            descriptor = await self._spawn(worker)
+            if worker.name in self.shard_map:
+                self.shard_map.update(descriptor)
+            else:
+                self.shard_map.add(descriptor)
+        self._monitor = asyncio.create_task(self._monitor_loop())
+        return self
+
+    async def stop(self, *, grace_seconds: float = 10.0) -> None:
+        self._stopping = True
+        if self._monitor is not None:
+            self._monitor.cancel()
+            try:
+                await self._monitor
+            except asyncio.CancelledError:
+                pass
+            self._monitor = None
+        await asyncio.gather(
+            *(
+                self._stop_worker(worker, grace_seconds=grace_seconds)
+                for worker in self.workers.values()
+            )
+        )
+
+    async def __aenter__(self) -> "FleetSupervisor":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def _record(self, event: str, worker: ShardWorker, **detail) -> None:
+        entry = {"event": event, "shard": worker.name, **detail}
+        self.events.append(entry)
+        logger.info("fleet supervisor: %s", entry)
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    async def _spawn(self, worker: ShardWorker) -> ShardDescriptor:
+        """Launch one worker and wait for its listening event."""
+        argv = [sys.executable, "-m", "repro"] + self.spec.serve_args(worker.index)
+        process = await asyncio.create_subprocess_exec(
+            *argv,
+            stdout=asyncio.subprocess.PIPE,
+            env=_worker_env(),
+        )
+        worker.process = process
+        worker.probe_failures = 0
+        try:
+            port = await asyncio.wait_for(
+                self._await_listening(process), timeout=self.startup_timeout
+            )
+        except asyncio.TimeoutError:
+            process.kill()
+            await process.wait()
+            raise ServiceError(
+                f"shard {worker.name!r} did not report a listening port within "
+                f"{self.startup_timeout:g} s"
+            ) from None
+        worker.stdout_drain = asyncio.create_task(self._drain_stdout(process))
+        self._record("spawned", worker, pid=process.pid, port=port)
+        return ShardDescriptor(
+            name=worker.name, host=self.spec.host, port=port, state=ACTIVE
+        )
+
+    async def _await_listening(self, process: asyncio.subprocess.Process) -> int:
+        """Read worker stdout until the ``listening`` event names a port."""
+        while True:
+            line = await process.stdout.readline()
+            if not line:
+                raise ServiceError(
+                    "shard worker exited before reporting its listening port "
+                    f"(exit code {process.returncode})"
+                )
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # not every stdout line is ours
+            if isinstance(event, dict) and event.get("event") == "listening":
+                return int(event["port"])
+
+    @staticmethod
+    async def _drain_stdout(process: asyncio.subprocess.Process) -> None:
+        """Keep the worker's stdout pipe from filling after startup."""
+        try:
+            while await process.stdout.readline():
+                pass
+        except (asyncio.CancelledError, ValueError):
+            pass
+
+    async def _stop_worker(
+        self, worker: ShardWorker, *, grace_seconds: float
+    ) -> None:
+        process = worker.process
+        if process is None:
+            return
+        if process.returncode is None:
+            process.terminate()  # SIGTERM → the server drains and exits 0
+            try:
+                await asyncio.wait_for(process.wait(), timeout=grace_seconds)
+            except asyncio.TimeoutError:
+                logger.warning(
+                    "shard %s ignored SIGTERM for %g s; killing",
+                    worker.name,
+                    grace_seconds,
+                )
+                process.kill()
+                await process.wait()
+        if worker.stdout_drain is not None:
+            worker.stdout_drain.cancel()
+            try:
+                await worker.stdout_drain
+            except asyncio.CancelledError:
+                pass
+            worker.stdout_drain = None
+        self._record("stopped", worker, exit_code=process.returncode)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    async def add_shard(self) -> ShardDescriptor:
+        """Grow the fleet by one worker (rendezvous steals only its share)."""
+        name = f"shard-{len(self.workers)}"
+        while name in self.workers:  # names must stay unique across history
+            name = f"shard-{int(name.rsplit('-', 1)[1]) + 1}"
+        worker = ShardWorker(name=name, index=len(self.workers))
+        self.workers[name] = worker
+        descriptor = await self._spawn(worker)
+        self.shard_map.add(descriptor)
+        return descriptor
+
+    async def remove_shard(
+        self, name: str, *, grace_seconds: float = 10.0
+    ) -> None:
+        """Drain, stop and drop one shard (its devices remap by rendezvous)."""
+        worker = self.workers.get(name)
+        if worker is None:
+            raise ServiceError(f"unknown shard {name!r}")
+        if name in self.shard_map:
+            self.shard_map.drain(name)
+        await self._stop_worker(worker, grace_seconds=grace_seconds)
+        if name in self.shard_map:
+            self.shard_map.remove(name)
+        del self.workers[name]
+
+    # ------------------------------------------------------------------
+    # health monitoring
+    # ------------------------------------------------------------------
+    async def _monitor_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.probe_interval)
+            for worker in list(self.workers.values()):
+                try:
+                    await self._check_worker(worker)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:  # noqa: BLE001 — the monitor must keep monitoring
+                    logger.exception(
+                        "health check of shard %s failed; continuing", worker.name
+                    )
+
+    async def _check_worker(self, worker: ShardWorker) -> None:
+        if not worker.alive:
+            self._record(
+                "died",
+                worker,
+                exit_code=worker.process.returncode if worker.process else None,
+            )
+            await self._restart(worker)
+            return
+        descriptor = self.shard_map.get(worker.name)
+        if not descriptor.routable:
+            return
+        try:
+            await probe_stats(
+                descriptor.host, descriptor.port, timeout=self.probe_timeout
+            )
+        except (ServiceError, OSError, asyncio.TimeoutError) as error:
+            worker.probe_failures += 1
+            self._record(
+                "probe_failed",
+                worker,
+                failures=worker.probe_failures,
+                error=str(error),
+            )
+            if worker.probe_failures >= self.probe_failures_threshold:
+                if worker.process is not None and worker.process.returncode is None:
+                    worker.process.kill()
+                    await worker.process.wait()
+                await self._restart(worker)
+        else:
+            worker.probe_failures = 0
+
+    async def _restart(self, worker: ShardWorker) -> None:
+        """Respawn a dead shard: mark down, back off, spawn, re-activate."""
+        if self._stopping:
+            return
+        if worker.name in self.shard_map:
+            self.shard_map.set_state(worker.name, DOWN)
+        if worker.stdout_drain is not None:
+            worker.stdout_drain.cancel()
+            worker.stdout_drain = None
+        worker.restarts += 1
+        delay = self.restart_policy.delay(min(worker.restarts, 16))
+        self._record("restarting", worker, attempt=worker.restarts, backoff=delay)
+        await asyncio.sleep(delay)
+        try:
+            descriptor = await self._spawn(worker)
+        except ServiceError as error:
+            self._record("respawn_failed", worker, error=str(error))
+            return  # the next monitor tick sees the dead worker and retries
+        if worker.name in self.shard_map:
+            self.shard_map.update(descriptor)
+        else:
+            self.shard_map.add(descriptor)
+
+    # ------------------------------------------------------------------
+    def restarts(self) -> Dict[str, int]:
+        return {name: worker.restarts for name, worker in self.workers.items()}

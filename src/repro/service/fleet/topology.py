@@ -1,0 +1,215 @@
+"""Fleet topology: rendezvous-hashing device ids onto shards.
+
+A fleet is N independent :class:`~repro.service.server.PpufAuthServer`
+processes; the :class:`ShardMap` decides, for every ``device_id``, which
+shard owns it.  Ownership uses *rendezvous (highest-random-weight)
+hashing*: each shard's score for a device is
+``SHA-256(shard_name | device_id)`` and the highest score wins.  The
+properties that matter at fleet scale:
+
+* **deterministic** — routing is a pure function of the shard names and
+  the device id, so every router instance (and a restarted one) agrees
+  without coordination, and a device's session state always lives on one
+  shard;
+* **stable under membership change** — removing a shard remaps *only*
+  the devices that shard owned (they fall to their second-highest
+  scorer); adding one steals only the devices it now wins.  No global
+  reshuffle, unlike modulo hashing;
+* **restart-proof** — identity is the shard *name*, not its address: a
+  shard respawned by the supervisor on a fresh ephemeral port keeps its
+  name and therefore its device population.
+
+Membership changes are two-phase (*drain, then remove*): ``drain`` makes
+a shard ineligible for new sessions while existing connections finish;
+``remove`` drops it.  Descriptors serialise to plain dicts so a topology
+can cross process boundaries or be published for external routers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ServiceError
+
+#: Shard lifecycle states.  Only ``active`` shards receive new sessions;
+#: ``draining`` shards finish what they have; ``down`` shards are being
+#: restarted by the supervisor and are skipped by the router.
+ACTIVE = "active"
+DRAINING = "draining"
+DOWN = "down"
+
+SHARD_STATES = (ACTIVE, DRAINING, DOWN)
+
+
+@dataclass
+class ShardDescriptor:
+    """One shard's identity and address.
+
+    ``name`` is the stable routing identity (rendezvous scores hash it);
+    ``host``/``port`` are where the shard currently listens and may change
+    across restarts without moving any devices.
+    """
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    state: str = ACTIVE
+
+    def __post_init__(self):
+        if not self.name:
+            raise ServiceError("shard name must be non-empty")
+        if self.state not in SHARD_STATES:
+            raise ServiceError(
+                f"shard state must be one of {SHARD_STATES}, got {self.state!r}"
+            )
+
+    @property
+    def routable(self) -> bool:
+        return self.state == ACTIVE
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "host": self.host,
+            "port": self.port,
+            "state": self.state,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardDescriptor":
+        try:
+            return cls(
+                name=str(payload["name"]),
+                host=str(payload.get("host", "127.0.0.1")),
+                port=int(payload.get("port", 0)),
+                state=str(payload.get("state", ACTIVE)),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ServiceError(f"malformed shard descriptor: {error}") from error
+
+
+def shard_score(shard_name: str, device_id: str) -> int:
+    """The rendezvous weight of ``shard_name`` for ``device_id``.
+
+    SHA-256 over ``name|device_id`` read as a big-endian integer — the
+    same digest family the registry derives device ids with, so scores
+    are uniform over the id space and identical in every process.
+    """
+    digest = hashlib.sha256(f"{shard_name}|{device_id}".encode("utf-8")).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardMap:
+    """The routing table: shard descriptors plus rendezvous ownership."""
+
+    def __init__(self, shards: Iterable[ShardDescriptor] = ()):
+        self._shards: Dict[str, ShardDescriptor] = {}
+        for descriptor in shards:
+            self.add(descriptor)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add(self, descriptor: ShardDescriptor) -> ShardDescriptor:
+        """Add a shard; its name must be new (use :meth:`update` to move)."""
+        if descriptor.name in self._shards:
+            raise ServiceError(f"shard {descriptor.name!r} already in the map")
+        self._shards[descriptor.name] = descriptor
+        return descriptor
+
+    def update(self, descriptor: ShardDescriptor) -> ShardDescriptor:
+        """Replace a known shard's descriptor (restart → new port/state)."""
+        if descriptor.name not in self._shards:
+            raise ServiceError(f"unknown shard {descriptor.name!r}")
+        self._shards[descriptor.name] = descriptor
+        return descriptor
+
+    def drain(self, name: str) -> ShardDescriptor:
+        """Phase one of removal: stop routing new sessions to ``name``."""
+        descriptor = self.get(name)
+        descriptor.state = DRAINING
+        return descriptor
+
+    def set_state(self, name: str, state: str) -> ShardDescriptor:
+        if state not in SHARD_STATES:
+            raise ServiceError(
+                f"shard state must be one of {SHARD_STATES}, got {state!r}"
+            )
+        descriptor = self.get(name)
+        descriptor.state = state
+        return descriptor
+
+    def remove(self, name: str) -> ShardDescriptor:
+        """Phase two: drop the shard from the map entirely."""
+        try:
+            return self._shards.pop(name)
+        except KeyError:
+            raise ServiceError(f"unknown shard {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> ShardDescriptor:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise ServiceError(f"unknown shard {name!r}") from None
+
+    def shards(self) -> List[ShardDescriptor]:
+        """All shards, sorted by name (deterministic iteration order)."""
+        return [self._shards[name] for name in sorted(self._shards)]
+
+    def routable_shards(self) -> List[ShardDescriptor]:
+        return [shard for shard in self.shards() if shard.routable]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._shards
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def shard_for(self, device_id: str) -> ShardDescriptor:
+        """The active shard that owns ``device_id`` (highest rendezvous score)."""
+        best: Optional[ShardDescriptor] = None
+        best_score = -1
+        for shard in self._shards.values():
+            if not shard.routable:
+                continue
+            score = shard_score(shard.name, device_id)
+            if score > best_score:
+                best, best_score = shard, score
+        if best is None:
+            raise ServiceError("no active shard available for routing")
+        return best
+
+    def assignments(self, device_ids: Iterable[str]) -> Dict[str, List[str]]:
+        """Owner name → owned device ids, for capacity planning and tests."""
+        owned: Dict[str, List[str]] = {name: [] for name in self._shards}
+        for device_id in device_ids:
+            owned[self.shard_for(device_id).name].append(device_id)
+        return owned
+
+    # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"shards": [shard.to_dict() for shard in self.shards()]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ShardMap":
+        shards = payload.get("shards")
+        if not isinstance(shards, list):
+            raise ServiceError("shard map payload must carry a 'shards' list")
+        return cls(ShardDescriptor.from_dict(entry) for entry in shards)
+
+
+# Re-exported convenience: default shard names for an N-shard fleet.
+def default_shard_names(count: int) -> List[str]:
+    if count < 1:
+        raise ServiceError(f"a fleet needs >= 1 shard, got {count}")
+    return [f"shard-{index}" for index in range(count)]

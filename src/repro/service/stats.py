@@ -8,13 +8,21 @@ Verify latency is recorded twice: once in the overall histogram and once
 per solver algorithm (claims carry the registered solver name on the wire,
 validated against :mod:`repro.flow.registry`), so a fleet operator can see
 live which algorithms provers use and what each one costs to verify.
+
+Stats are *mergeable*: every counter sums and every histogram adds
+bucket-wise (:meth:`LatencyHistogram.merge`), so a fleet router can fan a
+``STATS`` request out to N shards and fold the snapshots into one exact
+fleet snapshot (:meth:`ServerStats.merge_snapshot`) — the merged counters
+equal what a single server observing the union of the traffic would have
+counted.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List
 
+from repro.errors import ServiceError
 from repro.flow.registry import is_registered
 
 
@@ -55,6 +63,25 @@ class LatencyHistogram:
     def mean_seconds(self) -> float:
         return self.total_seconds / self.observations if self.observations else 0.0
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram bucket-wise (returns ``self``).
+
+        Merging is exact — the result is indistinguishable from one
+        histogram having observed both streams — but only defined for
+        identical bucket edges (shards share :data:`DEFAULT_BUCKET_EDGES`).
+        """
+        if tuple(other.edges) != tuple(self.edges):
+            raise ServiceError(
+                "cannot merge latency histograms with different bucket edges: "
+                f"{self.edges!r} vs {other.edges!r}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.observations += other.observations
+        self.total_seconds += other.total_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+        return self
+
     def snapshot(self) -> dict:
         buckets = {}
         for edge, count in zip(self.edges, self.counts):
@@ -70,6 +97,35 @@ class LatencyHistogram:
 
 #: Telemetry key for claims naming no (or an unregistered) solver.
 UNKNOWN_ALGORITHM = "unknown"
+
+
+def merge_histogram_snapshots(base: dict, other: dict) -> dict:
+    """Merge two :meth:`LatencyHistogram.snapshot` dicts bucket-wise.
+
+    Works on the wire form (what a ``STATS`` reply carries), so a router
+    can merge shard snapshots without reconstructing histogram objects.
+    ``total_seconds`` is recovered from ``mean_seconds * observations``,
+    which JSON round-trips exactly for the sums involved.
+    """
+    if set(base["buckets"]) != set(other["buckets"]):
+        raise ServiceError(
+            "cannot merge histogram snapshots with different buckets: "
+            f"{sorted(base['buckets'])!r} vs {sorted(other['buckets'])!r}"
+        )
+    observations = base["observations"] + other["observations"]
+    total = (
+        base["mean_seconds"] * base["observations"]
+        + other["mean_seconds"] * other["observations"]
+    )
+    return {
+        "observations": observations,
+        "mean_seconds": total / observations if observations else 0.0,
+        "max_seconds": max(base["max_seconds"], other["max_seconds"]),
+        "buckets": {
+            key: base["buckets"][key] + other["buckets"][key]
+            for key in base["buckets"]
+        },
+    }
 
 
 @dataclass
@@ -122,6 +178,37 @@ class ServerStats:
         if histogram is None:
             histogram = self.solver_latency[name] = LatencyHistogram()
         histogram.observe(seconds)
+
+    @classmethod
+    def merge_snapshot(cls, snapshots: Iterable[dict]) -> dict:
+        """Fold per-shard ``snapshot()`` dicts into one fleet snapshot.
+
+        Counters (any top-level numeric key, including gauges a server
+        appends to the wire snapshot such as ``active_sessions``) sum;
+        ``verify_latency`` and the per-algorithm ``solver_latency``
+        histograms add bucket-wise — the merge is exact, so fleet counters
+        equal the sum of what each shard observed.  An empty iterable
+        yields a fresh server's snapshot.
+        """
+        merged = cls().snapshot()
+        for snapshot in snapshots:
+            for key, value in snapshot.items():
+                if key == "verify_latency":
+                    merged[key] = merge_histogram_snapshots(merged[key], value)
+                elif key == "solver_latency":
+                    for name, histogram in value.items():
+                        if name in merged[key]:
+                            merged[key][name] = merge_histogram_snapshots(
+                                merged[key][name], histogram
+                            )
+                        else:
+                            merged[key][name] = dict(histogram)
+                elif isinstance(value, bool) or not isinstance(value, (int, float)):
+                    merged.setdefault(key, value)
+                else:
+                    merged[key] = merged.get(key, 0) + value
+        merged["solver_latency"] = dict(sorted(merged["solver_latency"].items()))
+        return merged
 
     def snapshot(self) -> dict:
         return {

@@ -1,5 +1,6 @@
 """The ``serve`` / ``auth`` CLI round trip against a real subprocess server."""
 
+import json
 import os
 import re
 import signal
@@ -9,6 +10,13 @@ import sys
 import pytest
 
 from repro.cli import main
+
+
+def _serve_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return env
 
 
 @pytest.fixture
@@ -21,9 +29,7 @@ def device_path(tmp_path, capsys):
 
 @pytest.fixture
 def server_port(tmp_path):
-    env = dict(os.environ)
-    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
-    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env = _serve_env()
     process = subprocess.Popen(
         [
             sys.executable,
@@ -93,3 +99,61 @@ class TestServeAuthRoundtrip:
         )
         assert code == 2  # ServiceError surfaced through the CLI error path
         assert "unknown device" in capsys.readouterr().err
+
+
+class TestServeLifecycle:
+    """Machine-readable port discovery + graceful SIGTERM shutdown."""
+
+    def _spawn(self, tmp_path):
+        return subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "0",
+                "--rounds",
+                "2",
+                "--registry",
+                str(tmp_path / "registry"),
+            ],
+            env=_serve_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_listening_event_on_stdout_and_sigterm_exits_zero(self, tmp_path):
+        process = self._spawn(tmp_path)
+        try:
+            line = process.stdout.readline()
+            event = json.loads(line)  # first stdout line is the event, alone
+            assert event["event"] == "listening"
+            assert isinstance(event["port"], int) and event["port"] > 0
+            assert event["host"] == "127.0.0.1"
+
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            assert code == 0  # graceful stop, not a KeyboardInterrupt trace
+            stderr = process.stderr.read()
+            assert "server stopped" in stderr
+            assert "Traceback" not in stderr
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+    def test_sigint_also_exits_zero(self, tmp_path):
+        process = self._spawn(tmp_path)
+        try:
+            event = json.loads(process.stdout.readline())
+            assert event["event"] == "listening"
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()

@@ -10,13 +10,16 @@ simulator stalls (pays the ESG, misses deadlines), a cheater tampers
 
 import asyncio
 import itertools
+import time
 
 import numpy as np
 import pytest
 
-from repro.errors import ServiceError
+from repro.errors import ConnectionLost, ServiceError
 from repro.ppuf import Ppuf
-from repro.service import PpufAuthServer, RetryPolicy, ServiceClient
+from repro.ppuf.io import ppuf_to_dict
+from repro.service import PpufAuthServer, RetryPolicy, ServiceClient, wire
+from repro.service.registry import device_id_for
 from repro.service.faults import (
     C2S,
     DISCONNECT,
@@ -245,6 +248,87 @@ class TestMalformedTrafficHammer:
             "internal_errors",
         ):
             assert key in stats, f"STATS snapshot missing {key}"
+
+
+class TestBackendDeathMidSession:
+    """A backend dying between CHALLENGE and CLAIM is a clean, fast error.
+
+    The death is injected with a :data:`DISCONNECT` fault on the claim
+    frame — from the client's seat, indistinguishable from the backend
+    process crashing after it issued the challenge.
+    """
+
+    CLAIM_TIMEOUT = 5.0
+
+    async def _hello_then_claim(self, device, port):
+        """Open a session, then send a claim; returns (exception, elapsed)."""
+        device_id = device_id_for(ppuf_to_dict(device))
+        client = ServiceClient(
+            "127.0.0.1",
+            port,
+            timeout=self.CLAIM_TIMEOUT,
+            retry=RetryPolicy.no_retry(),
+        )
+        async with client:
+            challenge = await client.request_ok(
+                {"type": wire.HELLO, "device_id": device_id, "network": "a"}
+            )
+            assert challenge["type"] == wire.CHALLENGE
+            started = time.monotonic()
+            with pytest.raises(ConnectionLost):
+                await client.request(
+                    {
+                        "type": wire.CLAIM,
+                        "session": challenge["session"],
+                        "nonce": challenge["nonce"],
+                        "claim": {"challenge": {}, "paths": [], "value": 0.0},
+                    }
+                )
+            return time.monotonic() - started
+
+    def test_direct_death_surfaces_connection_lost(self, device):
+        async def go():
+            async with PpufAuthServer(workers=0, rounds=2, seed=5) as server:
+                async with ServiceClient("127.0.0.1", server.port) as direct:
+                    await direct.enroll(device)
+                plan = FaultPlan().inject(
+                    DISCONNECT, direction=C2S, message_type="claim"
+                )
+                async with FaultyTransport(server.port, plan) as proxy:
+                    return await self._hello_then_claim(device, proxy.port)
+
+        elapsed = run(go())
+        assert elapsed < self.CLAIM_TIMEOUT  # an error, not a hang
+
+    def test_shard_death_behind_router_surfaces_connection_lost(self, device):
+        """A shard dying mid-splice closes the routed connection cleanly.
+
+        The faulty transport sits *between router and shard*, so what is
+        pinned here is the router's half-close propagation: upstream EOF
+        must reach the client as :class:`ConnectionLost` within its
+        timeout, never as a hang.
+        """
+        from repro.service.fleet import FleetRouter, ShardDescriptor, ShardMap
+
+        async def go():
+            async with PpufAuthServer(workers=0, rounds=2, seed=5) as server:
+                plan = FaultPlan().inject(
+                    DISCONNECT, direction=C2S, message_type="claim"
+                )
+                async with FaultyTransport(server.port, plan) as proxy:
+                    shard_map = ShardMap()
+                    shard_map.add(
+                        ShardDescriptor(name="shard-0", port=proxy.port)
+                    )
+                    async with FleetRouter(shard_map) as router:
+                        async with ServiceClient(
+                            "127.0.0.1", router.port
+                        ) as direct:
+                            await direct.enroll(device)
+                        return await self._hello_then_claim(device, router.port)
+
+        elapsed = run(go())
+        assert elapsed < self.CLAIM_TIMEOUT
 
 
 class TestFaultPlanValidation:

@@ -1,0 +1,139 @@
+"""ShardMap: rendezvous hashing, membership motion, drain lifecycle."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.fleet import (
+    ACTIVE,
+    DOWN,
+    DRAINING,
+    ShardDescriptor,
+    ShardMap,
+    default_shard_names,
+    shard_score,
+)
+
+DEVICE_IDS = [f"{index:064x}" for index in range(1000)]
+
+
+def two_shard_map():
+    shard_map = ShardMap()
+    shard_map.add(ShardDescriptor(name="shard-0", port=9001))
+    shard_map.add(ShardDescriptor(name="shard-1", port=9002))
+    return shard_map
+
+
+class TestShardDescriptor:
+    def test_roundtrips_through_dict(self):
+        shard = ShardDescriptor(name="shard-3", host="10.0.0.7", port=4242)
+        assert ShardDescriptor.from_dict(shard.to_dict()) == shard
+
+    def test_rejects_bad_state(self):
+        with pytest.raises(ServiceError):
+            ShardDescriptor(name="s", state="zombie")
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ServiceError):
+            ShardDescriptor(name="")
+
+    def test_only_active_is_routable(self):
+        assert ShardDescriptor(name="s", state=ACTIVE).routable
+        assert not ShardDescriptor(name="s", state=DRAINING).routable
+        assert not ShardDescriptor(name="s", state=DOWN).routable
+
+
+class TestRendezvousHashing:
+    def test_deterministic(self):
+        shard_map = two_shard_map()
+        first = {d: shard_map.shard_for(d).name for d in DEVICE_IDS[:100]}
+        second = {d: shard_map.shard_for(d).name for d in DEVICE_IDS[:100]}
+        assert first == second
+
+    def test_score_depends_on_both_inputs(self):
+        assert shard_score("a", "device") != shard_score("b", "device")
+        assert shard_score("a", "device") != shard_score("a", "other")
+
+    def test_placement_is_by_highest_score(self):
+        shard_map = two_shard_map()
+        for device_id in DEVICE_IDS[:50]:
+            want = max(
+                ("shard-0", "shard-1"),
+                key=lambda name: shard_score(name, device_id),
+            )
+            assert shard_map.shard_for(device_id).name == want
+
+    def test_roughly_balanced(self):
+        shard_map = two_shard_map()
+        assignments = shard_map.assignments(DEVICE_IDS)
+        sizes = sorted(len(ids) for ids in assignments.values())
+        # 1000 ids over 2 shards: binomial(1000, 1/2) stays within ±10%.
+        assert sizes[0] > 400 and sizes[1] < 600
+
+    def test_adding_a_shard_moves_only_a_fraction(self):
+        """The rendezvous property: growth moves ~1/(n+1) of the keys."""
+        shard_map = two_shard_map()
+        before = {d: shard_map.shard_for(d).name for d in DEVICE_IDS}
+        shard_map.add(ShardDescriptor(name="shard-2", port=9003))
+        moved = sum(
+            1 for d in DEVICE_IDS if shard_map.shard_for(d).name != before[d]
+        )
+        # Exactly the keys now owned by shard-2 moved; nothing reshuffled
+        # between the survivors.
+        for device_id in DEVICE_IDS:
+            owner = shard_map.shard_for(device_id).name
+            if owner != "shard-2":
+                assert owner == before[device_id]
+        assert 200 < moved < 470  # ~1/3 expected
+
+    def test_restart_on_new_port_moves_nothing(self):
+        """Identity is the *name*: a new ephemeral port must not reshard."""
+        shard_map = two_shard_map()
+        before = {d: shard_map.shard_for(d).name for d in DEVICE_IDS[:200]}
+        shard_map.update(ShardDescriptor(name="shard-0", port=59999))
+        after = {d: shard_map.shard_for(d).name for d in DEVICE_IDS[:200]}
+        assert before == after
+        assert shard_map.get("shard-0").port == 59999
+
+
+class TestMembership:
+    def test_add_duplicate_rejected(self):
+        shard_map = two_shard_map()
+        with pytest.raises(ServiceError):
+            shard_map.add(ShardDescriptor(name="shard-0", port=1))
+
+    def test_update_unknown_rejected(self):
+        with pytest.raises(ServiceError):
+            two_shard_map().update(ShardDescriptor(name="nope", port=1))
+
+    def test_drain_diverts_new_placements(self):
+        shard_map = two_shard_map()
+        shard_map.drain("shard-0")
+        assert shard_map.get("shard-0").state == DRAINING
+        for device_id in DEVICE_IDS[:50]:
+            assert shard_map.shard_for(device_id).name == "shard-1"
+
+    def test_remove_then_no_routable_shard(self):
+        shard_map = two_shard_map()
+        shard_map.remove("shard-0")
+        shard_map.set_state("shard-1", DOWN)
+        with pytest.raises(ServiceError):
+            shard_map.shard_for(DEVICE_IDS[0])
+
+    def test_len_and_contains(self):
+        shard_map = two_shard_map()
+        assert len(shard_map) == 2
+        assert "shard-1" in shard_map
+        assert "shard-9" not in shard_map
+
+    def test_roundtrips_through_dict(self):
+        shard_map = two_shard_map()
+        shard_map.drain("shard-1")
+        restored = ShardMap.from_dict(shard_map.to_dict())
+        assert [s.to_dict() for s in restored.shards()] == [
+            s.to_dict() for s in shard_map.shards()
+        ]
+
+    def test_default_shard_names(self):
+        assert default_shard_names(3) == ["shard-0", "shard-1", "shard-2"]
+        with pytest.raises(ServiceError):
+            default_shard_names(0)

@@ -1,0 +1,187 @@
+"""Load-generation harness: honest/hostile mixes, merging, validation."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.ppuf import Ppuf
+from repro.service import PpufAuthServer, ServiceClient
+from repro.service.faults import DROP, S2C, FaultPlan
+from repro.service.fleet import LoadReport, run_load
+
+
+@pytest.fixture(scope="module")
+def device():
+    return Ppuf.create(8, 2, np.random.default_rng(21))
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def _serve_enrolled(device):
+    server = PpufAuthServer(workers=0, rounds=1, seed=5)
+    await server.start()
+    async with ServiceClient("127.0.0.1", server.port) as client:
+        await client.enroll(device)
+    return server
+
+
+class TestRunLoad:
+    def test_honest_load_all_accepted(self, device):
+        async def go():
+            server = await _serve_enrolled(device)
+            try:
+                report = await run_load(
+                    "127.0.0.1",
+                    server.port,
+                    [device],
+                    clients=4,
+                    duration_seconds=1.0,
+                )
+                stats = server.stats.snapshot()
+            finally:
+                await server.stop()
+            return report, stats
+
+        report, stats = run(go())
+        assert report.sessions > 0
+        assert report.accepted == report.sessions
+        assert report.rejected == report.errors == 0
+        assert report.hostile_sessions == 0
+        assert len(report.latencies_ms) == report.sessions
+        assert report.sessions_per_second > 0
+        assert stats["sessions_accepted"] == report.sessions
+
+    def test_hostile_fraction_all_rejected(self, device):
+        """Every tampered session must come back rejected — none accepted."""
+
+        async def go():
+            server = await _serve_enrolled(device)
+            try:
+                return await run_load(
+                    "127.0.0.1",
+                    server.port,
+                    [device],
+                    clients=4,
+                    duration_seconds=1.0,
+                    hostile_fraction=0.5,
+                )
+            finally:
+                await server.stop()
+
+        report = run(go())
+        assert report.hostile_sessions > 0
+        assert report.hostile_rejected == report.hostile_sessions
+        assert report.rejected == report.hostile_sessions
+        assert report.accepted == report.sessions - report.hostile_sessions
+
+    def test_chaos_plan_counts_errors_not_hangs(self, device):
+        async def go():
+            server = await _serve_enrolled(device)
+            try:
+                plan = FaultPlan()
+                for _ in range(3):
+                    plan.inject(DROP, direction=S2C, message_type="challenge")
+                return await run_load(
+                    "127.0.0.1",
+                    server.port,
+                    [device],
+                    clients=2,
+                    duration_seconds=1.0,
+                    timeout=0.3,
+                    fault_plan=plan,
+                )
+            finally:
+                await server.stop()
+
+        report = run(go())
+        assert report.errors >= 1  # dropped challenges surfaced as errors
+        assert report.sessions > 0  # and the run still made progress
+
+    def test_validation(self, device):
+        async def empty():
+            await run_load("127.0.0.1", 1, [])
+
+        async def bad_clients():
+            await run_load("127.0.0.1", 1, [device], clients=0)
+
+        async def bad_fraction():
+            await run_load("127.0.0.1", 1, [device], hostile_fraction=1.5)
+
+        for bad in (empty, bad_clients, bad_fraction):
+            with pytest.raises(ServiceError):
+                run(bad())
+
+
+class TestLoadReport:
+    def test_merge_sums_counts_and_extends_latencies(self):
+        a = LoadReport(
+            clients=2,
+            duration_seconds=1.0,
+            sessions=10,
+            accepted=8,
+            rejected=2,
+            hostile_sessions=2,
+            hostile_rejected=2,
+            latencies_ms=[1.0, 2.0],
+        )
+        b = LoadReport(
+            clients=3,
+            duration_seconds=2.0,
+            sessions=5,
+            accepted=5,
+            errors=1,
+            latencies_ms=[3.0],
+        )
+        a.merge(b)
+        assert a.clients == 5
+        assert a.duration_seconds == 2.0  # max, not sum: workers overlap
+        assert a.sessions == 15
+        assert a.accepted == 13
+        assert a.errors == 1
+        assert a.latencies_ms == [1.0, 2.0, 3.0]
+        assert a.sessions_per_second == pytest.approx(7.5)
+
+    def test_to_dict_reports_percentiles(self):
+        report = LoadReport(
+            clients=1,
+            duration_seconds=1.0,
+            sessions=100,
+            accepted=100,
+            latencies_ms=[float(v) for v in range(1, 101)],
+        )
+        payload = report.to_dict()
+        assert payload["latency_ms"]["p50"] == pytest.approx(50.5)
+        assert payload["latency_ms"]["p99"] == pytest.approx(99.01)
+        assert payload["latency_ms"]["max"] == 100.0
+        assert payload["sessions_per_second"] == 100.0
+
+    def test_empty_report_is_all_zero(self):
+        payload = LoadReport(clients=0, duration_seconds=0.0).to_dict()
+        assert payload["sessions_per_second"] == 0.0
+        assert payload["latency_ms"] == {"p50": 0.0, "p99": 0.0, "max": 0.0}
+
+
+class TestGenerateLoadValidation:
+    def test_needs_exactly_one_source(self):
+        from repro.service.fleet import generate_load
+
+        with pytest.raises(ServiceError):
+            generate_load("127.0.0.1", 1)
+        with pytest.raises(ServiceError):
+            generate_load("127.0.0.1", 1, devices=[object()], pack="x")
+
+    def test_chaos_needs_single_process(self, device):
+        from repro.service.fleet import generate_load
+
+        with pytest.raises(ServiceError):
+            generate_load(
+                "127.0.0.1",
+                1,
+                devices=[device],
+                processes=2,
+                fault_plan=FaultPlan(),
+            )

@@ -1,8 +1,12 @@
 """Counters and the verify-latency histogram."""
 
+import random
+
 import pytest
 
+from repro.errors import ServiceError
 from repro.service import LatencyHistogram, ServerStats
+from repro.service.stats import merge_histogram_snapshots
 
 
 class TestLatencyHistogram:
@@ -67,3 +71,109 @@ class TestServerStats:
             stats.observe_verify(label, 0.01)
         assert set(stats.solver_latency) == {"unknown"}
         assert stats.solver_latency["unknown"].observations == 4
+
+
+class TestHistogramMerge:
+    def test_merge_is_bucketwise_exact(self):
+        """merge(a, b) == one histogram that observed the union."""
+        rng = random.Random(5)
+        samples_a = [rng.uniform(1e-4, 2.0) for _ in range(200)]
+        samples_b = [rng.uniform(1e-4, 2.0) for _ in range(300)]
+        a, b, union = LatencyHistogram(), LatencyHistogram(), LatencyHistogram()
+        for value in samples_a:
+            a.observe(value)
+            union.observe(value)
+        for value in samples_b:
+            b.observe(value)
+            union.observe(value)
+        a.merge(b)
+        assert a.counts == union.counts
+        assert a.observations == union.observations == 500
+        assert a.max_seconds == union.max_seconds
+        assert a.mean_seconds == pytest.approx(union.mean_seconds)
+
+    def test_merge_rejects_mismatched_edges(self):
+        with pytest.raises(ServiceError):
+            LatencyHistogram().merge(LatencyHistogram(edges=(1.0, 2.0)))
+
+    def test_snapshot_level_merge_matches_object_merge(self):
+        a, b = LatencyHistogram(), LatencyHistogram()
+        for value in (1e-4, 5e-3, 0.2):
+            a.observe(value)
+        for value in (2e-4, 7.0):
+            b.observe(value)
+        merged = merge_histogram_snapshots(a.snapshot(), b.snapshot())
+        a.merge(b)
+        want = a.snapshot()
+        assert merged["buckets"] == want["buckets"]
+        assert merged["observations"] == want["observations"]
+        assert merged["max_seconds"] == want["max_seconds"]
+        assert merged["mean_seconds"] == pytest.approx(want["mean_seconds"])
+
+    def test_snapshot_merge_rejects_mismatched_buckets(self):
+        a = LatencyHistogram().snapshot()
+        b = LatencyHistogram(edges=(1.0,)).snapshot()
+        with pytest.raises(ServiceError):
+            merge_histogram_snapshots(a, b)
+
+
+class TestMergeSnapshot:
+    def _stats_observing(self, accepted, rejected, latencies):
+        stats = ServerStats()
+        stats.sessions_opened += accepted + rejected
+        stats.sessions_accepted += accepted
+        stats.sessions_rejected += rejected
+        for latency in latencies:
+            stats.observe_verify("dinic", latency)
+        return stats
+
+    def test_merged_counters_are_the_sum(self):
+        a = self._stats_observing(3, 1, [0.01, 0.02])
+        b = self._stats_observing(5, 0, [0.3])
+        merged = ServerStats.merge_snapshot([a.snapshot(), b.snapshot()])
+        assert merged["sessions_opened"] == 9
+        assert merged["sessions_accepted"] == 8
+        assert merged["sessions_rejected"] == 1
+        assert merged["claims_verified"] == 3
+        assert merged["verify_latency"]["observations"] == 3
+        assert merged["solver_latency"]["dinic"]["observations"] == 3
+
+    def test_merge_equals_single_observer(self):
+        """Merging N shard snapshots == one server observing everything."""
+        rng = random.Random(9)
+        union = ServerStats()
+        snapshots = []
+        for _ in range(4):
+            shard = ServerStats()
+            for _ in range(rng.randrange(1, 20)):
+                latency = rng.uniform(1e-4, 1.0)
+                algorithm = rng.choice(["dinic", "push_relabel"])
+                shard.observe_verify(algorithm, latency)
+                union.observe_verify(algorithm, latency)
+                shard.sessions_accepted += 1
+                union.sessions_accepted += 1
+            snapshots.append(shard.snapshot())
+        merged = ServerStats.merge_snapshot(snapshots)
+        want = union.snapshot()
+        assert merged["sessions_accepted"] == want["sessions_accepted"]
+        assert merged["claims_verified"] == want["claims_verified"]
+        assert (
+            merged["verify_latency"]["buckets"] == want["verify_latency"]["buckets"]
+        )
+        for name in ("dinic", "push_relabel"):
+            assert (
+                merged["solver_latency"][name]["buckets"]
+                == want["solver_latency"][name]["buckets"]
+            )
+
+    def test_merge_of_nothing_is_empty(self):
+        merged = ServerStats.merge_snapshot([])
+        assert merged["sessions_opened"] == 0
+        assert merged["verify_latency"]["observations"] == 0
+
+    def test_disjoint_solver_buckets_union(self):
+        a, b = ServerStats(), ServerStats()
+        a.observe_verify("dinic", 0.01)
+        b.observe_verify("push_relabel", 0.02)
+        merged = ServerStats.merge_snapshot([a.snapshot(), b.snapshot()])
+        assert set(merged["solver_latency"]) == {"dinic", "push_relabel"}

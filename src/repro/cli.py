@@ -159,7 +159,7 @@ def _command_respond(arguments) -> int:
         evaluator = BatchEvaluator(
             ppuf,
             engine=arguments.engine,
-            algorithm=arguments.algorithm or "batched",
+            algorithm=arguments.algorithm or "batched_dinic",
             workers=arguments.workers,
         )
         bits, report = evaluator.evaluate(challenges)
@@ -202,13 +202,17 @@ def _command_solvers(arguments) -> int:
     if arguments.json:
         print(json.dumps([spec.capabilities() for spec in specs], indent=2))
         return 0
-    rows = [("name", "kind", "batch", "recursion-free", "complexity", "description")]
+    rows = [
+        ("name", "kind", "batch", "tensor", "recursion-free", "complexity",
+         "description")
+    ]
     for spec in specs:
         rows.append(
             (
                 spec.name,
                 spec.kind,
                 "yes" if spec.supports_batch else "no",
+                spec.tensor_kind,
                 "yes" if spec.recursion_free else "no",
                 spec.complexity,
                 spec.description,
@@ -298,6 +302,8 @@ def _command_serve(arguments) -> int:
         seed=arguments.seed,
         allow_enroll=not arguments.no_enroll,
         use_compiled=arguments.compiled,
+        claim_batch_size=arguments.claim_batch,
+        claim_batch_linger=arguments.claim_linger,
         connection_timeout=arguments.timeout if arguments.timeout > 0 else None,
         verify_timeout=(
             arguments.verify_timeout if arguments.verify_timeout > 0 else None
@@ -750,6 +756,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=True,
         help="ship compiled artifacts to verification workers "
         "(--no-compiled restores the legacy public-dict transport)",
+    )
+    serve.add_argument(
+        "--claim-batch",
+        type=int,
+        default=16,
+        help="micro-batching bound: coalesce up to this many concurrent "
+        "claims into one lockstep verification (1 disables)",
+    )
+    serve.add_argument(
+        "--claim-linger",
+        type=float,
+        default=0.002,
+        help="max [s] a forming claim batch waits for company; bounds the "
+        "latency a lone claim pays for micro-batching",
     )
     serve.set_defaults(handler=_command_serve)
 

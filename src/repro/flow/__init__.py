@@ -17,6 +17,9 @@ Public API
     Augmenting-path (BFS) reference solver.
 :func:`~repro.flow.dinic.dinic`
     Blocking-flow solver.
+:func:`~repro.flow.batched_dinic.batched_dinic_edges`
+    Vectorised blocking-flow Dinic over shared-CSR ``(B, E)`` edge arrays
+    (see :class:`~repro.flow.csr.CsrTopology`).
 :func:`~repro.flow.push_relabel.push_relabel`
     FIFO push-relabel solver with the gap heuristic.
 :func:`~repro.flow.approx.approximate_max_flow`
@@ -51,6 +54,8 @@ from repro.flow.residual import (
 from repro.flow.edmonds_karp import edmonds_karp
 from repro.flow.dinic import blocking_flow, dinic
 from repro.flow.batched import BatchedFlowResult, batched_max_flow
+from repro.flow.batched_dinic import EdgeFlowResult, batched_dinic_edges
+from repro.flow.csr import CsrTopology, complete_topology, topology_from_matrix
 from repro.flow.push_relabel import push_relabel
 from repro.flow.capacity_scaling import capacity_scaling
 from repro.flow.highest_label import highest_label_push_relabel
@@ -127,6 +132,11 @@ __all__ = [
     "blocking_flow",
     "BatchedFlowResult",
     "batched_max_flow",
+    "EdgeFlowResult",
+    "batched_dinic_edges",
+    "CsrTopology",
+    "complete_topology",
+    "topology_from_matrix",
     "push_relabel",
     "capacity_scaling",
     "highest_label_push_relabel",

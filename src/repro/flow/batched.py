@@ -103,6 +103,11 @@ def batched_max_flow(
                 f"residual_out must be a float64 buffer of shape "
                 f"{capacity.shape}, got {residual_out.dtype} {residual_out.shape}"
             )
+        if not residual_out.flags.c_contiguous:
+            raise GraphError(
+                "residual_out must be C-contiguous; a strided or transposed "
+                "view would silently slow every vectorised residual operation"
+            )
         np.copyto(residual_out, capacity)
         residual = residual_out
     rounds = 0

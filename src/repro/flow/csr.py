@@ -1,0 +1,281 @@
+"""CSR edge-array topology shared by artifacts and tensor solvers.
+
+Every challenge of a compiled device solves max-flow on the *same* graph —
+only the per-edge capacities change.  The dense batch path rebuilds a
+``(B, n, n)`` capacity stack per chunk anyway, paying O(B·n²) memory traffic
+for what is really an O(B·E) problem.  This module factors the shared part
+out: a :class:`CsrTopology` is the immutable compressed-sparse-row view of
+one edge set (forward arcs plus their residual reverse arcs), built once
+and reused by every batch, every claim and every verification that shares
+the graph.
+
+Layout
+------
+An edge set of ``E`` forward edges becomes ``2E`` *arcs*: arc ``e`` in
+``[0, E)`` is forward edge ``e`` (capacity comes from the per-challenge
+table), arc ``e + E`` is its residual reverse (capacity 0).  The pairing is
+pure arithmetic — ``pair(a) = a + E if a < E else a - E`` — so solvers never
+materialise a pairing table.  On top of the arc list the topology carries:
+
+* ``row_ptr``/``col_idx``/``arc_order`` — out-CSR over all ``2E`` arcs
+  (grouped by tail, heads sorted), the classic adjacency query;
+* ``pad_arc``/``pad_head`` — the same adjacency padded to a dense
+  ``(n, max_degree)`` matrix with sentinel entries (arc id ``2E``, head
+  ``n``) so a vectorised scan can treat every row identically;
+* ``in_order``/``in_ptr``/``in_tail`` — in-CSR (arcs grouped by head) for
+  level-synchronous BFS via ``reduceat`` over incoming arcs;
+* forward-only CSR by source and by destination for per-vertex flow sums
+  (value and conservation checks);
+* ``opp`` — for each forward edge ``(u, v)``, the forward edge id of
+  ``(v, u)`` when the graph contains it (-1 otherwise), which lets
+  verification fold antiparallel residual contributions exactly the way
+  the dense ``residual_capacities`` does.
+
+``numpy.ufunc.reduceat`` silently mis-reduces empty segments (it returns
+the element *at* the boundary index), so all segment reductions go through
+:func:`segment_reduce`, which masks empty rows explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+def segment_reduce(ufunc, data, ptr, *, empty):
+    """``ufunc.reduceat`` over the last axis with empty segments fixed up.
+
+    ``ptr`` is a CSR pointer array of length ``segments + 1`` over the last
+    axis of ``data``.  Rows with ``ptr[i] == ptr[i + 1]`` get ``empty``
+    instead of reduceat's bogus boundary element, and an all-empty pointer
+    (no data at all) short-circuits to a filled array.
+    """
+    segments = ptr.size - 1
+    total = int(ptr[-1])
+    shape = data.shape[:-1] + (segments,)
+    if total == 0:
+        out = np.empty(shape, dtype=data.dtype)
+        out[...] = empty
+        return out
+    bounds = np.minimum(ptr[:-1], total - 1)
+    out = ufunc.reduceat(data, bounds, axis=-1)
+    out[..., np.diff(ptr) == 0] = empty
+    return out
+
+
+@dataclass(frozen=True)
+class CsrTopology:
+    """Immutable CSR view of one directed edge set (see module docstring).
+
+    All arrays are read-only; instances are safe to share across batches,
+    threads and (via the module-level caches) devices.
+    """
+
+    n: int
+    num_edges: int
+    edge_src: np.ndarray
+    edge_dst: np.ndarray
+    arc_tail: np.ndarray
+    arc_head: np.ndarray
+    arc_slot: np.ndarray
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    arc_order: np.ndarray
+    pad_arc: np.ndarray
+    pad_head: np.ndarray
+    max_degree: int
+    in_order: np.ndarray
+    in_ptr: np.ndarray
+    in_tail: np.ndarray
+    fwd_out_order: np.ndarray
+    fwd_out_ptr: np.ndarray
+    fwd_in_order: np.ndarray
+    fwd_in_ptr: np.ndarray
+    opp: np.ndarray
+    pair_arc1: np.ndarray
+    pair_arc2: np.ndarray
+
+    @property
+    def num_arcs(self) -> int:
+        """Forward plus reverse arc count (``2 * num_edges``)."""
+        return 2 * self.num_edges
+
+    def pair(self, arcs: np.ndarray) -> np.ndarray:
+        """Residual partner of each arc (forward <-> reverse), arithmetically."""
+        return np.where(arcs < self.num_edges, arcs + self.num_edges, arcs - self.num_edges)
+
+    @staticmethod
+    def build(n: int, edge_src, edge_dst) -> "CsrTopology":
+        """Build the CSR view of ``E`` forward edges on ``n`` vertices.
+
+        Edges must be self-loop free and unique as ordered pairs (a
+        duplicate would make the verification ``opp`` mapping ambiguous).
+        A zero-edge topology is legal — every flow is trivially 0.
+        """
+        # Private copies: the arrays are frozen below and must not alias a
+        # caller-owned (or memmapped) buffer.
+        edge_src = np.array(edge_src, dtype=np.int64, copy=True)
+        edge_dst = np.array(edge_dst, dtype=np.int64, copy=True)
+        if n < 2:
+            raise GraphError(f"a flow network needs at least 2 vertices, got {n}")
+        if edge_src.shape != edge_dst.shape or edge_src.ndim != 1:
+            raise GraphError("edge_src and edge_dst must be 1-D arrays of equal length")
+        count = int(edge_src.size)
+        if count:
+            if edge_src.min() < 0 or edge_src.max() >= n or edge_dst.min() < 0 or edge_dst.max() >= n:
+                raise GraphError(f"edge endpoint out of range [0, {n})")
+            if np.any(edge_src == edge_dst):
+                raise GraphError("self-loop edges are not allowed")
+            keys = edge_src * n + edge_dst
+            if np.unique(keys).size != count:
+                raise GraphError("duplicate edges are not allowed in a CSR topology")
+        arcs = 2 * count
+
+        # Doubled arc list: forward arcs keep artifact edge order, reverse
+        # arcs mirror them at ids E..2E-1.
+        tail = np.concatenate([edge_src, edge_dst])
+        head = np.concatenate([edge_dst, edge_src])
+
+        # Out-CSR over arcs (stable lexsort keeps ties deterministic).
+        arc_order = np.lexsort((np.arange(arcs), head, tail))
+        row_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(row_ptr, tail + 1, 1)
+        np.cumsum(row_ptr, out=row_ptr)
+        col_idx = head[arc_order]
+
+        degree = np.diff(row_ptr)
+        max_degree = int(degree.max()) if count else 0
+        pad_arc = np.full((n, max_degree), arcs, dtype=np.int64)
+        pad_head = np.full((n, max_degree), n, dtype=np.int64)
+        arc_slot = np.zeros(arcs, dtype=np.int64)
+        if count:
+            slot = np.arange(arcs) - np.repeat(row_ptr[:-1], degree)
+            rows = np.repeat(np.arange(n), degree)
+            pad_arc[rows, slot] = arc_order
+            pad_head[rows, slot] = col_idx
+            arc_slot[arc_order] = slot
+
+        # In-CSR over arcs, for BFS over incoming arcs per wavefront.
+        in_order = np.lexsort((np.arange(arcs), tail, head))
+        in_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(in_ptr, head + 1, 1)
+        np.cumsum(in_ptr, out=in_ptr)
+        in_tail = tail[in_order]
+
+        # Forward-edge CSR by src / by dst, for per-vertex flow sums.
+        fwd_out_order = np.lexsort((np.arange(count), edge_dst, edge_src))
+        fwd_out_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(fwd_out_ptr, edge_src + 1, 1)
+        np.cumsum(fwd_out_ptr, out=fwd_out_ptr)
+        fwd_in_order = np.lexsort((np.arange(count), edge_src, edge_dst))
+        fwd_in_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(fwd_in_ptr, edge_dst + 1, 1)
+        np.cumsum(fwd_in_ptr, out=fwd_in_ptr)
+
+        # Per-ordered-pair arc lookup: up to two arcs run u -> v (the
+        # forward edge (u, v) and the residual reverse of (v, u)).
+        # ``pair_arc1`` holds the lower arc id (the forward edge when it
+        # exists), ``pair_arc2`` the other, -1 when absent.  -1 is usable
+        # directly as an index into a ``(B, 2E + 1)`` residual table: it
+        # lands on the trailing sentinel column, which is always zero.
+        pair_arc1 = np.full((n, n), -1, dtype=np.int64)
+        pair_arc2 = np.full((n, n), -1, dtype=np.int64)
+        if count:
+            edge_ids = np.arange(count, dtype=np.int64)
+            pair_arc2[edge_dst, edge_src] = edge_ids + count
+            pair_arc1[edge_src, edge_dst] = edge_ids
+            only_reverse = (pair_arc1 < 0) & (pair_arc2 >= 0)
+            pair_arc1[only_reverse] = pair_arc2[only_reverse]
+            pair_arc2[only_reverse] = -1
+
+        # opp[e] = forward edge id of (dst, src), or -1 when absent.
+        opp = np.full(count, -1, dtype=np.int64)
+        if count:
+            keys = edge_src * n + edge_dst
+            order = np.argsort(keys)
+            wanted = edge_dst * n + edge_src
+            position = np.searchsorted(keys[order], wanted)
+            position = np.minimum(position, count - 1)
+            found = keys[order[position]] == wanted
+            opp[found] = order[position[found]]
+
+        fields = dict(
+            n=int(n),
+            num_edges=count,
+            edge_src=edge_src,
+            edge_dst=edge_dst,
+            arc_tail=tail,
+            arc_head=head,
+            arc_slot=arc_slot,
+            row_ptr=row_ptr,
+            col_idx=col_idx,
+            arc_order=arc_order,
+            pad_arc=pad_arc,
+            pad_head=pad_head,
+            max_degree=max_degree,
+            in_order=in_order,
+            in_ptr=in_ptr,
+            in_tail=in_tail,
+            fwd_out_order=fwd_out_order,
+            fwd_out_ptr=fwd_out_ptr,
+            fwd_in_order=fwd_in_order,
+            fwd_in_ptr=fwd_in_ptr,
+            opp=opp,
+            pair_arc1=pair_arc1,
+            pair_arc2=pair_arc2,
+        )
+        for value in fields.values():
+            if isinstance(value, np.ndarray):
+                value.setflags(write=False)
+        return CsrTopology(**fields)
+
+    # -- segmented helpers (empty-row safe) ----------------------------
+    def reduce_incoming(self, per_arc, ufunc, *, empty):
+        """Reduce an ``(..., 2E)`` per-arc array to per-head-vertex values."""
+        return segment_reduce(ufunc, per_arc[..., self.in_order], self.in_ptr, empty=empty)
+
+    def edge_sums(self, flows: np.ndarray):
+        """Per-vertex (outflow, inflow) sums of ``(..., E)`` forward flows."""
+        out = segment_reduce(
+            np.add, np.ascontiguousarray(flows[..., self.fwd_out_order]), self.fwd_out_ptr, empty=0.0
+        )
+        into = segment_reduce(
+            np.add, np.ascontiguousarray(flows[..., self.fwd_in_order]), self.fwd_in_ptr, empty=0.0
+        )
+        return out, into
+
+
+@lru_cache(maxsize=64)
+def complete_topology(n: int) -> CsrTopology:
+    """The complete directed graph on ``n`` vertices, cached per size.
+
+    Edge enumeration matches :meth:`repro.ppuf.crossbar.Crossbar.edge_endpoints`
+    (row-major over ordered pairs, diagonal removed), so every compiled
+    crossbar device of the same size shares one topology object — pack-backed
+    devices included, since the view never depends on per-device data.
+    """
+    src = np.repeat(np.arange(n, dtype=np.int64), n - 1)
+    dst = np.concatenate(
+        [np.delete(np.arange(n, dtype=np.int64), vertex) for vertex in range(n)]
+    ) if n > 1 else np.empty(0, dtype=np.int64)
+    return CsrTopology.build(n, src, dst)
+
+
+def topology_from_matrix(capacity: np.ndarray) -> "tuple[CsrTopology, np.ndarray]":
+    """Edge-ify one dense capacity matrix: ``(topology, per-edge capacities)``.
+
+    Only strictly positive entries become edges — zero-capacity arcs carry
+    no flow and would only pad the arc arrays.
+    """
+    capacity = np.asarray(capacity, dtype=np.float64)
+    if capacity.ndim != 2 or capacity.shape[0] != capacity.shape[1]:
+        raise GraphError(f"capacity must be a square matrix, got {capacity.shape}")
+    src, dst = np.nonzero(capacity)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    topology = CsrTopology.build(capacity.shape[0], src, dst)
+    return topology, np.ascontiguousarray(capacity[src, dst])

@@ -149,8 +149,9 @@ class SolverSpec:
     kind:
         ``"exact"`` or ``"approx"``.
     supports_batch:
-        Whether the solver ships a tensor fast path over ``(B, n, n)``
-        capacity stacks (``tensor_fn``).
+        Whether the solver ships a batched tensor fast path — dense
+        ``(B, n, n)`` stacks (``tensor_fn``), shared-topology ``(B, E)``
+        edge arrays (``tensor_edge_fn``), or both.
     recursion_free:
         True when no code path recurses on the graph depth — i.e. safe on
         path-shaped worst cases at scaling-experiment sizes.
@@ -165,6 +166,11 @@ class SolverSpec:
     tensor_fn:
         Optional batched core with the signature of
         :func:`repro.flow.batched.batched_max_flow`.
+    tensor_edge_fn:
+        Optional edge-array batched core with the signature of
+        :func:`repro.flow.batched_dinic.batched_dinic_edges`: one shared
+        :class:`~repro.flow.csr.CsrTopology` plus a ``(B, E)`` capacity
+        table, no dense materialisation.
     """
 
     name: str
@@ -176,10 +182,26 @@ class SolverSpec:
     description: str = ""
     matrix_fn: Optional[Callable] = None
     tensor_fn: Optional[Callable] = None
+    tensor_edge_fn: Optional[Callable] = None
 
     @property
     def exact(self) -> bool:
         return self.kind == "exact"
+
+    @property
+    def tensor_kind(self) -> str:
+        """Which batched tensor fast paths the solver ships.
+
+        ``"dense"`` (``(B, n, n)`` stacks), ``"edge"`` (shared-CSR
+        ``(B, E)`` arrays), ``"dense+edge"`` or ``"none"`` — the honest
+        label for CLI listings, docs tables and benchmark reports.
+        """
+        kinds = []
+        if self.tensor_fn is not None:
+            kinds.append("dense")
+        if self.tensor_edge_fn is not None:
+            kinds.append("edge")
+        return "+".join(kinds) or "none"
 
     # -- uniform entry points ------------------------------------------
     def solve(self, network, source, sink, *, stats: Optional[SolveStats] = None, **kwargs):
@@ -239,6 +261,35 @@ class SolverSpec:
             self._record(stats, elapsed, result.stats, solves=int(len(result.values)))
         return result
 
+    def solve_tensor_edges(
+        self,
+        topology,
+        capacities,
+        sources,
+        sinks,
+        *,
+        residual_out=None,
+        stats: Optional[SolveStats] = None,
+    ):
+        """Solve a ``(B, E)`` capacity table over one shared CSR topology.
+
+        The edge-array sibling of :meth:`solve_tensor`: no dense stack is
+        ever built, the topology is reused across calls.  Only solvers
+        shipping a ``tensor_edge_fn`` support it.
+        """
+        if self.tensor_edge_fn is None:
+            raise SolverError(
+                f"solver {self.name!r} has no edge-array tensor implementation"
+            )
+        start = time.perf_counter()
+        result = self.tensor_edge_fn(
+            topology, capacities, sources, sinks, residual_out=residual_out
+        )
+        elapsed = time.perf_counter() - start
+        if stats is not None:
+            self._record(stats, elapsed, result.stats, solves=int(len(result.values)))
+        return result
+
     def _record(self, stats: SolveStats, elapsed: float, counters, *, solves: int = 1):
         if not stats.algorithm:
             stats.algorithm = self.name
@@ -255,6 +306,7 @@ class SolverSpec:
             "name": self.name,
             "kind": self.kind,
             "supports_batch": self.supports_batch,
+            "tensor": self.tensor_kind,
             "recursion_free": self.recursion_free,
             "complexity": self.complexity,
             "description": self.description,
@@ -275,6 +327,7 @@ def register_solver(
     description: str = "",
     matrix_fn: Optional[Callable] = None,
     tensor_fn: Optional[Callable] = None,
+    tensor_edge_fn: Optional[Callable] = None,
 ) -> SolverSpec:
     """Register a solver under ``name`` (solver modules call this at import)."""
     if kind not in ("exact", "approx"):
@@ -291,6 +344,7 @@ def register_solver(
         description=description,
         matrix_fn=matrix_fn,
         tensor_fn=tensor_fn,
+        tensor_edge_fn=tensor_edge_fn,
     )
     _REGISTRY[name] = spec
     return spec

@@ -18,7 +18,14 @@ from repro.ppuf.pack import ArtifactPack, PackWriter, append_pack, build_pack
 from repro.ppuf.delay import lin_mead_delay_bound, effective_edge_resistance
 from repro.ppuf.esg import ESGModel, PowerLawFit, fit_power_law
 from repro.ppuf.feedback import FeedbackChain, run_feedback_chain
-from repro.ppuf.verification import CompactClaim, FlowClaim, PpufProver, PpufVerifier
+from repro.ppuf.verification import (
+    ClaimVerdict,
+    CompactClaim,
+    FlowClaim,
+    PpufProver,
+    PpufVerifier,
+    verify_compact_claims,
+)
 from repro.ppuf.protocol import AuthenticationSession, RoundRecord, SessionResult
 from repro.ppuf.identity import PublicRegistry, expected_match_separation, response_word
 from repro.ppuf.keys import KeyMaterial, derive_key, key_agreement_rate, seed_challenges
@@ -45,8 +52,10 @@ __all__ = [
     "fit_power_law",
     "FeedbackChain",
     "run_feedback_chain",
+    "ClaimVerdict",
     "CompactClaim",
     "FlowClaim",
+    "verify_compact_claims",
     "PpufProver",
     "PpufVerifier",
     "AuthenticationSession",

@@ -7,17 +7,22 @@ run and the protocol examples serve many verifiers at once, so this module
 turns the loop inside out:
 
 * capacities for *all* challenges of a chunk are assembled into one
-  ``(2·C, n, n)`` tensor (network A rows first, then network B), reusing
-  the per-bit capacity caches of :class:`~repro.ppuf.device.PpufNetwork`
-  and a preallocated capacity/residual buffer pair across chunks;
-* the solver comes from :mod:`repro.flow.registry`: the default
-  ``"batched"`` entry ships a tensor fast path
-  (:attr:`~repro.flow.registry.SolverSpec.tensor_fn`) that advances every
-  instance in lockstep, while any other registered *exact* solver is run
-  one instance at a time through
-  :meth:`~repro.flow.registry.SolverSpec.solve_matrix` — bit-for-bit
-  identical to looping :meth:`~repro.ppuf.device.Ppuf.response` — still
-  skipping the per-challenge object churn;
+  capacity table (network A rows first, then network B), reusing the
+  per-bit capacity caches of :class:`~repro.ppuf.device.PpufNetwork` and a
+  preallocated capacity/residual buffer pair across chunks.  The shape of
+  that table follows the solver's tensor capability: an *edge-array*
+  solver (:attr:`~repro.flow.registry.SolverSpec.tensor_edge_fn`, the
+  default ``"batched_dinic"``) gets a ``(2·C, E)`` table over the shared
+  :class:`~repro.flow.csr.CsrTopology` — one vectorised ``np.where`` per
+  network, no dense ``(2·C, n, n)`` stack and no per-challenge Python
+  loop — while a *dense* tensor solver
+  (:attr:`~repro.flow.registry.SolverSpec.tensor_fn`, e.g. ``"batched"``)
+  still gets the classic dense stack;
+* any other registered *exact* solver is run one instance at a time
+  through :meth:`~repro.flow.registry.SolverSpec.solve_matrix` —
+  bit-for-bit identical to looping
+  :meth:`~repro.ppuf.device.Ppuf.response` — still skipping the
+  per-challenge object churn;
 * ``workers > 1`` fans chunks out over a :class:`ProcessPoolExecutor`.
   The device ships to workers as a :class:`~repro.ppuf.compiled.CompiledDevice`
   placed in one :mod:`multiprocessing.shared_memory` block: each worker
@@ -33,10 +38,11 @@ Every chunk fills one :class:`~repro.flow.registry.SolveStats` (phases
 :class:`BatchReport` merges them into the single telemetry record its
 consumers — benchmarks, protocol experiments, the service — read.
 
-The ``"batched"`` solver reaches the same max-flow values as the exact
-solvers up to float rounding (the value is unique; only the augmentation
-order differs).  Comparator margins are astronomically larger than one
-ulp, so response bits agree — the equivalence test suite pins this.
+The ``"batched_dinic"`` and ``"batched"`` solvers reach the same max-flow
+values as the exact solvers up to float rounding (the value is unique;
+only the augmentation order differs).  Comparator margins are
+astronomically larger than one ulp, so response bits agree — the
+equivalence test suite pins this.
 """
 
 from __future__ import annotations
@@ -49,13 +55,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import SolverError
+from repro.flow.csr import complete_topology
 from repro.flow.registry import SolveStats, get_solver
 from repro.ppuf.challenge import Challenge
 from repro.ppuf.compiled import CompiledDevice, attach_compiled, share_compiled
 from repro.ppuf.engines import check_engine
 
-#: The cross-challenge vectorised solver (see :mod:`repro.flow.batched`).
-BATCHED_ALGORITHM = "batched"
+#: The cross-challenge vectorised solver: edge-array batched Dinic
+#: (see :mod:`repro.flow.batched_dinic`).  The dense lockstep
+#: Edmonds–Karp remains registered as ``"batched"``.
+BATCHED_ALGORITHM = "batched_dinic"
 
 #: Default number of challenges per solver chunk.  Bounds the dense tensor
 #: at ``2 * 256 * n²`` floats and gives the process pool units of work.
@@ -139,7 +148,8 @@ class BatchEvaluator:
         ``"maxflow"`` (default) or ``"circuit"``.
     algorithm:
         Any registered *exact* solver name (``repro solvers`` lists them);
-        the default ``"batched"`` uses the lockstep tensor fast path.
+        the default ``"batched_dinic"`` uses the edge-array tensor fast
+        path, ``"batched"`` the dense lockstep one.
     workers:
         Process count; 1 evaluates inline.
     chunk_size:
@@ -187,10 +197,17 @@ class BatchEvaluator:
         crossbar = ppuf.crossbar
         self._cells = crossbar.edge_cells()
         self._edge_src, self._edge_dst = crossbar.edge_endpoints()
-        # Dense capacity/residual buffers, allocated once and reused for
-        # every full-size chunk this evaluator sees.
+        # Shared CSR view of the crossbar's complete-graph edge set; the
+        # module-level cache makes every same-size evaluator (and every
+        # pool worker) reuse one object.
+        self._topology = complete_topology(crossbar.n)
+        # Capacity/residual buffers, allocated once and reused for every
+        # full-size chunk this evaluator sees.  The dense pair backs
+        # tensor_fn solvers; the edge pair backs tensor_edge_fn solvers.
         self._capacity_buffer: Optional[np.ndarray] = None
         self._residual_buffer: Optional[np.ndarray] = None
+        self._edge_capacity_buffer: Optional[np.ndarray] = None
+        self._edge_residual_buffer: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -316,7 +333,74 @@ class BatchEvaluator:
             capacity = self._capacity_buffer
         return capacity[:instances], self._residual_buffer[:instances]
 
+    def _edge_buffers(self, instances: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Views of the reusable edge-array buffers sized for this chunk.
+
+        The residual buffer carries the solver's ``(B, 2E + 1)`` layout:
+        forward arcs, reverse arcs, then the pinned-zero sentinel column.
+        Leading-axis slices of a C-contiguous allocation stay contiguous,
+        so the views satisfy the solvers' ``residual_out`` contract.
+        """
+        edges = self._topology.num_edges
+        capacity = self._edge_capacity_buffer
+        if capacity is None or capacity.shape[0] < instances:
+            size = max(instances, 2 * self.chunk_size)
+            self._edge_capacity_buffer = np.empty((size, edges), dtype=np.float64)
+            self._edge_residual_buffer = np.empty(
+                (size, 2 * edges + 1), dtype=np.float64
+            )
+            capacity = self._edge_capacity_buffer
+        return capacity[:instances], self._edge_residual_buffer[:instances]
+
+    def _evaluate_chunk_edges(self, challenges):
+        """Edge-array fast path: one (2C, E) table over the shared CSR."""
+        stats = SolveStats(algorithm=self.algorithm)
+        ppuf = self.ppuf
+        count = len(challenges)
+        with stats.phase("prepare"):
+            capacity, residual = self._edge_buffers(2 * count)
+            sources = np.fromiter(
+                (challenge.source for challenge in challenges),
+                dtype=np.int64, count=count,
+            )
+            sinks = np.fromiter(
+                (challenge.sink for challenge in challenges),
+                dtype=np.int64, count=count,
+            )
+            # Same selection arithmetic as Crossbar.bits_for_edges +
+            # PpufNetwork.capacities, lifted to the whole chunk: stack the
+            # challenge bit vectors, gather per-edge control bits, and let
+            # one np.where per network broadcast the per-bit capacity rows.
+            bits = np.stack([challenge.bits for challenge in challenges])
+            choose = bits[:, self._cells] == 1
+            for half, network in enumerate((ppuf.network_a, ppuf.network_b)):
+                np.copyto(
+                    capacity[half * count:(half + 1) * count],
+                    np.where(
+                        choose,
+                        network._capacities_for_bit(1),
+                        network._capacities_for_bit(0),
+                    ),
+                )
+        result = self._spec.solve_tensor_edges(
+            self._topology,
+            capacity,
+            np.tile(sources, 2),
+            np.tile(sinks, 2),
+            residual_out=residual,
+            stats=stats,
+        )
+        values = result.values
+        with stats.phase("compare"):
+            comparator = ppuf.comparator
+            bits = (
+                (values[:count] + comparator.offset) > values[count:]
+            ).astype(np.uint8)
+        return bits, stats
+
     def _evaluate_chunk_maxflow(self, challenges):
+        if self._spec.tensor_edge_fn is not None:
+            return self._evaluate_chunk_edges(challenges)
         stats = SolveStats(algorithm=self.algorithm)
         ppuf = self.ppuf
         n = ppuf.n

@@ -324,6 +324,22 @@ class CompiledDevice:
             raise ReproError("compiled artifact carries no operating conditions")
         return OperatingConditions(**self.conditions_dict)
 
+    def csr(self):
+        """The shared :class:`~repro.flow.csr.CsrTopology` view of this device.
+
+        Every crossbar device of size ``n`` solves max-flow on the same
+        complete directed graph — only the per-edge capacity rows differ —
+        so the CSR view is a pure function of ``n`` served from the
+        module-level :func:`~repro.flow.csr.complete_topology` cache: built
+        once per size, shared across devices, pack reloads and pool workers
+        (nothing is pickled; a worker's first call rebuilds from ``n``).
+        The edge order matches ``edge_src``/``edge_dst``, so ``cap0``/
+        ``cap1`` rows index the topology's forward arcs directly.
+        """
+        from repro.flow.csr import complete_topology
+
+        return complete_topology(self.n)
+
     def network(self, which) -> CompiledNetwork:
         """The evaluation view for network ``"a"``/``"b"`` (or index 0/1)."""
         if isinstance(which, str):
@@ -401,7 +417,7 @@ class CompiledDevice:
         challenges,
         *,
         engine: str = "maxflow",
-        algorithm: str = "batched",
+        algorithm: str = "batched_dinic",
         workers: int = 1,
         chunk_size: Optional[int] = None,
     ) -> np.ndarray:

@@ -383,15 +383,17 @@ class Ppuf:
         challenges,
         *,
         engine: str = "maxflow",
-        algorithm: str = "batched",
+        algorithm: str = "batched_dinic",
         workers: int = 1,
         chunk_size: Optional[int] = None,
     ) -> np.ndarray:
         """Batched response bits: challenge matrix in, response vector out.
 
         The throughput path: capacities for all challenges are assembled
-        into one tensor and solved in lockstep (``algorithm="batched"``),
-        or one at a time with an exact named solver.  See
+        into one table and solved in lockstep — edge arrays over the
+        shared CSR for ``algorithm="batched_dinic"`` (default), a dense
+        stack for ``"batched"`` — or one at a time with an exact named
+        solver.  See
         :class:`repro.ppuf.batch.BatchEvaluator` for the pipeline and
         :class:`repro.ppuf.batch.BatchReport` for per-stage accounting.
         """

@@ -53,6 +53,7 @@ import logging
 import os
 import struct
 import tempfile
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -326,10 +327,24 @@ class ArtifactPack:
     tables are read-only *views* into the mapping — no bytes are copied,
     and every process mapping the same pack shares pages through the OS
     page cache.
+
+    Served devices are immutable, so the pack keeps the ``cache_devices``
+    most recently served ones in a small LRU: a verify worker that is
+    hammered with claims for a handful of hot devices (the micro-batching
+    server's common case) skips the header-validation and array-wrapping
+    work of :meth:`CompiledDevice.from_arrays
+    <repro.ppuf.compiled.CompiledDevice.from_arrays>` on every repeat hit.
+    ``cache_devices=0`` disables the cache.
     """
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, *, cache_devices: int = 8):
         self.path = path
+        if cache_devices < 0:
+            raise ReproError(
+                f"cache_devices must be >= 0, got {cache_devices}"
+            )
+        self._cache_limit = int(cache_devices)
+        self._cache: "OrderedDict[str, CompiledDevice]" = OrderedDict()
         try:
             with open(path, "rb") as handle:
                 self._index, self._end = _scan(handle, path)
@@ -366,6 +381,10 @@ class ArtifactPack:
 
     def device(self, device_id: str) -> CompiledDevice:
         """Serve one device as zero-copy views into the mapping."""
+        cached = self._cache.get(device_id)
+        if cached is not None:
+            self._cache.move_to_end(device_id)
+            return cached
         entry = self._entry(device_id)
         arrays = {}
         for spec in entry.arrays:
@@ -374,11 +393,20 @@ class ArtifactPack:
             arrays[spec["name"]] = raw.view(np.dtype(spec["dtype"])).reshape(
                 tuple(spec["shape"])
             )
-        return CompiledDevice.from_arrays(entry.device_header, arrays)
+        device = CompiledDevice.from_arrays(entry.device_header, arrays)
+        if self._cache_limit:
+            self._cache[device_id] = device
+            while len(self._cache) > self._cache_limit:
+                self._cache.popitem(last=False)
+        return device
 
     def refresh(self) -> None:
-        """Re-scan and re-map after an external append extended the file."""
-        self.__init__(self.path)
+        """Re-scan and re-map after an external append extended the file.
+
+        Drops the device LRU: a superseding append may have replaced a
+        cached device's record, and stale tables must never be served.
+        """
+        self.__init__(self.path, cache_devices=self._cache_limit)
 
     def stats(self) -> dict:
         """Pack-level accounting (the ``inspect`` CLI surface)."""

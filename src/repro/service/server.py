@@ -13,6 +13,16 @@ cost center at secure sizes.  Claims are therefore verified in a
 many verifications may be in flight so a claim flood degrades into
 backpressure instead of unbounded memory growth.
 
+Claim micro-batching: concurrent claims coalesce in a
+:class:`ClaimMicroBatcher` (bounded batch size plus a small linger) and
+are verified as one lockstep pass over ``(B, E)`` edge arrays —
+:func:`repro.ppuf.verification.verify_compact_claims` on the shared CSR
+topology — before the per-claim verdicts are split back out.  Under load
+this turns B pool round trips into one; a lone claim pays at most the
+linger (2 ms by default).  Because no arithmetic in the batched verifier
+couples claims, a verdict is bit-identical whether the claim rode solo or
+coalesced, and one poisoned claim can only reject itself.
+
 Fault containment (the resilience layer): the server treats every remote
 input and every internal worker as hostile or broken until proven
 otherwise.  Malformed frames and unknown verbs are answered with wire
@@ -37,7 +47,7 @@ from repro.errors import ServiceError, ServiceTimeout, VerificationError
 from repro.flow.graph import DEFAULT_RTOL
 from repro.ppuf.delay import lin_mead_delay_bound
 from repro.ppuf.io import ppuf_from_dict
-from repro.ppuf.verification import PpufVerifier
+from repro.ppuf.verification import PpufVerifier, verify_compact_claims
 from repro.service import wire
 from repro.service.registry import DeviceRegistry
 from repro.service.sessions import ReplayRejected, Session, SessionManager
@@ -141,6 +151,70 @@ def _verify_claim_task(
     return accepted, reason, time.perf_counter() - start, fault
 
 
+def _verify_claims_task(jobs, rtol: float) -> list:
+    """Verify one coalesced claim batch; runs inside a pool worker.
+
+    ``jobs`` is a list of ``(device_id, payload, network, claim_wire)``
+    tuples.  Claims are grouped per ``(device, network)`` and each group
+    runs through :func:`repro.ppuf.verification.verify_compact_claims` —
+    one lockstep pass over ``(B, E)`` edge arrays.  Per-claim arithmetic in
+    that pass never couples claims, so every verdict is exactly what the
+    claim would have received alone, and a poisoned claim (malformed wire
+    form, bad paths, device trouble) is contained to its own row.
+
+    Returns one ``(accepted, reason, verify_seconds, fault)`` tuple per
+    job, in order — the same shape as :func:`_verify_claim_task`, with
+    ``verify_seconds`` the batch wall clock amortised over its claims.
+    """
+    import time
+
+    start = time.perf_counter()
+    results: list = [None] * len(jobs)
+    groups: "OrderedDict[tuple, list]" = OrderedDict()
+    for index, (device_id, _, network, _) in enumerate(jobs):
+        groups.setdefault((device_id, network), []).append(index)
+    for (device_id, network), indices in groups.items():
+        try:
+            device = _cached_device(device_id, jobs[indices[0]][1])
+            net = device.network_a if network == "a" else device.network_b
+        except (VerificationError, ServiceError):
+            for index in indices:
+                results[index] = (False, "infeasible", None)
+            continue
+        except Exception as error:  # noqa: BLE001 — containment is the point
+            fault = f"{type(error).__name__}: {error}"
+            for index in indices:
+                results[index] = (False, "infeasible", fault)
+            continue
+        claims, rows = [], []
+        for index in indices:
+            try:
+                claims.append(wire.claim_from_wire(jobs[index][3]))
+                rows.append(index)
+            except (VerificationError, ServiceError):
+                results[index] = (False, "infeasible", None)
+            except Exception as error:  # noqa: BLE001
+                results[index] = (
+                    False, "infeasible", f"{type(error).__name__}: {error}"
+                )
+        if not rows:
+            continue
+        try:
+            verdicts = verify_compact_claims(net, claims, rtol=rtol)
+        except Exception as error:  # noqa: BLE001 — a verifier bug rejects
+            fault = f"{type(error).__name__}: {error}"
+            for index in rows:
+                results[index] = (False, "infeasible", fault)
+            continue
+        for index, verdict in zip(rows, verdicts):
+            results[index] = (verdict.accepted, verdict.kind, verdict.fault)
+    share = (time.perf_counter() - start) / max(len(jobs), 1)
+    return [
+        (accepted, reason, share, fault)
+        for accepted, reason, fault in results
+    ]
+
+
 class VerificationPool:
     """Bounded off-loop executor for :func:`_verify_claim_task`.
 
@@ -194,9 +268,142 @@ class VerificationPool:
             finally:
                 self.active -= 1
 
+    async def verify_batch(self, jobs: list, rtol: float) -> list:
+        """Run :func:`_verify_claims_task` off-loop for a coalesced batch.
+
+        One semaphore slot and one executor dispatch cover the whole
+        batch — that is the micro-batching win: B claims pay one pool
+        round trip.  ``timeout`` bounds the batch as a unit; a blown
+        deadline raises :class:`ServiceTimeout` for every claim in it.
+        """
+        async with self._semaphore:
+            loop = asyncio.get_running_loop()
+            future = loop.run_in_executor(
+                self._executor, _verify_claims_task, list(jobs), rtol
+            )
+            self.active += 1
+            try:
+                if self.timeout is None:
+                    return await future
+                try:
+                    return await asyncio.wait_for(future, timeout=self.timeout)
+                except asyncio.TimeoutError:
+                    raise ServiceTimeout(
+                        f"verification exceeded {self.timeout:g} s"
+                    ) from None
+            finally:
+                self.active -= 1
+
     def shutdown(self) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+class ClaimMicroBatcher:
+    """Coalesces concurrent claim verifications into pool batches.
+
+    Every claim that arrives while a batch is forming joins it; the batch
+    is dispatched when it reaches ``batch_size`` or when the oldest claim
+    has lingered ``linger_seconds`` — whichever comes first.  Under load
+    (many concurrent sessions) batches fill instantly and the linger never
+    applies; a lone claim pays at most ``linger_seconds`` of extra latency
+    (2 ms by default, far below a secure-size verify) in exchange for the
+    fleet win: B claims per pool round trip instead of one.
+
+    Verdicts are split back out per claim and are bit-identical to solo
+    verification — :func:`repro.ppuf.verification.verify_compact_claims`
+    never lets one claim's arithmetic (or failure) touch another's.
+    """
+
+    def __init__(
+        self,
+        pool: VerificationPool,
+        stats: Optional["ServerStats"] = None,
+        *,
+        rtol: float = DEFAULT_RTOL,
+        batch_size: int = 16,
+        linger_seconds: float = 0.002,
+    ):
+        if batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        if linger_seconds < 0:
+            raise ServiceError(
+                f"linger_seconds must be >= 0, got {linger_seconds}"
+            )
+        self.pool = pool
+        self.stats = stats
+        self.rtol = rtol
+        self.batch_size = int(batch_size)
+        self.linger_seconds = float(linger_seconds)
+        self._pending: list = []
+        self._flusher: Optional[asyncio.Task] = None
+        self._tasks: set = set()
+
+    @property
+    def busy(self) -> bool:
+        """True while any claim is queued or any batch is in flight."""
+        return bool(self._pending or self._tasks)
+
+    def flush(self) -> None:
+        """Dispatch whatever is queued now instead of waiting out the
+        linger — used by graceful drain so a stopping server still settles
+        claims that were coalescing when ``stop()`` was called."""
+        self._dispatch()
+
+    async def verify(
+        self, device_id: str, payload, network: str, claim_wire: dict
+    ) -> tuple:
+        """Queue one claim; resolves to its ``(accepted, reason, seconds,
+        fault)`` tuple once its batch returns."""
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append(((device_id, payload, network, claim_wire), future))
+        if len(self._pending) >= self.batch_size:
+            self._dispatch()
+        elif self._flusher is None:
+            self._flusher = asyncio.create_task(self._linger())
+        return await future
+
+    async def _linger(self) -> None:
+        try:
+            await asyncio.sleep(self.linger_seconds)
+        except asyncio.CancelledError:
+            return
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        batch, self._pending = self._pending, []
+        flusher, self._flusher = self._flusher, None
+        if flusher is not None and flusher is not asyncio.current_task():
+            flusher.cancel()
+        if batch:
+            task = asyncio.create_task(self._run(batch))
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, batch: list) -> None:
+        jobs = [job for job, _ in batch]
+        stats = self.stats
+        if stats is not None:
+            stats.claim_batches += 1
+            stats.claims_batched += len(jobs)
+            occupancy = stats.claim_batch_occupancy
+            key = str(len(jobs))
+            occupancy[key] = occupancy.get(key, 0) + 1
+        try:
+            results = await self.pool.verify_batch(jobs, self.rtol)
+        except ServiceTimeout as error:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(ServiceTimeout(str(error)))
+            return
+        except Exception as error:  # noqa: BLE001 — fail the batch, not the loop
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(ServiceError(str(error)))
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
 
 
 class PpufAuthServer:
@@ -225,9 +432,20 @@ class PpufAuthServer:
         verification workers (default) — a cold claim maps precomputed
         capacity tables instead of rebuilding the device and re-deriving
         its caches.  ``False`` restores the legacy public-dict transport.
+    claim_batch_size:
+        Micro-batching bound: up to this many concurrent claims coalesce
+        into one pool dispatch (verified in lockstep by
+        :func:`~repro.ppuf.verification.verify_compact_claims`, verdicts
+        split back per claim).  ``1`` disables batching — every claim
+        takes the solo :func:`_verify_claim_task` path.
+    claim_batch_linger:
+        How long [s] a forming batch waits for company before dispatching
+        anyway.  Bounds the single-claim latency regression: a lone claim
+        is delayed by at most this much (default 2 ms).
     verify_timeout:
         Per-claim verification cutoff [s]; blown → ``verify_timeout``
-        verdict + ``stats.verify_timeouts``.  ``None`` disables.
+        verdict + ``stats.verify_timeouts``.  ``None`` disables.  With
+        micro-batching the cutoff covers the claim's whole batch.
     connection_timeout:
         Per-read idle cutoff [s] on open connections; a peer that stalls
         mid-session is disconnected (``stats.connection_timeouts``).
@@ -257,6 +475,8 @@ class PpufAuthServer:
         seed: Optional[int] = None,
         allow_enroll: bool = True,
         use_compiled: bool = True,
+        claim_batch_size: int = 16,
+        claim_batch_linger: float = 0.002,
         verify_timeout: Optional[float] = 60.0,
         connection_timeout: Optional[float] = 300.0,
         max_connections: int = 256,
@@ -285,6 +505,17 @@ class PpufAuthServer:
         )
         self.pool = VerificationPool(workers, timeout=verify_timeout)
         self.stats = ServerStats()
+        self.batcher: Optional[ClaimMicroBatcher] = (
+            ClaimMicroBatcher(
+                self.pool,
+                self.stats,
+                rtol=rtol,
+                batch_size=claim_batch_size,
+                linger_seconds=claim_batch_linger,
+            )
+            if claim_batch_size > 1
+            else None
+        )
         self._connections = 0
         self._server: Optional[asyncio.base_events.Server] = None
         self._sweeper: Optional[asyncio.Task] = None
@@ -320,8 +551,17 @@ class PpufAuthServer:
         self.pool.shutdown()
 
     async def _drain_verifications(self) -> None:
+        if self.batcher is not None:
+            self.batcher.flush()
         deadline = asyncio.get_running_loop().time() + self.drain_seconds
-        while self.pool.active and asyncio.get_running_loop().time() < deadline:
+
+        def _in_flight() -> bool:
+            return bool(
+                self.pool.active
+                or (self.batcher is not None and self.batcher.busy)
+            )
+
+        while _in_flight() and asyncio.get_running_loop().time() < deadline:
             await asyncio.sleep(0.01)
         if self.pool.active:
             logger.warning(
@@ -533,13 +773,21 @@ class PpufAuthServer:
         device = self.registry.device(session.device_id)
         payload = await self._device_payload(session.device_id)
         try:
-            accepted, reason, verify_seconds, fault = await self.pool.verify(
-                session.device_id,
-                payload,
-                session.network,
-                claim_wire,
-                self.rtol,
-            )
+            if self.batcher is not None:
+                accepted, reason, verify_seconds, fault = await self.batcher.verify(
+                    session.device_id,
+                    payload,
+                    session.network,
+                    claim_wire,
+                )
+            else:
+                accepted, reason, verify_seconds, fault = await self.pool.verify(
+                    session.device_id,
+                    payload,
+                    session.network,
+                    claim_wire,
+                    self.rtol,
+                )
         except ServiceTimeout:
             self.stats.verify_timeouts += 1
             logger.warning(

@@ -160,6 +160,15 @@ class ServerStats:
     retries_observed: int = 0
     #: unexpected handler exceptions contained into ERROR replies
     internal_errors: int = 0
+    # --- claim micro-batching -------------------------------------------
+    #: coalesced verification batches dispatched to the pool
+    claim_batches: int = 0
+    #: claims that went through a coalesced batch (of any size)
+    claims_batched: int = 0
+    #: batch-size histogram: occupancy (as a string key, JSON-friendly)
+    #: -> number of batches dispatched at that size.  Mean occupancy is
+    #: ``claims_batched / claim_batches``.
+    claim_batch_occupancy: Dict[str, int] = field(default_factory=dict)
     verify_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
     solver_latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
 
@@ -203,6 +212,10 @@ class ServerStats:
                             )
                         else:
                             merged[key][name] = dict(histogram)
+                elif key == "claim_batch_occupancy":
+                    bucket = merged.setdefault(key, {})
+                    for size, count in value.items():
+                        bucket[size] = bucket.get(size, 0) + count
                 elif isinstance(value, bool) or not isinstance(value, (int, float)):
                     merged.setdefault(key, value)
                 else:
@@ -231,6 +244,14 @@ class ServerStats:
             "connections_opened": self.connections_opened,
             "retries_observed": self.retries_observed,
             "internal_errors": self.internal_errors,
+            "claim_batches": self.claim_batches,
+            "claims_batched": self.claims_batched,
+            "claim_batch_occupancy": {
+                size: count
+                for size, count in sorted(
+                    self.claim_batch_occupancy.items(), key=lambda item: int(item[0])
+                )
+            },
             "verify_latency": self.verify_latency.snapshot(),
             "solver_latency": {
                 name: histogram.snapshot()

@@ -1,0 +1,277 @@
+"""Edge-array batched Dinic (ISSUE 8 tentpole): CSR invariants + exactness.
+
+The batched solver must be *bit-exact* in the properties that matter to
+verification: every per-instance value equals a scalar exact solve, the
+shipped flows are maximum feasible flows of the dense network, and the
+answer for an instance never depends on which other instances share its
+batch (chunking invariance — the property claim micro-batching relies on).
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, SolverError
+from repro.flow import (
+    SolveStats,
+    get_solver,
+    random_complete_network,
+    random_sparse_network,
+    read_dimacs,
+    solve_max_flow,
+)
+from repro.flow.batched_dinic import batched_dinic_edges
+from repro.flow.csr import (
+    CsrTopology,
+    complete_topology,
+    segment_reduce,
+    topology_from_matrix,
+)
+from repro.flow.residual import verify_max_flow
+
+
+def complete_capacities(networks, topology):
+    """Stack dense complete networks into one ``(B, E)`` capacity table."""
+    return np.ascontiguousarray(
+        np.stack(
+            [net.capacity[topology.edge_src, topology.edge_dst] for net in networks]
+        )
+    )
+
+
+def dense_flows(flows, topology):
+    """Scatter ``(B, E)`` edge flows back into dense ``(B, n, n)`` matrices."""
+    batch = flows.shape[0]
+    out = np.zeros((batch, topology.n, topology.n))
+    out[:, topology.edge_src, topology.edge_dst] = flows
+    return out
+
+
+class TestCsrTopology:
+    def test_complete_topology_is_cached_and_frozen(self):
+        topology = complete_topology(6)
+        assert complete_topology(6) is topology
+        assert topology.num_edges == 30
+        for array in (topology.edge_src, topology.edge_dst, topology.opp):
+            assert not array.flags.writeable
+
+    def test_complete_topology_matches_crossbar_edge_order(self):
+        # CompiledDevice.csr() relies on this: the CSR edge order IS the
+        # crossbar's artifact edge order, so (B, E) capacity tables slot
+        # straight in with no permutation.
+        from repro.ppuf.crossbar import Crossbar
+
+        crossbar = Crossbar(7, 3)
+        src, dst = crossbar.edge_endpoints()
+        topology = complete_topology(7)
+        assert np.array_equal(topology.edge_src, src)
+        assert np.array_equal(topology.edge_dst, dst)
+
+    def test_opp_maps_every_edge_to_its_reverse(self):
+        topology = complete_topology(5)
+        assert np.array_equal(
+            topology.edge_src[topology.opp], topology.edge_dst
+        )
+        assert np.array_equal(
+            topology.edge_dst[topology.opp], topology.edge_src
+        )
+        # opp is an involution on a complete graph.
+        assert np.array_equal(topology.opp[topology.opp], np.arange(topology.num_edges))
+
+    def test_edge_sums_match_dense(self, rng):
+        topology = complete_topology(6)
+        flows = rng.random((4, topology.num_edges))
+        out_sum, in_sum = topology.edge_sums(flows)
+        dense = dense_flows(flows, topology)
+        assert np.allclose(out_sum, dense.sum(axis=2))
+        assert np.allclose(in_sum, dense.sum(axis=1))
+
+    def test_segment_reduce_fills_empty_segments(self):
+        data = np.array([[1.0, 2.0, 3.0]])
+        ptr = np.array([0, 1, 1, 3])  # middle segment is empty
+        reduced = segment_reduce(np.add, data, ptr, empty=0.0)
+        assert np.array_equal(reduced, [[1.0, 0.0, 5.0]])
+
+    def test_topology_from_matrix_drops_zero_and_diagonal(self):
+        capacity = np.array([[5.0, 2.0, 0.0], [0.0, 0.0, 3.0], [0.0, 0.0, 0.0]])
+        topology, caps = topology_from_matrix(capacity)
+        assert topology.num_edges == 2
+        assert np.array_equal(caps, [2.0, 3.0])
+        with pytest.raises(GraphError, match="square"):
+            topology_from_matrix(np.zeros((2, 3)))
+
+    def test_build_rejects_bad_endpoints(self):
+        with pytest.raises(GraphError):
+            CsrTopology.build(3, np.array([0, 1]), np.array([1, 3]))
+
+
+class TestExactness:
+    @pytest.mark.parametrize("n,batch", [(5, 3), (8, 7), (11, 4)])
+    def test_values_match_scalar_dinic_on_complete_graphs(self, n, batch):
+        rng = np.random.default_rng(n * 13 + batch)
+        networks = [
+            random_complete_network(n, rng, relative_sigma=0.3) for _ in range(batch)
+        ]
+        topology = complete_topology(n)
+        caps = complete_capacities(networks, topology)
+        sinks = rng.integers(1, n, size=batch)
+        result = batched_dinic_edges(topology, caps, np.zeros(batch, np.int64), sinks)
+        for index, network in enumerate(networks):
+            expected = solve_max_flow(
+                network.copy(), 0, int(sinks[index]), algorithm="dinic"
+            ).value
+            assert result.values[index] == pytest.approx(expected, rel=1e-9), index
+
+    @pytest.mark.parametrize("n,batch", [(5, 3), (8, 7), (11, 4)])
+    def test_flows_are_maximum_feasible_flows(self, n, batch):
+        rng = np.random.default_rng(n * 17 + batch)
+        networks = [
+            random_complete_network(n, rng, relative_sigma=0.3) for _ in range(batch)
+        ]
+        topology = complete_topology(n)
+        caps = complete_capacities(networks, topology)
+        result = batched_dinic_edges(topology, caps, 0, n - 1)
+        dense = dense_flows(result.flows, topology)
+        for index, network in enumerate(networks):
+            assert verify_max_flow(network, dense[index], [0], [n - 1]), index
+
+    def test_sparse_instances_via_topology_from_matrix(self, rng):
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            network = random_sparse_network(10, local, density=0.35)
+            topology, caps = topology_from_matrix(network.capacity)
+            result = batched_dinic_edges(topology, caps[None, :], 0, 9)
+            expected = solve_max_flow(network.copy(), 0, 9, algorithm="dinic").value
+            assert result.values[0] == pytest.approx(expected, rel=1e-9, abs=1e-12)
+
+    def test_dimacs_fixtures(self):
+        from tests.flow.test_registry_conformance import (
+            DIMACS_BOTTLENECK,
+            DIMACS_DIAMOND,
+        )
+
+        for text, expected in ((DIMACS_DIAMOND, 5.0), (DIMACS_BOTTLENECK, 2.5)):
+            network, source, sink = read_dimacs(io.StringIO(text))
+            topology, caps = topology_from_matrix(network.capacity)
+            result = batched_dinic_edges(topology, caps[None, :], source, sink)
+            assert result.values[0] == pytest.approx(expected, rel=1e-12)
+
+    def test_zero_capacity_batch(self):
+        topology = complete_topology(4)
+        caps = np.zeros((2, topology.num_edges))
+        result = batched_dinic_edges(topology, caps, 0, 3)
+        assert np.array_equal(result.values, [0.0, 0.0])
+        assert not result.flows.any()
+
+
+class TestChunkingInvariance:
+    def test_values_and_flows_are_bitwise_chunk_invariant(self):
+        # The batched-verification contract: an instance's answer must not
+        # depend on its batch neighbours.  Solve 12 instances together,
+        # in 5+7, and one at a time — all three must agree bit for bit.
+        n, batch = 9, 12
+        rng = np.random.default_rng(2024)
+        networks = [
+            random_complete_network(n, rng, relative_sigma=0.3) for _ in range(batch)
+        ]
+        topology = complete_topology(n)
+        caps = complete_capacities(networks, topology)
+        sources = rng.integers(0, n // 2, size=batch)
+        sinks = rng.integers(n // 2, n, size=batch)
+
+        whole = batched_dinic_edges(topology, caps, sources, sinks)
+        for chunks in ([(0, 5), (5, 12)], [(i, i + 1) for i in range(batch)]):
+            values = np.concatenate(
+                [
+                    batched_dinic_edges(
+                        topology, caps[lo:hi], sources[lo:hi], sinks[lo:hi]
+                    ).values
+                    for lo, hi in chunks
+                ]
+            )
+            flows = np.concatenate(
+                [
+                    batched_dinic_edges(
+                        topology, caps[lo:hi], sources[lo:hi], sinks[lo:hi]
+                    ).flows
+                    for lo, hi in chunks
+                ]
+            )
+            assert np.array_equal(values, whole.values)
+            assert np.array_equal(flows, whole.flows)
+
+
+class TestValidation:
+    def test_rejects_non_contiguous_residual_out(self):
+        topology = complete_topology(4)
+        caps = np.ones((2, topology.num_edges))
+        bad = np.empty((2 * topology.num_edges + 1, 2)).T
+        with pytest.raises(GraphError, match="C-contiguous"):
+            batched_dinic_edges(topology, caps, 0, 3, residual_out=bad)
+
+    def test_rejects_wrong_residual_shape_and_dtype(self):
+        topology = complete_topology(4)
+        caps = np.ones((2, topology.num_edges))
+        with pytest.raises(GraphError):
+            batched_dinic_edges(
+                topology, caps, 0, 3, residual_out=np.empty((2, 5))
+            )
+        with pytest.raises(GraphError):
+            batched_dinic_edges(
+                topology,
+                caps,
+                0,
+                3,
+                residual_out=np.empty(
+                    (2, 2 * topology.num_edges + 1), dtype=np.float32
+                ),
+            )
+
+    def test_residual_out_is_written_in_place(self):
+        topology = complete_topology(5)
+        rng = np.random.default_rng(3)
+        caps = np.ascontiguousarray(rng.random((3, topology.num_edges)))
+        buffer = np.empty((3, 2 * topology.num_edges + 1))
+        result = batched_dinic_edges(topology, caps, 0, 4, residual_out=buffer)
+        assert result.residual is buffer
+
+    def test_rejects_bad_terminals_and_capacities(self):
+        topology = complete_topology(4)
+        caps = np.ones((2, topology.num_edges))
+        with pytest.raises(GraphError):
+            batched_dinic_edges(topology, caps, 0, 7)
+        with pytest.raises(GraphError):
+            batched_dinic_edges(topology, caps, 2, 2)
+        with pytest.raises(GraphError):
+            batched_dinic_edges(topology, -caps, 0, 3)
+        with pytest.raises(GraphError):
+            batched_dinic_edges(topology, np.ones((2, 3)), 0, 3)
+
+
+class TestRegistryIntegration:
+    def test_spec_ships_the_edge_tensor_capability(self):
+        spec = get_solver("batched_dinic")
+        assert spec.kind == "exact"
+        assert spec.tensor_edge_fn is batched_dinic_edges
+        assert "edge" in spec.tensor_kind
+        assert spec.capabilities()["tensor"] == spec.tensor_kind
+
+    def test_solve_tensor_edges_records_stats(self):
+        spec = get_solver("batched_dinic")
+        topology = complete_topology(6)
+        rng = np.random.default_rng(9)
+        caps = np.ascontiguousarray(rng.random((4, topology.num_edges)) + 0.1)
+        stats = SolveStats()
+        result = spec.solve_tensor_edges(topology, caps, 0, 5, stats=stats)
+        assert len(result.values) == 4
+        assert stats.solves == 4
+        assert stats.total_seconds >= 0
+
+    def test_solvers_without_edge_path_refuse(self):
+        spec = get_solver("dinic")
+        if spec.tensor_edge_fn is not None:
+            pytest.skip("dinic grew an edge path; nothing to refuse")
+        topology = complete_topology(4)
+        with pytest.raises(SolverError, match="edge-array"):
+            spec.solve_tensor_edges(topology, np.ones((1, topology.num_edges)), 0, 3)

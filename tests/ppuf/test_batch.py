@@ -78,7 +78,7 @@ class TestEvaluator:
         assert bits.shape == (len(challenges),)
         assert report.challenges == len(challenges)
         assert report.engine == "maxflow"
-        assert report.algorithm == "batched"
+        assert report.algorithm == "batched_dinic"
         assert report.chunks == 3  # ceil(24 / 10)
         assert report.workers == 1
         assert report.total_seconds > 0

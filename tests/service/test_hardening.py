@@ -348,7 +348,12 @@ class TestVerifyTimeout:
             time.sleep(0.5)
             return True, "ok", 0.0, None
 
+        def wedged_batch(jobs, rtol):
+            time.sleep(0.5)
+            return [(True, "ok", 0.0, None) for _ in jobs]
+
         monkeypatch.setattr(server_module, "_verify_claim_task", wedged)
+        monkeypatch.setattr(server_module, "_verify_claims_task", wedged_batch)
 
         async def go():
             async with PpufAuthServer(
@@ -404,7 +409,13 @@ class TestGracefulDrain:
             completed.append(device_id)
             return True, "ok", 0.3, None
 
+        def slow_verify_batch(jobs, rtol):
+            time.sleep(0.3)
+            completed.extend(job[0] for job in jobs)
+            return [(True, "ok", 0.3, None) for _ in jobs]
+
         monkeypatch.setattr(server_module, "_verify_claim_task", slow_verify)
+        monkeypatch.setattr(server_module, "_verify_claims_task", slow_verify_batch)
 
         async def go():
             server = PpufAuthServer(workers=0, rounds=1, seed=5, drain_seconds=5.0)

@@ -232,12 +232,27 @@ class TestPackBackedRegistry:
         assert registry.compiled(ids[0]) is first  # warm hit
         registry.compiled(ids[1])  # evicts ids[0]
         assert len(registry._compiled) == 1
-        refetched = registry.compiled(ids[0])  # cold again: fresh view
-        assert refetched is not first
+        # Cold in the registry again; the pack's own device LRU may still
+        # hold the (immutable) view, so identity is allowed — what matters
+        # is the bound above and that the served bits stay correct.
+        refetched = registry.compiled(ids[0])
         challenges = fleet[0].challenge_space().random_batch(3, rng)
         assert np.array_equal(
             refetched.response_bits(challenges), fleet[0].response_bits(challenges)
         )
+
+    def test_pack_device_cache_is_bounded_and_optional(self, pack_path, fleet):
+        from repro.ppuf.pack import ArtifactPack
+
+        ids = [device_id_for(ppuf_to_dict(d)) for d in fleet]
+        pack = ArtifactPack(pack_path, cache_devices=1)
+        first = pack.device(ids[0])
+        assert pack.device(ids[0]) is first  # warm hit
+        pack.device(ids[1])  # evicts ids[0]
+        assert len(pack._cache) == 1
+        assert pack.device(ids[0]) is not first  # rebuilt after eviction
+        uncached = ArtifactPack(pack_path, cache_devices=0)
+        assert uncached.device(ids[0]) is not uncached.device(ids[0])
 
     def test_loopback_auth_verifies_off_pack_slices(self, pack_path, fleet):
         import asyncio

@@ -418,8 +418,12 @@ def _pack_member(pack_path: str, device_id):
 def _command_fleet(arguments) -> int:
     handlers = {
         "serve": _fleet_serve,
+        "route": _fleet_route,
         "stats": _fleet_stats,
         "load": _fleet_load,
+        "scale": _fleet_scale,
+        "drain": _fleet_drain,
+        "remove": _fleet_remove,
     }
     return handlers[arguments.fleet_command](arguments)
 
@@ -455,9 +459,19 @@ def _fleet_serve(arguments) -> int:
             arguments.shards,
             spec,
             shard_map=shard_map,
+            map_file=arguments.map_file,
             probe_interval=arguments.probe_interval,
         )
-        router = FleetRouter(shard_map, host=arguments.host, port=arguments.port)
+        # The router shares the supervisor's map by reference (instant
+        # in-process propagation) and, with --map-file, additionally
+        # watches the file so its map_version telemetry matches any
+        # external router routing from the same artifact.
+        router = FleetRouter(
+            shard_map,
+            map_file=arguments.map_file,
+            host=arguments.host,
+            port=arguments.port,
+        )
         await supervisor.start()
         try:
             await router.start()
@@ -467,6 +481,7 @@ def _fleet_serve(arguments) -> int:
                 router.port,
                 host=router.host,
                 role="router",
+                map_file=arguments.map_file,
                 shards=[shard.to_dict() for shard in shard_map.shards()],
             )
             print(
@@ -488,6 +503,156 @@ def _fleet_serve(arguments) -> int:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("fleet stopped", file=sys.stderr)
+    return 0
+
+
+def _fleet_route(arguments) -> int:
+    """A standalone front door routing from a shared shard-map file.
+
+    This is the multi-host story: run ``fleet serve --map-file`` on the
+    host that owns the workers and any number of ``fleet route`` processes
+    elsewhere — they all watch the same file and route identically.
+    """
+    import asyncio
+
+    from repro.service.fleet import FleetRouter
+
+    async def _run() -> None:
+        router = FleetRouter(
+            map_file=arguments.map_file,
+            map_poll_interval=arguments.poll_interval,
+            host=arguments.host,
+            port=arguments.port,
+        )
+        await router.start()
+        try:
+            stop_requested = asyncio.Event()
+            _install_stop_handlers(stop_requested.set)
+            _emit_listening(
+                router.port,
+                host=router.host,
+                role="router",
+                map_file=arguments.map_file,
+            )
+            print(
+                f"fleet router on {router.host}:{router.port} routing from "
+                f"{arguments.map_file} (v{router.map_version})",
+                file=sys.stderr,
+            )
+            await stop_requested.wait()
+        finally:
+            await router.stop()
+            print("router stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("router stopped", file=sys.stderr)
+    return 0
+
+
+def _open_map_file(path: str):
+    from repro.service.fleet import ShardMapFile
+
+    map_file = ShardMapFile(path)
+    if not map_file.exists():
+        raise ReproError(
+            f"no shard-map file at {path!r}; start the fleet with "
+            "'repro fleet serve --map-file' first"
+        )
+    return map_file
+
+
+def _print_map(shard_map, version: int, **extra) -> None:
+    print(
+        json.dumps(
+            {
+                "version": version,
+                **extra,
+                "shards": [shard.to_dict() for shard in shard_map.shards()],
+            },
+            indent=2,
+        )
+    )
+
+
+def _fleet_scale(arguments) -> int:
+    """Mutate a *live* fleet to N serving shards through the map file.
+
+    Scaling up publishes placeholder descriptors (``port=0``, local host,
+    state ``down``) that the watching supervisor turns into spawned
+    workers; scaling down marks the highest-named shards ``draining`` and
+    the supervisor settles, removes and terminates them.  Either way no
+    process restarts and no pinned session drops.
+    """
+    from repro.service.fleet import DRAINING, DOWN, ShardDescriptor
+
+    if arguments.shards < 1:
+        raise ReproError(f"a fleet needs >= 1 shard, got {arguments.shards}")
+    map_file = _open_map_file(arguments.map_file)
+    added: list = []
+    draining: list = []
+    removed: list = []
+
+    def _scale(shard_map) -> None:
+        names = {shard.name for shard in shard_map.shards()}
+
+        def serving():
+            return [s for s in shard_map.shards() if s.state != DRAINING]
+
+        while len(serving()) < arguments.shards:
+            index = 0
+            while f"shard-{index}" in names:
+                index += 1
+            name = f"shard-{index}"
+            names.add(name)
+            shard_map.add(
+                ShardDescriptor(
+                    name=name, host=arguments.host, port=0, state=DOWN
+                )
+            )
+            added.append(name)
+        while len(serving()) > arguments.shards:
+            victim = serving()[-1]
+            if victim.port == 0:
+                # a spawn-request placeholder nobody bound yet — cancel
+                # it outright, there is nothing to drain
+                shard_map.remove(victim.name)
+                removed.append(victim.name)
+            else:
+                shard_map.drain(victim.name)
+                draining.append(victim.name)
+
+    shard_map, version = map_file.mutate(_scale)
+    _print_map(shard_map, version, added=added, draining=draining, removed=removed)
+    return 0
+
+
+def _fleet_drain(arguments) -> int:
+    """Mark one shard draining; the supervisor settles and removes it."""
+    map_file = _open_map_file(arguments.map_file)
+
+    def _drain(shard_map) -> None:
+        if arguments.name not in shard_map:
+            raise ReproError(f"unknown shard {arguments.name!r}")
+        shard_map.drain(arguments.name)
+
+    shard_map, version = map_file.mutate(_drain)
+    _print_map(shard_map, version, draining=[arguments.name])
+    return 0
+
+
+def _fleet_remove(arguments) -> int:
+    """Delete one shard from the map *now* (no settle wait — cuts sessions)."""
+    map_file = _open_map_file(arguments.map_file)
+
+    def _remove(shard_map) -> None:
+        if arguments.name not in shard_map:
+            raise ReproError(f"unknown shard {arguments.name!r}")
+        shard_map.remove(arguments.name)
+
+    shard_map, version = map_file.mutate(_remove)
+    _print_map(shard_map, version, removed=[arguments.name])
     return 0
 
 
@@ -869,7 +1034,72 @@ def build_parser() -> argparse.ArgumentParser:
         default=1.0,
         help="seconds between shard health probes",
     )
+    fleet_serve.add_argument(
+        "--map-file",
+        default=None,
+        metavar="PATH",
+        help="publish and reconcile the shard map through this shared file "
+        "(enables live 'fleet scale/drain/remove' and external "
+        "'fleet route' front doors)",
+    )
     fleet_serve.set_defaults(handler=_command_fleet)
+
+    fleet_route = fleet_commands.add_parser(
+        "route",
+        help="run a standalone front-door router off a shared shard-map file",
+    )
+    fleet_route.add_argument("--host", default="127.0.0.1")
+    fleet_route.add_argument(
+        "--port", type=int, default=7343, help="router bind port (0 = ephemeral)"
+    )
+    fleet_route.add_argument(
+        "--map-file", required=True, metavar="PATH", help="shard-map file to watch"
+    )
+    fleet_route.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        help="seconds between map-file polls (default 0.25)",
+    )
+    fleet_route.set_defaults(handler=_command_fleet)
+
+    fleet_scale = fleet_commands.add_parser(
+        "scale",
+        help="grow or shrink a live fleet to N serving shards via the map file",
+    )
+    fleet_scale.add_argument(
+        "--map-file", required=True, metavar="PATH", help="shard-map file to mutate"
+    )
+    fleet_scale.add_argument(
+        "--shards", type=int, required=True, help="target serving shard count"
+    )
+    fleet_scale.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="host new placeholder shards should spawn on (must match the "
+        "supervisor's --host)",
+    )
+    fleet_scale.set_defaults(handler=_command_fleet)
+
+    fleet_drain = fleet_commands.add_parser(
+        "drain",
+        help="gracefully decommission one shard (settle, then remove)",
+    )
+    fleet_drain.add_argument("name", help="shard name, e.g. shard-0")
+    fleet_drain.add_argument(
+        "--map-file", required=True, metavar="PATH", help="shard-map file to mutate"
+    )
+    fleet_drain.set_defaults(handler=_command_fleet)
+
+    fleet_remove = fleet_commands.add_parser(
+        "remove",
+        help="force-remove one shard now (cuts its pinned sessions)",
+    )
+    fleet_remove.add_argument("name", help="shard name, e.g. shard-0")
+    fleet_remove.add_argument(
+        "--map-file", required=True, metavar="PATH", help="shard-map file to mutate"
+    )
+    fleet_remove.set_defaults(handler=_command_fleet)
 
     fleet_stats = fleet_commands.add_parser(
         "stats", help="merged fleet STATS snapshot from the router"

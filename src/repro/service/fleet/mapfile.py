@@ -1,0 +1,289 @@
+"""The shared shard-map file: one artifact every router routes from.
+
+A fleet's membership lives in a small JSON file published atomically and
+stamped with a monotonically increasing ``version``.  Any number of
+:class:`~repro.service.fleet.router.FleetRouter` instances — in other
+processes, on other hosts sharing the path over a network filesystem —
+load the same file and therefore route identically; the supervisor and
+the ``repro fleet scale/drain/remove`` CLI mutate it, and every watcher
+picks the change up on its next poll.  This replaces the PR 7 topology
+where the map existed only inside one router's memory and membership
+change meant restarting the fleet.
+
+File format (``format: 1``)::
+
+    {
+      "format": 1,
+      "version": 7,
+      "shards": [ {"name": "shard-0", "host": "...", "port": N,
+                   "state": "active|draining|down"}, ... ]
+    }
+
+The concurrency story, in order of machinery:
+
+* **torn-write safety** — writers go through
+  :func:`repro.ppuf.io.atomic_write_text` (temp file, fsync,
+  umask-respecting :func:`~repro.ppuf.io.publish_temp` rename), so a
+  reader sees either the old map or the new one, never a partial line;
+* **lost-update safety** — read-modify-write cycles
+  (:meth:`ShardMapFile.mutate`) serialise on an ``flock``'d sidecar
+  ``<path>.lock`` file, so a supervisor publishing a respawned worker's
+  port and an operator draining a shard at the same moment compose
+  instead of overwriting each other;
+* **staleness detection** — ``version`` only ever grows (every publish
+  is read-version + 1 under the lock), so a watcher can order updates
+  without trusting filesystem timestamps; :meth:`ShardMapFile.poll`
+  uses ``(mtime_ns, inode, size)`` only as a cheap "anything new?"
+  filter before paying for a read.
+
+One :class:`ShardMapFile` instance tracks one watcher's progress
+(:meth:`poll` is stateful); give each watching component its own
+instance even when they share a path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import os
+from contextlib import contextmanager
+from typing import Callable, Optional, Tuple
+
+try:  # POSIX advisory locking; absent on some platforms (best-effort there)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+from repro.errors import ServiceError
+from repro.ppuf.io import atomic_write_text
+from repro.service.fleet.topology import ShardMap
+
+logger = logging.getLogger(__name__)
+
+#: Shard-map file schema version (the ``format`` key).
+MAPFILE_FORMAT = 1
+
+#: Default seconds between watcher polls of the map file.
+DEFAULT_POLL_INTERVAL = 0.25
+
+
+def encode_shard_map(shard_map: ShardMap, *, version: int) -> str:
+    """The canonical file text for ``shard_map`` at ``version``."""
+    if not isinstance(version, int) or isinstance(version, bool) or version < 0:
+        raise ServiceError(f"shard-map version must be an int >= 0, got {version!r}")
+    payload = {"format": MAPFILE_FORMAT, "version": version, **shard_map.to_dict()}
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def decode_shard_map(text: str, *, path: str = "<shard map>") -> Tuple[ShardMap, int]:
+    """Parse file text into ``(ShardMap, version)``; :class:`ServiceError` on junk."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ServiceError(f"malformed shard-map file {path!r}: {error}") from error
+    if not isinstance(payload, dict):
+        raise ServiceError(f"shard-map file {path!r} must hold a JSON object")
+    fmt = payload.get("format")
+    if fmt != MAPFILE_FORMAT:
+        raise ServiceError(
+            f"shard-map file {path!r} has format {fmt!r}; this build reads "
+            f"format {MAPFILE_FORMAT}"
+        )
+    version = payload.get("version")
+    if not isinstance(version, int) or isinstance(version, bool) or version < 0:
+        raise ServiceError(
+            f"shard-map file {path!r} carries a bad version: {version!r}"
+        )
+    return ShardMap.from_dict(payload), version
+
+
+class ShardMapFile:
+    """One path, three verbs: ``publish``, ``mutate``, ``poll``/``watch``.
+
+    Parameters
+    ----------
+    path:
+        Where the map lives.  The sidecar lock file is ``<path>.lock``.
+    poll_interval:
+        Default seconds between :meth:`watch` polls.
+    """
+
+    def __init__(self, path, *, poll_interval: float = DEFAULT_POLL_INTERVAL):
+        self.path = os.fspath(path)
+        self.poll_interval = float(poll_interval)
+        self._seen_stat: Optional[tuple] = None
+        self._seen_version = -1
+        # Highest version this instance wrote — kept separate from
+        # _seen_version (the poll gate) so a writer's own publishes never
+        # suppress polls of a concurrent writer's earlier version.  Used
+        # only as the version floor when healing a corrupt file.
+        self._written_version = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"ShardMapFile({self.path!r}, seen_version={self._seen_version})"
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def load(self) -> Tuple[ShardMap, int]:
+        """Read the current map; marks its version as seen for :meth:`poll`."""
+        stat = self._stat()
+        try:
+            with open(self.path) as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ServiceError(
+                f"cannot read shard-map file {self.path!r}: {error}"
+            ) from error
+        shard_map, version = decode_shard_map(text, path=self.path)
+        self._seen_stat = stat
+        self._seen_version = max(self._seen_version, version)
+        return shard_map, version
+
+    def _stat(self) -> Optional[tuple]:
+        try:
+            stat = os.stat(self.path)
+        except FileNotFoundError:
+            return None
+        return (stat.st_mtime_ns, stat.st_ino, stat.st_size)
+
+    def poll(self) -> Optional[Tuple[ShardMap, int]]:
+        """``(map, version)`` when a newer version was published, else ``None``.
+
+        Cheap when idle: one ``stat`` against the remembered
+        ``(mtime_ns, inode, size)`` triple; the file is only read (and
+        version compared) when the stat changed.  Every publish goes
+        through an atomic rename, so the inode changes with the content
+        and stat equality is a safe negative.  A corrupt file raises
+        :class:`ServiceError` *after* remembering the stat, so a watcher
+        logs it once instead of every tick.
+        """
+        current = self._stat()
+        if current is None or current == self._seen_stat:
+            return None
+        self._seen_stat = current
+        try:
+            with open(self.path) as handle:
+                text = handle.read()
+        except OSError as error:
+            raise ServiceError(
+                f"cannot read shard-map file {self.path!r}: {error}"
+            ) from error
+        shard_map, version = decode_shard_map(text, path=self.path)
+        if version <= self._seen_version:
+            return None
+        self._seen_version = version
+        return shard_map, version
+
+    async def watch(
+        self,
+        callback: Callable,
+        *,
+        poll_interval: Optional[float] = None,
+    ) -> None:
+        """Poll forever; run ``callback(shard_map, version)`` per new version.
+
+        The callback may be sync or async.  Corrupt or half-migrated
+        files are logged and skipped — the watcher keeps its last good
+        map and keeps polling; the next successful publish heals it.
+        Cancel the task to stop watching.
+        """
+        interval = self.poll_interval if poll_interval is None else poll_interval
+        while True:
+            try:
+                update = self.poll()
+            except ServiceError as error:
+                logger.warning("shard-map watch skipping bad read: %s", error)
+                update = None
+            if update is not None:
+                result = callback(*update)
+                if asyncio.iscoroutine(result):
+                    await result
+            await asyncio.sleep(interval)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _lock(self):
+        """Exclusive advisory lock on the sidecar ``<path>.lock`` file."""
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        handle = open(self.path + ".lock", "a+")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+    def _read_locked(self) -> Tuple[ShardMap, int]:
+        """Current file contents under the caller's lock (empty map if none).
+
+        A corrupt file must not wedge writers forever: it is treated as
+        an empty map at the highest version this instance knows, so the
+        next publish overwrites the junk with good bytes at an advancing
+        version instead of raising on every attempt.
+        """
+        if not self.exists():
+            return ShardMap(), 0
+        with open(self.path) as handle:
+            text = handle.read()
+        try:
+            return decode_shard_map(text, path=self.path)
+        except ServiceError as error:
+            logger.warning(
+                "shard-map file %r is corrupt (%s); next publish rewrites it",
+                self.path,
+                error,
+            )
+            return ShardMap(), max(self._seen_version, self._written_version, 0)
+
+    def publish(self, shard_map: ShardMap, *, version: Optional[int] = None) -> int:
+        """Atomically write ``shard_map`` at the next version; returns it.
+
+        ``version`` defaults to (current file version) + 1, read under
+        the lock so concurrent publishers never reuse a number.  An
+        explicit ``version`` must still advance past the file's.
+        """
+        with self._lock():
+            _, current = self._read_locked()
+            if version is None:
+                version = current + 1
+            elif version <= current:
+                raise ServiceError(
+                    f"shard-map version must advance monotonically: "
+                    f"{version} <= published {current}"
+                )
+            atomic_write_text(
+                self.path, encode_shard_map(shard_map, version=version)
+            )
+        self._written_version = max(self._written_version, version)
+        return version
+
+    def mutate(self, mutator: Callable[[ShardMap], object]) -> Tuple[ShardMap, int]:
+        """One serialized read-modify-write: load, ``mutator(map)``, publish.
+
+        This is how every live membership change happens — the CLI's
+        ``scale``/``drain``/``remove`` and the supervisor's port updates
+        all route through here, so concurrent writers interleave whole
+        transactions instead of overwriting each other's edits.  Returns
+        the published ``(map, version)``.  A mutator that raises leaves
+        the file untouched.
+        """
+        with self._lock():
+            shard_map, version = self._read_locked()
+            mutator(shard_map)
+            version += 1
+            atomic_write_text(
+                self.path, encode_shard_map(shard_map, version=version)
+            )
+        self._written_version = max(self._written_version, version)
+        return shard_map, version

@@ -25,17 +25,28 @@ A connection whose shard is down gets one clean wire ``ERROR`` frame and
 a close — never a hang; a shard that dies mid-session closes the spliced
 connection, which the client surfaces as
 :class:`~repro.errors.ConnectionLost` within its timeout.
+
+The routing table can be *live*: constructed with a ``map_file``
+(:class:`~repro.service.fleet.mapfile.ShardMapFile`), the router watches
+the shared shard-map file and swaps its membership on every version
+bump.  Reloads only affect where *new* sessions go — pinned connections
+are raw byte splices over already-dialed sockets, so a scale-out or a
+drain never drops a session in flight.  Any number of routers — other
+processes, other hosts — watching the same file route identically,
+because routing is a pure function of the (shared) shard names.
 """
 
 from __future__ import annotations
 
 import asyncio
 import logging
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 from repro.errors import ServiceError, ServiceTimeout
 from repro.service import wire
+from repro.service.fleet.mapfile import ShardMapFile
 from repro.service.fleet.topology import ShardDescriptor, ShardMap
 from repro.service.registry import device_id_for
 from repro.service.stats import ServerStats
@@ -59,6 +70,8 @@ class RouterStats:
     unroutable_frames: int = 0
     protocol_errors: int = 0
     stats_fanouts: int = 0
+    #: shard-map file reloads applied (version bumps seen while serving)
+    map_reloads: int = 0
     splice_bytes: Dict[str, int] = field(
         default_factory=lambda: {"c2s": 0, "s2c": 0}
     )
@@ -71,6 +84,7 @@ class RouterStats:
             "unroutable_frames": self.unroutable_frames,
             "protocol_errors": self.protocol_errors,
             "stats_fanouts": self.stats_fanouts,
+            "map_reloads": self.map_reloads,
             "splice_bytes": dict(self.splice_bytes),
         }
 
@@ -86,7 +100,17 @@ class FleetRouter:
     Parameters
     ----------
     shard_map:
-        Live routing table (shared with a supervisor, or static).
+        Live routing table (shared with a supervisor, or static).  May be
+        omitted when ``map_file`` is given — the router then starts from
+        the published map (or empty until the file appears).
+    map_file:
+        A :class:`~repro.service.fleet.mapfile.ShardMapFile` (or its
+        path) to watch: every published version bump atomically replaces
+        the routing membership without touching pinned connections.
+        Give each router its own ``ShardMapFile`` instance — poll
+        progress is per-instance.
+    map_poll_interval:
+        Seconds between map-file polls (only with ``map_file``).
     host, port:
         Front-door bind; ``port=0`` picks a free port (see :attr:`port`
         after :meth:`start`).
@@ -101,15 +125,25 @@ class FleetRouter:
 
     def __init__(
         self,
-        shard_map: ShardMap,
+        shard_map: Optional[ShardMap] = None,
         *,
+        map_file: Optional[Union[str, os.PathLike, ShardMapFile]] = None,
+        map_poll_interval: Optional[float] = None,
         host: str = "127.0.0.1",
         port: int = 0,
         connection_timeout: Optional[float] = 300.0,
         shard_connect_timeout: float = 5.0,
         stats_timeout: float = 5.0,
     ):
-        self.shard_map = shard_map
+        if shard_map is None and map_file is None:
+            raise ServiceError("router needs a shard_map, a map_file, or both")
+        if isinstance(map_file, ShardMapFile) or map_file is None:
+            self.map_file = map_file
+        else:
+            self.map_file = ShardMapFile(map_file)
+        self.map_poll_interval = map_poll_interval
+        self.map_version: Optional[int] = None
+        self.shard_map = shard_map if shard_map is not None else ShardMap()
         self.host = host
         self.port = port
         self.connection_timeout = connection_timeout
@@ -117,6 +151,7 @@ class FleetRouter:
         self.stats_timeout = stats_timeout
         self.stats = RouterStats()
         self._server: Optional[asyncio.base_events.Server] = None
+        self._map_watch: Optional[asyncio.Task] = None
         self._connections: set = set()
 
     # ------------------------------------------------------------------
@@ -125,13 +160,45 @@ class FleetRouter:
     async def start(self) -> "FleetRouter":
         if self._server is not None:
             raise ServiceError("router already started")
+        if self.map_file is not None:
+            if self.map_file.exists():
+                shard_map, version = self.map_file.load()
+                self.shard_map.replace_all(shard_map.shards())
+                self.map_version = version
+            self._map_watch = asyncio.create_task(
+                self.map_file.watch(
+                    self._on_map_update, poll_interval=self.map_poll_interval
+                )
+            )
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port, limit=wire.MAX_LINE_BYTES
         )
         self.port = self._server.sockets[0].getsockname()[1]
         return self
 
+    def _on_map_update(self, shard_map: ShardMap, version: int) -> None:
+        """Apply a published membership change to *future* routing only.
+
+        ``replace_all`` swaps the table under the shared map object;
+        already-pinned connections are byte splices over sockets dialed
+        earlier, so they complete against whatever shard they pinned to —
+        exactly the drain semantics the two-phase lifecycle needs.
+        """
+        self.shard_map.replace_all(shard_map.shards())
+        self.map_version = version
+        self.stats.map_reloads += 1
+        logger.info(
+            "router reloaded shard map v%d (%d shards)", version, len(shard_map)
+        )
+
     async def stop(self) -> None:
+        if self._map_watch is not None:
+            self._map_watch.cancel()
+            try:
+                await self._map_watch
+            except asyncio.CancelledError:
+                pass
+            self._map_watch = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -362,6 +429,11 @@ class FleetRouter:
     async def _shard_snapshot(self, shard: ShardDescriptor) -> dict:
         """One shard's STATS snapshot, or an unhealthy marker on failure."""
         entry = {**shard.to_dict(), "healthy": False}
+        if shard.port == 0:
+            # A ``fleet scale`` placeholder the supervisor hasn't bound
+            # yet — nothing to dial, and that's expected, not an outage.
+            entry["error"] = "not bound yet (awaiting supervisor spawn)"
+            return entry
         try:
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(
@@ -421,5 +493,6 @@ class FleetRouter:
                 "shards": entries,
                 "healthy_shards": sum(1 for e in entries if e["healthy"]),
                 "router": self.stats.snapshot(),
+                "map_version": self.map_version,
             },
         }

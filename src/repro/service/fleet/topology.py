@@ -22,13 +22,20 @@ properties that matter at fleet scale:
 Membership changes are two-phase (*drain, then remove*): ``drain`` makes
 a shard ineligible for new sessions while existing connections finish;
 ``remove`` drops it.  Descriptors serialise to plain dicts so a topology
-can cross process boundaries or be published for external routers.
+can cross process boundaries or be published for external routers (the
+shard-map file, :mod:`repro.service.fleet.mapfile`).
+
+Descriptors are *immutable* (frozen dataclasses) and every state change
+replaces the stored descriptor instead of mutating it — copy-on-write.
+That makes a snapshot taken via :meth:`ShardMap.shards` a true snapshot:
+a later ``drain`` cannot silently rewrite state inside a list someone
+captured earlier (a router mid-reload, a supervisor event log, a test).
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional
 
 from repro.errors import ServiceError
@@ -43,13 +50,20 @@ DOWN = "down"
 SHARD_STATES = (ACTIVE, DRAINING, DOWN)
 
 
-@dataclass
+@dataclass(frozen=True)
 class ShardDescriptor:
     """One shard's identity and address.
 
     ``name`` is the stable routing identity (rendezvous scores hash it);
     ``host``/``port`` are where the shard currently listens and may change
-    across restarts without moving any devices.
+    across restarts without moving any devices.  ``port=0`` means "not
+    bound yet" — a placeholder published by ``fleet scale`` that the
+    supervisor replaces with the real ephemeral port once the worker
+    reports it.
+
+    Instances are frozen: state transitions go through
+    :meth:`with_state` (or :meth:`ShardMap.set_state`), which return a
+    *new* descriptor — previously captured snapshots never change.
     """
 
     name: str
@@ -60,10 +74,24 @@ class ShardDescriptor:
     def __post_init__(self):
         if not self.name:
             raise ServiceError("shard name must be non-empty")
+        if not isinstance(self.host, str) or not self.host.strip():
+            raise ServiceError(
+                f"shard {self.name!r} field 'host' must be a non-blank "
+                f"string, got {self.host!r}"
+            )
+        if not 0 <= self.port <= 65535:
+            raise ServiceError(
+                f"shard {self.name!r} field 'port' out of range 0..65535: "
+                f"{self.port}"
+            )
         if self.state not in SHARD_STATES:
             raise ServiceError(
                 f"shard state must be one of {SHARD_STATES}, got {self.state!r}"
             )
+
+    def with_state(self, state: str) -> "ShardDescriptor":
+        """A copy of this descriptor in ``state`` (validated on build)."""
+        return replace(self, state=state)
 
     @property
     def routable(self) -> bool:
@@ -127,18 +155,22 @@ class ShardMap:
         return descriptor
 
     def drain(self, name: str) -> ShardDescriptor:
-        """Phase one of removal: stop routing new sessions to ``name``."""
-        descriptor = self.get(name)
-        descriptor.state = DRAINING
-        return descriptor
+        """Phase one of removal: stop routing new sessions to ``name``.
+
+        Copy-on-write: the stored descriptor is *replaced* by a draining
+        copy, which is returned.  Snapshots taken before the drain keep
+        the old state.
+        """
+        return self.set_state(name, DRAINING)
 
     def set_state(self, name: str, state: str) -> ShardDescriptor:
+        """Replace ``name``'s descriptor with a copy in ``state``."""
         if state not in SHARD_STATES:
             raise ServiceError(
                 f"shard state must be one of {SHARD_STATES}, got {state!r}"
             )
-        descriptor = self.get(name)
-        descriptor.state = state
+        descriptor = self.get(name).with_state(state)
+        self._shards[name] = descriptor
         return descriptor
 
     def remove(self, name: str) -> ShardDescriptor:
@@ -147,6 +179,23 @@ class ShardMap:
             return self._shards.pop(name)
         except KeyError:
             raise ServiceError(f"unknown shard {name!r}") from None
+
+    def replace_all(self, descriptors: Iterable[ShardDescriptor]) -> None:
+        """Swap the whole membership in one step (shard-map file reload).
+
+        The map *object* keeps its identity — a router or supervisor
+        holding it by reference sees the new membership on its next
+        lookup — while the membership is rebuilt atomically: either the
+        old set or the new one, never a half-applied mix.
+        """
+        fresh: Dict[str, ShardDescriptor] = {}
+        for descriptor in descriptors:
+            if descriptor.name in fresh:
+                raise ServiceError(
+                    f"duplicate shard {descriptor.name!r} in replacement set"
+                )
+            fresh[descriptor.name] = descriptor
+        self._shards = fresh
 
     # ------------------------------------------------------------------
     # lookup
@@ -184,8 +233,30 @@ class ShardMap:
             if score > best_score:
                 best, best_score = shard, score
         if best is None:
-            raise ServiceError("no active shard available for routing")
+            raise ServiceError(self.no_shard_reason())
         return best
+
+    def no_shard_reason(self) -> str:
+        """Why routing is impossible right now — drain vs outage.
+
+        An operator watching ERROR frames must be able to tell a planned
+        drain ("come back in a minute") from an empty or dead fleet (page
+        someone), so the three conditions get three distinct messages.
+        """
+        if not self._shards:
+            return "no shard available for routing: the shard map is empty"
+        draining = sum(1 for s in self._shards.values() if s.state == DRAINING)
+        down = sum(1 for s in self._shards.values() if s.state == DOWN)
+        if draining:
+            return (
+                "no active shard available for routing: fleet is draining "
+                f"({draining} draining, {down} down of {len(self._shards)} "
+                "shards)"
+            )
+        return (
+            "no active shard available for routing: fleet is down "
+            f"(all {len(self._shards)} shards down)"
+        )
 
     def assignments(self, device_ids: Iterable[str]) -> Dict[str, List[str]]:
         """Owner name → owned device ids, for capacity planning and tests."""

@@ -344,6 +344,11 @@ class ClaimMicroBatcher:
         """True while any claim is queued or any batch is in flight."""
         return bool(self._pending or self._tasks)
 
+    @property
+    def queued(self) -> int:
+        """Claims waiting in the forming batch (not yet dispatched)."""
+        return len(self._pending)
+
     def flush(self) -> None:
         """Dispatch whatever is queued now instead of waiting out the
         linger — used by graceful drain so a stopping server still settles
@@ -858,4 +863,11 @@ class PpufAuthServer:
         snapshot["active_sessions"] = len(self.sessions)
         snapshot["devices"] = len(self.registry)
         snapshot["open_connections"] = self._connections
+        # Drain visibility: a supervisor deciding whether this shard has
+        # settled needs to see work that is queued but not yet a session
+        # counter — claims in the pool plus claims lingering in the
+        # micro-batcher.
+        snapshot["verifications_in_flight"] = self.pool.active + (
+            self.batcher.queued if self.batcher is not None else 0
+        )
         return {"type": wire.STATS, "stats": snapshot}

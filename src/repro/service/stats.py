@@ -99,6 +99,25 @@ class LatencyHistogram:
 UNKNOWN_ALGORITHM = "unknown"
 
 
+def shard_settled(previous: dict, current: dict) -> bool:
+    """True when a draining shard's in-flight work has settled.
+
+    ``previous`` and ``current`` are two consecutive wire ``STATS``
+    snapshots from the same shard.  Settled means nothing is live *now*
+    (no open sessions, no verification in the pool or queued in the
+    micro-batcher) and nothing *started* between the two polls
+    (``sessions_opened`` unchanged) — the delta guard closes the race
+    where a session opens and closes entirely between two polls of an
+    instantaneously-idle shard.  A supervisor draining a shard polls
+    until this holds, then removes and terminates it.
+    """
+    if current.get("active_sessions", 0):
+        return False
+    if current.get("verifications_in_flight", 0):
+        return False
+    return current.get("sessions_opened", 0) == previous.get("sessions_opened", 0)
+
+
 def merge_histogram_snapshots(base: dict, other: dict) -> dict:
     """Merge two :meth:`LatencyHistogram.snapshot` dicts bucket-wise.
 

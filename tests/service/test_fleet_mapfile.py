@@ -1,0 +1,287 @@
+"""The shared shard-map file: versioning, atomicity, watch semantics.
+
+Pinned here: the protocol invariants every fleet participant leans on —
+versions only grow, mutate() is a serialized read-modify-write, a
+corrupt file never kills (or hot-loops) a watcher, and two independent
+``ShardMap``s loaded from the same file agree on ``shard_for`` for ten
+thousand random device ids (the multi-router determinism guarantee).
+"""
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.ppuf.io import atomic_write_text
+from repro.service.fleet import (
+    DOWN,
+    DRAINING,
+    MAPFILE_FORMAT,
+    ShardDescriptor,
+    ShardMap,
+    ShardMapFile,
+    decode_shard_map,
+    encode_shard_map,
+)
+
+
+def two_shard_map():
+    return ShardMap(
+        [
+            ShardDescriptor(name="shard-0", port=9001),
+            ShardDescriptor(name="shard-1", port=9002, state=DRAINING),
+        ]
+    )
+
+
+@pytest.fixture
+def map_path(tmp_path):
+    return str(tmp_path / "fleet-map.json")
+
+
+class TestEncodeDecode:
+    def test_roundtrip_preserves_shards_and_version(self):
+        text = encode_shard_map(two_shard_map(), version=7)
+        shard_map, version = decode_shard_map(text)
+        assert version == 7
+        assert [s.to_dict() for s in shard_map.shards()] == [
+            s.to_dict() for s in two_shard_map().shards()
+        ]
+
+    def test_format_key_present(self):
+        payload = json.loads(encode_shard_map(ShardMap(), version=0))
+        assert payload["format"] == MAPFILE_FORMAT
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            decode_shard_map("{not json", path="p")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ServiceError, match="JSON object"):
+            decode_shard_map("[1, 2]", path="p")
+
+    def test_rejects_unknown_format(self):
+        text = json.dumps({"format": 99, "version": 1, "shards": []})
+        with pytest.raises(ServiceError, match="format"):
+            decode_shard_map(text, path="p")
+
+    @pytest.mark.parametrize("version", [-1, "7", None, True])
+    def test_rejects_bad_version(self, version):
+        text = json.dumps(
+            {"format": MAPFILE_FORMAT, "version": version, "shards": []}
+        )
+        with pytest.raises(ServiceError, match="version"):
+            decode_shard_map(text, path="p")
+
+    def test_rejects_bad_descriptor_in_file(self):
+        text = json.dumps(
+            {
+                "format": MAPFILE_FORMAT,
+                "version": 1,
+                "shards": [{"name": "s", "port": 99999}],
+            }
+        )
+        with pytest.raises(ServiceError, match="'port'"):
+            decode_shard_map(text, path="p")
+
+
+class TestPublish:
+    def test_versions_advance_monotonically(self, map_path):
+        map_file = ShardMapFile(map_path)
+        assert map_file.publish(two_shard_map()) == 1
+        assert map_file.publish(two_shard_map()) == 2
+        _, version = map_file.load()
+        assert version == 2
+
+    def test_explicit_version_must_advance(self, map_path):
+        map_file = ShardMapFile(map_path)
+        map_file.publish(two_shard_map(), version=5)
+        with pytest.raises(ServiceError, match="monotonically"):
+            map_file.publish(two_shard_map(), version=5)
+        with pytest.raises(ServiceError, match="monotonically"):
+            map_file.publish(two_shard_map(), version=3)
+        assert map_file.publish(two_shard_map(), version=9) == 9
+
+    def test_mutate_is_read_modify_write(self, map_path):
+        map_file = ShardMapFile(map_path)
+        map_file.publish(two_shard_map())
+
+        shard_map, version = map_file.mutate(lambda m: m.drain("shard-0"))
+        assert version == 2
+        assert shard_map.get("shard-0").state == DRAINING
+        # A second writer with its own instance sees the first's edit.
+        other = ShardMapFile(map_path)
+        shard_map2, version2 = other.mutate(
+            lambda m: m.add(ShardDescriptor(name="shard-2", port=9003))
+        )
+        assert version2 == 3
+        assert shard_map2.get("shard-0").state == DRAINING
+        assert "shard-2" in shard_map2
+
+    def test_raising_mutator_leaves_file_untouched(self, map_path):
+        map_file = ShardMapFile(map_path)
+        map_file.publish(two_shard_map())
+
+        def bad(shard_map):
+            shard_map.drain("shard-0")
+            raise RuntimeError("abort")
+
+        with pytest.raises(RuntimeError):
+            map_file.mutate(bad)
+        shard_map, version = ShardMapFile(map_path).load()
+        assert version == 1
+        assert shard_map.get("shard-0").state != DRAINING
+
+    def test_mutate_starts_from_empty_when_no_file(self, map_path):
+        shard_map, version = ShardMapFile(map_path).mutate(
+            lambda m: m.add(ShardDescriptor(name="shard-0", port=1))
+        )
+        assert version == 1
+        assert len(shard_map) == 1
+
+
+class TestPoll:
+    def test_poll_none_until_change_then_new_version(self, map_path):
+        writer = ShardMapFile(map_path)
+        watcher = ShardMapFile(map_path)
+        assert watcher.poll() is None  # no file yet
+        writer.publish(two_shard_map())
+        shard_map, version = watcher.poll()
+        assert version == 1 and len(shard_map) == 2
+        assert watcher.poll() is None  # nothing new
+        writer.mutate(lambda m: m.drain("shard-0"))
+        shard_map, version = watcher.poll()
+        assert version == 2
+        assert shard_map.get("shard-0").state == DRAINING
+
+    def test_load_marks_version_seen(self, map_path):
+        writer = ShardMapFile(map_path)
+        writer.publish(two_shard_map())
+        watcher = ShardMapFile(map_path)
+        watcher.load()
+        assert watcher.poll() is None
+
+    def test_stale_version_not_redelivered(self, map_path):
+        writer = ShardMapFile(map_path)
+        writer.publish(two_shard_map(), version=5)
+        watcher = ShardMapFile(map_path)
+        assert watcher.poll()[1] == 5
+        # A rogue writer regressing the version must be ignored, not
+        # delivered as an "update" that would roll a router back.
+        atomic_write_text(map_path, encode_shard_map(ShardMap(), version=2))
+        assert watcher.poll() is None
+
+    def test_corrupt_file_raises_once_not_every_tick(self, map_path):
+        writer = ShardMapFile(map_path)
+        writer.publish(two_shard_map())
+        watcher = ShardMapFile(map_path)
+        watcher.load()
+        atomic_write_text(map_path, "{torn")
+        with pytest.raises(ServiceError):
+            watcher.poll()
+        # Stat was remembered before the decode, so the same bad bytes
+        # don't raise again...
+        assert watcher.poll() is None
+        # ...and the next publish heals both writer and watcher: the
+        # writer treats the junk as empty-at-its-last-written-version
+        # instead of wedging forever.
+        writer.publish(two_shard_map())
+        shard_map, version = watcher.poll()
+        assert version == 2
+
+
+class TestWatch:
+    def test_watch_delivers_each_version_and_survives_corruption(
+        self, map_path
+    ):
+        async def go():
+            writer = ShardMapFile(map_path)
+            watcher = ShardMapFile(map_path)
+            seen = []
+            task = asyncio.create_task(
+                watcher.watch(
+                    lambda m, v: seen.append((v, len(m))), poll_interval=0.01
+                )
+            )
+            try:
+                writer.publish(two_shard_map())
+                await _until(lambda: len(seen) == 1)
+                atomic_write_text(map_path, "{torn")  # logged, skipped
+                await asyncio.sleep(0.05)
+                writer.publish(ShardMap(), version=9)
+                await _until(lambda: len(seen) == 2)
+            finally:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            return seen
+
+        seen = asyncio.run(go())
+        assert seen == [(1, 2), (9, 0)]
+
+    def test_async_callback_supported(self, map_path):
+        async def go():
+            writer = ShardMapFile(map_path)
+            watcher = ShardMapFile(map_path)
+            seen = []
+
+            async def on_update(shard_map, version):
+                await asyncio.sleep(0)
+                seen.append(version)
+
+            task = asyncio.create_task(
+                watcher.watch(on_update, poll_interval=0.01)
+            )
+            try:
+                writer.publish(two_shard_map())
+                await _until(lambda: seen == [1])
+            finally:
+                task.cancel()
+                try:
+                    await task
+                except asyncio.CancelledError:
+                    pass
+            return seen
+
+        assert asyncio.run(go()) == [1]
+
+
+async def _until(predicate, *, timeout=5.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not predicate():
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("timed out")
+        await asyncio.sleep(0.01)
+
+
+class TestMultiRouterDeterminism:
+    def test_two_maps_from_one_file_agree_on_10k_ids(self, map_path):
+        """The multi-host guarantee: same file => identical routing."""
+        ShardMapFile(map_path).publish(
+            ShardMap(
+                [
+                    ShardDescriptor(name=f"shard-{i}", port=9000 + i)
+                    for i in range(5)
+                ]
+            )
+        )
+        first, _ = ShardMapFile(map_path).load()
+        second, _ = ShardMapFile(map_path).load()
+        assert first is not second
+        device_ids = [os.urandom(32).hex() for _ in range(10_000)]
+        assert [first.shard_for(d).name for d in device_ids] == [
+            second.shard_for(d).name for d in device_ids
+        ]
+
+    def test_published_file_is_complete_json_at_all_times(self, map_path):
+        """publish goes through atomic rename — a reader never sees a
+        torn prefix even when racing the writer byte-for-byte."""
+        map_file = ShardMapFile(map_path)
+        for round_ in range(20):
+            map_file.publish(two_shard_map())
+            with open(map_path) as handle:
+                json.loads(handle.read())  # must always parse

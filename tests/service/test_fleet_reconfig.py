@@ -1,0 +1,496 @@
+"""Live fleet reconfiguration through the shared shard-map file.
+
+The acceptance surface for the hot drain/scale path: scaling a *running*
+fleet 2→3 shards remaps a bounded fraction (≤ 40%) of 1k device ids,
+sessions pinned to untouched shards never fail during the change, a
+draining shard receives zero new sessions while a session pinned to it
+pre-drain completes, and two independent routers watching the same file
+route identically.  The in-process tests use real ``PpufAuthServer``s
+over one shared registry (exactly a fleet mapping one shared pack); the
+subprocess test drives the full supervisor reconcile loop, including the
+settle-then-SIGTERM drain lifecycle that ``repro fleet drain`` triggers.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.ppuf import Ppuf, build_pack
+from repro.ppuf.io import ppuf_to_dict
+from repro.service import (
+    DeviceRegistry,
+    PpufAuthServer,
+    RetryPolicy,
+    ServiceClient,
+)
+from repro.service.fleet import (
+    ACTIVE,
+    DOWN,
+    DRAINING,
+    FleetRouter,
+    FleetSupervisor,
+    ShardDescriptor,
+    ShardMap,
+    ShardMapFile,
+    ShardWorkerSpec,
+)
+from repro.service.registry import device_id_for
+
+DEVICE_COUNT = 6
+FAST_POLL = 0.02
+SYNTHETIC_IDS = [f"{index:064x}" for index in range(1000)]
+
+
+@pytest.fixture(scope="module")
+def devices():
+    # Seed base 60: ids split across both rendezvous shards (see
+    # test_fleet_router.py).
+    return [
+        Ppuf.create(8, 2, np.random.default_rng(60 + i))
+        for i in range(DEVICE_COUNT)
+    ]
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def device_id(device) -> str:
+    return device_id_for(ppuf_to_dict(device))
+
+
+async def _wait_for(predicate, *, timeout=10.0, interval=0.02, what="condition"):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        if predicate():
+            return
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError(f"timed out waiting for {what}")
+        await asyncio.sleep(interval)
+
+
+class MappedFleet:
+    """In-process shards over one shared registry, routed via a map file.
+
+    Every server shares a single :class:`DeviceRegistry` object — the
+    in-process analogue of a production fleet whose shards all map one
+    shared artifact pack — so any shard can verify any enrolled device
+    and a drain's rerouted sessions still succeed.
+    """
+
+    def __init__(self, map_path, *, shard_count=2, router_count=1):
+        self.map_path = str(map_path)
+        self.shard_count = shard_count
+        self.router_count = router_count
+        self.map_file = ShardMapFile(self.map_path)
+        self.registry = DeviceRegistry()
+        self.servers = []
+        self.routers = []
+
+    async def __aenter__(self):
+        initial = ShardMap()
+        for _ in range(self.shard_count):
+            server = await self._start_server()
+            initial.add(
+                ShardDescriptor(
+                    name=f"shard-{len(self.servers) - 1}", port=server.port
+                )
+            )
+        self.map_file.publish(initial)
+        for _ in range(self.router_count):
+            router = FleetRouter(
+                map_file=self.map_path,
+                map_poll_interval=FAST_POLL,
+                shard_connect_timeout=1.0,
+                stats_timeout=1.0,
+            )
+            self.routers.append(await router.start())
+        return self
+
+    async def __aexit__(self, *exc_info):
+        for router in self.routers:
+            await router.stop()
+        for server in self.servers:
+            await server.stop()
+
+    async def _start_server(self):
+        server = PpufAuthServer(self.registry, workers=0, rounds=2, seed=5)
+        await server.start()
+        self.servers.append(server)
+        return server
+
+    async def add_shard(self) -> str:
+        server = await self._start_server()
+        name = f"shard-{len(self.servers) - 1}"
+        self.map_file.mutate(
+            lambda m: m.add(ShardDescriptor(name=name, port=server.port))
+        )
+        return name
+
+    def drain(self, name: str) -> None:
+        self.map_file.mutate(lambda m: m.drain(name))
+
+    async def wait_for_version(self, version: int) -> None:
+        await _wait_for(
+            lambda: all(
+                (router.map_version or 0) >= version for router in self.routers
+            ),
+            what=f"routers to reach map v{version}",
+        )
+
+    def server_for(self, name: str):
+        return self.servers[int(name.rsplit("-", 1)[1])]
+
+
+async def _authenticate(port, device, **kwargs):
+    async with ServiceClient(
+        "127.0.0.1", port, retry=RetryPolicy.no_retry()
+    ) as client:
+        return await client.authenticate(device, rounds=1, **kwargs)
+
+
+class TestTwoRoutersOneFile:
+    def test_scale_bounds_remap_and_routers_agree(self, devices, tmp_path):
+        async def go():
+            results = {}
+            async with MappedFleet(
+                tmp_path / "map.json", shard_count=2, router_count=2
+            ) as fleet:
+                router_a, router_b = fleet.routers
+                async with ServiceClient("127.0.0.1", router_a.port) as client:
+                    for device in devices:
+                        await client.enroll(device)
+
+                before = {
+                    d: router_a.shard_map.shard_for(d).name
+                    for d in SYNTHETIC_IDS
+                }
+                await fleet.add_shard()
+                await fleet.wait_for_version(2)
+
+                # Both routers converged on the identical 3-shard map.
+                results["after_a"] = {
+                    d: router_a.shard_map.shard_for(d).name
+                    for d in SYNTHETIC_IDS
+                }
+                results["after_b"] = {
+                    d: router_b.shard_map.shard_for(d).name
+                    for d in SYNTHETIC_IDS
+                }
+                results["before"] = before
+                results["reloads"] = (
+                    router_a.stats.map_reloads,
+                    router_b.stats.map_reloads,
+                )
+
+                # Live traffic through both front doors after the scale.
+                for router in (router_a, router_b):
+                    outcomes = await asyncio.gather(
+                        *(
+                            _authenticate(router.port, device)
+                            for device in devices
+                        )
+                    )
+                    assert all(outcome.accepted for outcome in outcomes)
+                results["per_shard_sessions"] = [
+                    server.stats.snapshot()["sessions_accepted"]
+                    for server in fleet.servers
+                ]
+            return results
+
+        results = run(go())
+        assert results["after_a"] == results["after_b"], (
+            "two routers on one map file must route identically"
+        )
+        moved = sum(
+            1
+            for d in SYNTHETIC_IDS
+            if results["after_a"][d] != results["before"][d]
+        )
+        # Rendezvous bound: growth 2→3 moves ~1/3 of keys; 40% with slack.
+        assert 0 < moved <= 400, moved
+        # Only the new shard gained keys — survivors kept theirs.
+        for d in SYNTHETIC_IDS:
+            if results["after_a"][d] != results["before"][d]:
+                assert results["after_a"][d] == "shard-2"
+        assert all(count >= 1 for count in results["reloads"])
+        # The new shard is serving real sessions, not just map entries.
+        assert results["per_shard_sessions"][2] > 0
+
+
+class TestDrainInvariant:
+    def test_pinned_session_completes_while_drain_diverts_new_ones(
+        self, devices, tmp_path
+    ):
+        async def go():
+            async with MappedFleet(
+                tmp_path / "map.json", shard_count=2, router_count=1
+            ) as fleet:
+                router = fleet.routers[0]
+                async with ServiceClient("127.0.0.1", router.port) as client:
+                    for device in devices:
+                        await client.enroll(device)
+
+                victim = router.shard_map.shard_for(device_id(devices[0])).name
+                victim_server = fleet.server_for(victim)
+                opened_before = victim_server.stats.sessions_opened
+
+                # Pin a session to the victim, then stall it: the client
+                # sleeps before answering the challenge, leaving the
+                # session open across the drain.
+                pinned = asyncio.create_task(
+                    _authenticate(router.port, devices[0], delay=1.5)
+                )
+                await _wait_for(
+                    lambda: victim_server.stats.sessions_opened
+                    == opened_before + 1,
+                    what="pinned session to open on the victim shard",
+                )
+
+                fleet.drain(victim)
+                await fleet.wait_for_version(2)
+                assert router.shard_map.get(victim).state == DRAINING
+                opened_at_drain = victim_server.stats.sessions_opened
+
+                # New sessions — including for devices the victim owned —
+                # must all succeed on the surviving shard.
+                fresh = await asyncio.gather(
+                    *(_authenticate(router.port, device) for device in devices)
+                )
+                assert all(outcome.accepted for outcome in fresh)
+
+                # The pinned session survived the drain end to end.
+                outcome = await pinned
+                assert outcome.accepted
+
+                return (
+                    victim_server.stats.sessions_opened,
+                    opened_at_drain,
+                    victim_server.stats.sessions_accepted,
+                )
+
+        opened_after, opened_at_drain, victim_accepted = run(go())
+        # Zero *new* sessions reached the draining shard…
+        assert opened_after == opened_at_drain
+        # …and the one pinned before the drain completed on it.
+        assert victim_accepted >= 1
+
+
+class TestCliMutations:
+    """`repro fleet scale/drain/remove` rewrite the file like the library."""
+
+    @pytest.fixture
+    def published(self, tmp_path):
+        path = str(tmp_path / "map.json")
+        ShardMapFile(path).publish(
+            ShardMap(
+                [
+                    ShardDescriptor(name="shard-0", port=9001),
+                    ShardDescriptor(name="shard-1", port=9002),
+                ]
+            )
+        )
+        return path
+
+    def test_scale_up_adds_placeholders(self, published, capsys):
+        assert (
+            cli_main(["fleet", "scale", "--map-file", published, "--shards", "4"])
+            == 0
+        )
+        shard_map, version = ShardMapFile(published).load()
+        assert version == 2
+        placeholders = [s for s in shard_map.shards() if s.port == 0]
+        assert [s.name for s in placeholders] == ["shard-2", "shard-3"]
+        assert all(s.state == DOWN for s in placeholders)
+
+    def test_scale_down_drains_real_and_cancels_placeholders(self, published):
+        cli_main(["fleet", "scale", "--map-file", published, "--shards", "3"])
+        cli_main(["fleet", "scale", "--map-file", published, "--shards", "1"])
+        shard_map, _ = ShardMapFile(published).load()
+        # The unbound placeholder was cancelled outright…
+        assert "shard-2" not in shard_map
+        # …and one real shard entered the drain lifecycle.
+        states = {s.name: s.state for s in shard_map.shards()}
+        assert sorted(states.values()) == [ACTIVE, DRAINING]
+
+    def test_drain_and_remove(self, published):
+        assert (
+            cli_main(["fleet", "drain", "shard-0", "--map-file", published]) == 0
+        )
+        shard_map, _ = ShardMapFile(published).load()
+        assert shard_map.get("shard-0").state == DRAINING
+        assert (
+            cli_main(["fleet", "remove", "shard-0", "--map-file", published]) == 0
+        )
+        shard_map, _ = ShardMapFile(published).load()
+        assert "shard-0" not in shard_map
+
+    def test_unknown_shard_is_a_clean_error(self, published, capsys):
+        assert (
+            cli_main(["fleet", "drain", "shard-9", "--map-file", published]) == 2
+        )
+        assert "unknown shard" in capsys.readouterr().err
+        # The failed mutation left the file untouched.
+        _, version = ShardMapFile(published).load()
+        assert version == 1
+
+    def test_missing_map_file_is_a_clean_error(self, tmp_path, capsys):
+        path = str(tmp_path / "absent.json")
+        assert cli_main(["fleet", "scale", "--map-file", path, "--shards", "2"]) == 2
+        assert "no shard-map file" in capsys.readouterr().err
+
+
+class TestSupervisorReconcile:
+    def test_adopts_and_releases_remote_shards(self):
+        """A descriptor this supervisor didn't spawn becomes a probe-only
+        remote worker, and its deletion releases (never SIGTERMs) it."""
+
+        async def go():
+            supervisor = FleetSupervisor(1, ShardWorkerSpec())
+            local = ShardDescriptor(name="shard-0", host="127.0.0.1", port=5555)
+            remote = ShardDescriptor(name="remote-0", host="10.9.9.9", port=7000)
+            await supervisor._reconcile(ShardMap([local, remote]), 1)
+            adopted = supervisor.workers["remote-0"]
+            assert adopted.remote
+            assert (adopted.host, adopted.port) == ("10.9.9.9", 7000)
+            assert not supervisor.workers["shard-0"].remote
+            assert supervisor.shard_map.get("remote-0").state == ACTIVE
+
+            await supervisor._reconcile(ShardMap([local]), 2)
+            assert "remote-0" not in supervisor.workers
+            assert "remote-0" not in supervisor.shard_map
+            return [event["event"] for event in supervisor.events]
+
+        events = run(go())
+        assert "adopted" in events
+        assert "released" in events
+
+    def test_foreign_placeholder_is_not_spawned(self):
+        """A port-0 descriptor for another host is that host's spawn
+        request — this supervisor must neither spawn nor adopt it."""
+
+        async def go():
+            supervisor = FleetSupervisor(1, ShardWorkerSpec())
+            local = ShardDescriptor(name="shard-0", host="127.0.0.1", port=5555)
+            foreign = ShardDescriptor(
+                name="other-0", host="10.0.0.2", port=0, state=DOWN
+            )
+            await supervisor._reconcile(ShardMap([local, foreign]), 1)
+            return dict(supervisor.workers)
+
+        workers = run(go())
+        assert "other-0" not in workers
+
+
+@pytest.fixture(scope="module")
+def fleet_pack(tmp_path_factory, devices):
+    path = str(tmp_path_factory.mktemp("reconfig") / "fleet.pack")
+    build_pack(path, [device.compile(include_circuit=False) for device in devices])
+    return path
+
+
+class TestSupervisedReconfiguration:
+    def test_scale_then_drain_a_live_subprocess_fleet(
+        self, fleet_pack, devices, tmp_path
+    ):
+        """The full tentpole path: CLI-style file mutations reconfigure a
+        running supervised fleet — spawn on scale-up, settle-then-SIGTERM
+        on drain — while an external router keeps serving."""
+        map_path = str(tmp_path / "map.json")
+
+        async def go():
+            spec = ShardWorkerSpec(pack=fleet_pack, rounds=1, seed=13)
+            supervisor = FleetSupervisor(
+                2,
+                spec,
+                map_file=map_path,
+                map_poll_interval=FAST_POLL,
+                probe_interval=0.25,
+                restart_policy=RetryPolicy(base_delay=0.05, max_delay=0.2, seed=0),
+            )
+            results = {}
+            await supervisor.start()
+            try:
+                # The router knows the fleet ONLY through the file — no
+                # shared objects with the supervisor.
+                async with FleetRouter(
+                    map_file=map_path, map_poll_interval=FAST_POLL
+                ) as router:
+                    outcomes = await asyncio.gather(
+                        *(_authenticate(router.port, d) for d in devices)
+                    )
+                    assert all(o.accepted for o in outcomes)
+
+                    before = {
+                        d: router.shard_map.shard_for(d).name
+                        for d in SYNTHETIC_IDS
+                    }
+
+                    # --- scale 2→3 exactly as `repro fleet scale` does ---
+                    ShardMapFile(map_path).mutate(
+                        lambda m: m.add(
+                            ShardDescriptor(
+                                name="shard-2",
+                                host="127.0.0.1",
+                                port=0,
+                                state=DOWN,
+                            )
+                        )
+                    )
+                    await _wait_for(
+                        lambda: (
+                            "shard-2" in router.shard_map
+                            and router.shard_map.get("shard-2").state == ACTIVE
+                            and router.shard_map.get("shard-2").port != 0
+                        ),
+                        timeout=60.0,
+                        what="scale-up to propagate through supervisor to router",
+                    )
+                    results["after"] = {
+                        d: router.shard_map.shard_for(d).name
+                        for d in SYNTHETIC_IDS
+                    }
+                    results["before"] = before
+
+                    # Zero failed verdicts across the membership change.
+                    outcomes = await asyncio.gather(
+                        *(_authenticate(router.port, d) for d in devices)
+                    )
+                    assert all(o.accepted for o in outcomes)
+
+                    # --- drain shard-0 as `repro fleet drain` does ---
+                    ShardMapFile(map_path).mutate(lambda m: m.drain("shard-0"))
+                    await _wait_for(
+                        lambda: "shard-0" not in router.shard_map,
+                        timeout=60.0,
+                        what="drained shard to settle and leave the map",
+                    )
+                    await _wait_for(
+                        lambda: "shard-0" not in supervisor.workers,
+                        timeout=60.0,
+                        what="supervisor to decommission the drained worker",
+                    )
+
+                    # Devices shard-0 owned remapped and still authenticate.
+                    outcomes = await asyncio.gather(
+                        *(_authenticate(router.port, d) for d in devices)
+                    )
+                    assert all(o.accepted for o in outcomes)
+                    results["events"] = [
+                        event["event"] for event in supervisor.events
+                    ]
+            finally:
+                await supervisor.stop()
+            return results
+
+        results = run(go())
+        moved = sum(
+            1
+            for d in SYNTHETIC_IDS
+            if results["after"][d] != results["before"][d]
+        )
+        assert 0 < moved <= 400, moved
+        for event in ("spawned", "draining", "settled", "stopped"):
+            assert event in results["events"], event

@@ -236,7 +236,9 @@ class TestRouterFailureModes:
         assert reply["type"] == wire.ERROR
         assert stats["protocol_errors"] == 1
 
-    def test_no_routable_shard_is_an_error_frame(self, devices):
+    def test_all_draining_fleet_error_names_the_drain(self, devices):
+        """The ERROR frame distinguishes a planned drain from an outage."""
+
         async def go():
             shard_map = ShardMap()
             shard_map.add(ShardDescriptor(name="shard-0", port=1))
@@ -251,6 +253,21 @@ class TestRouterFailureModes:
 
         reply = run(go())
         assert reply["type"] == wire.ERROR
+        assert "fleet is draining" in reply["error"]
+
+    def test_empty_map_error_names_the_emptiness(self):
+        async def go():
+            async with FleetRouter(ShardMap()) as router:
+                async with ServiceClient(
+                    "127.0.0.1", router.port, timeout=5.0
+                ) as client:
+                    return await client.request(
+                        {"type": wire.HELLO, "device_id": "ab" * 32}
+                    )
+
+        reply = run(go())
+        assert reply["type"] == wire.ERROR
+        assert "shard map is empty" in reply["error"]
 
     def test_concurrent_sessions_through_router(self, devices):
         async def one(port, device):

@@ -1,5 +1,7 @@
 """ShardMap: rendezvous hashing, membership motion, drain lifecycle."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import ServiceError
@@ -137,3 +139,119 @@ class TestMembership:
         assert default_shard_names(3) == ["shard-0", "shard-1", "shard-2"]
         with pytest.raises(ServiceError):
             default_shard_names(0)
+
+
+class TestDescriptorValidation:
+    """from_dict must reject junk addresses, naming the offending field."""
+
+    @pytest.mark.parametrize("port", [-1, -443, 65536, 99999])
+    def test_out_of_range_port_rejected(self, port):
+        with pytest.raises(ServiceError, match="'port'"):
+            ShardDescriptor(name="s", port=port)
+        with pytest.raises(ServiceError, match="'port'"):
+            ShardDescriptor.from_dict({"name": "s", "port": port})
+
+    @pytest.mark.parametrize("host", ["", "   ", "\t"])
+    def test_blank_host_rejected(self, host):
+        with pytest.raises(ServiceError, match="'host'"):
+            ShardDescriptor(name="s", host=host)
+        with pytest.raises(ServiceError, match="'host'"):
+            ShardDescriptor.from_dict({"name": "s", "host": host})
+
+    def test_error_names_the_shard(self):
+        with pytest.raises(ServiceError, match="'shard-7'"):
+            ShardDescriptor(name="shard-7", port=70000)
+
+    @pytest.mark.parametrize("port", [0, 1, 65535])
+    def test_boundary_ports_roundtrip(self, port):
+        shard = ShardDescriptor(name="s", port=port)
+        assert ShardDescriptor.from_dict(shard.to_dict()) == shard
+
+    def test_descriptors_are_frozen(self):
+        shard = ShardDescriptor(name="s", port=1)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            shard.state = DOWN
+
+
+class TestCopyOnWrite:
+    """State changes replace descriptors; snapshots are true snapshots."""
+
+    def test_snapshot_unaffected_by_later_drain(self):
+        shard_map = two_shard_map()
+        snapshot = shard_map.shards()
+        drained = shard_map.drain("shard-0")
+        # The regression this pins: the captured list used to silently
+        # flip to DRAINING because drain() mutated the shared object.
+        assert snapshot[0].state == ACTIVE
+        assert drained.state == DRAINING
+        assert shard_map.get("shard-0") is drained
+        assert drained is not snapshot[0]
+
+    def test_set_state_returns_the_new_descriptor(self):
+        shard_map = two_shard_map()
+        down = shard_map.set_state("shard-1", DOWN)
+        assert down.state == DOWN
+        assert down.port == 9002  # address survives the state change
+        assert shard_map.get("shard-1") is down
+
+    def test_with_state_validates(self):
+        with pytest.raises(ServiceError):
+            ShardDescriptor(name="s").with_state("zombie")
+
+
+class TestNoShardReasons:
+    """Operators must be able to tell a planned drain from an outage."""
+
+    def test_empty_map_says_empty(self):
+        with pytest.raises(ServiceError, match="shard map is empty"):
+            ShardMap().shard_for(DEVICE_IDS[0])
+
+    def test_all_draining_says_draining(self):
+        shard_map = two_shard_map()
+        shard_map.drain("shard-0")
+        shard_map.drain("shard-1")
+        with pytest.raises(ServiceError, match="fleet is draining"):
+            shard_map.shard_for(DEVICE_IDS[0])
+
+    def test_all_down_says_down(self):
+        shard_map = two_shard_map()
+        shard_map.set_state("shard-0", DOWN)
+        shard_map.set_state("shard-1", DOWN)
+        with pytest.raises(ServiceError, match="fleet is down"):
+            shard_map.shard_for(DEVICE_IDS[0])
+
+    def test_mixed_drain_and_down_counts_both(self):
+        shard_map = two_shard_map()
+        shard_map.drain("shard-0")
+        shard_map.set_state("shard-1", DOWN)
+        with pytest.raises(
+            ServiceError, match=r"1 draining, 1 down of 2 shards"
+        ):
+            shard_map.shard_for(DEVICE_IDS[0])
+
+
+class TestReplaceAll:
+    def test_swaps_membership_preserving_identity(self):
+        shard_map = two_shard_map()
+        alias = shard_map  # a router holding the map by reference
+        shard_map.replace_all(
+            [
+                ShardDescriptor(name="shard-1", port=7001),
+                ShardDescriptor(name="shard-2", port=7002),
+            ]
+        )
+        assert alias is shard_map
+        assert [s.name for s in alias.shards()] == ["shard-1", "shard-2"]
+        assert alias.get("shard-1").port == 7001
+
+    def test_duplicate_names_rejected_atomically(self):
+        shard_map = two_shard_map()
+        with pytest.raises(ServiceError, match="duplicate"):
+            shard_map.replace_all(
+                [
+                    ShardDescriptor(name="x", port=1),
+                    ShardDescriptor(name="x", port=2),
+                ]
+            )
+        # The failed swap left the old membership untouched.
+        assert [s.name for s in shard_map.shards()] == ["shard-0", "shard-1"]

@@ -20,6 +20,14 @@ side of the paper's asymmetry, so the load generator fans out across
 processes (where cores allow) to keep the fleet verify-bound instead of
 loadgen-bound.
 
+A final **reconfiguration** phase measures the hot-scale path under live
+load: with traffic flowing through the router, ``fleet scale`` grows the
+fleet by one shard (command → new shard serving) and then shrinks it back
+(command → drained shard settled and removed from the map).  Both
+latencies land in the report; like the shard sweep they are bounded by
+``cpus`` — on a saturated host the new shard's boot and the drain's
+settle both queue behind verify work.
+
 Run with ``PYTHONPATH=src python benchmarks/bench_fleet.py [--smoke]``.
 """
 
@@ -30,6 +38,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 
 import numpy as np
@@ -53,32 +62,41 @@ def _shard_counts(cpus):
     return counts
 
 
-def _spawn_fleet(pack_path, shards):
-    """Start ``repro fleet serve`` and return (process, router_port)."""
+def _cli_env():
     src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
     )
+    return env
+
+
+def _spawn_fleet(pack_path, shards, *, map_file=None, probe_interval=None):
+    """Start ``repro fleet serve`` and return (process, router_port)."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "fleet",
+        "serve",
+        "--shards",
+        str(shards),
+        "--pack",
+        pack_path,
+        "--port",
+        "0",
+        "--rounds",
+        "1",
+        "--seed",
+        "5",
+    ]
+    if map_file is not None:
+        command += ["--map-file", map_file]
+    if probe_interval is not None:
+        command += ["--probe-interval", str(probe_interval)]
     process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro",
-            "fleet",
-            "serve",
-            "--shards",
-            str(shards),
-            "--pack",
-            pack_path,
-            "--port",
-            "0",
-            "--rounds",
-            "1",
-            "--seed",
-            "5",
-        ],
-        env=env,
+        command,
+        env=_cli_env(),
         stdout=subprocess.PIPE,
         stderr=subprocess.DEVNULL,
         text=True,
@@ -127,6 +145,120 @@ def _drive(port, pack_path, *, clients, duration, processes):
     assert report.sessions > 0, "load run completed no sessions"
     assert report.errors == 0, f"{report.errors} session errors under load"
     return report
+
+
+def _scale_fleet(map_path, shards):
+    """Run ``repro fleet scale`` against a live fleet's map file."""
+    subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "fleet",
+            "scale",
+            "--map-file",
+            map_path,
+            "--shards",
+            str(shards),
+        ],
+        env=_cli_env(),
+        check=True,
+        stdout=subprocess.DEVNULL,
+    )
+
+
+def _await_map(map_path, predicate, *, timeout=90.0):
+    """Poll the shard-map file until ``predicate(shard_map)`` holds."""
+    from repro.service.fleet import ShardMapFile
+
+    map_file = ShardMapFile(map_path)
+    deadline = time.monotonic() + timeout
+    while True:
+        shard_map, _ = map_file.load()
+        if predicate(shard_map):
+            return
+        if time.monotonic() > deadline:
+            raise RuntimeError(
+                "shard map never reached the expected state: "
+                + ", ".join(
+                    f"{s.name}@{s.port}:{s.state}" for s in shard_map.shards()
+                )
+            )
+        time.sleep(0.05)
+
+
+def _measure_reconfiguration(work, pack_path, *, smoke):
+    """Scale-up and drain-to-settle latency with load flowing (satellite row).
+
+    Starts a 2-shard fleet publishing its map file, keeps a background
+    load run going through the router, then times two map mutations:
+    ``scale 3`` (command → third shard serving) and ``scale 2`` (command →
+    drained shard settled and gone from the map, sessions intact).
+    """
+    from repro.service.fleet import ACTIVE
+
+    map_path = os.path.join(work, "shards.map")
+    load_clients = 4 if smoke else 8
+    load_duration = 8.0 if smoke else 15.0
+
+    print("--- reconfiguration: starting 2-shard fleet under load ...")
+    process, port = _spawn_fleet(
+        pack_path, 2, map_file=map_path, probe_interval=0.2
+    )
+    outcome = {}
+
+    def _background_load():
+        outcome["load"] = generate_load(
+            "127.0.0.1",
+            port,
+            pack=pack_path,
+            clients=load_clients,
+            duration_seconds=load_duration,
+            rounds=1,
+            processes=1,
+            timeout=60.0,
+        )
+
+    loader = threading.Thread(target=_background_load)
+    try:
+        loader.start()
+        time.sleep(0.5)  # let the load ramp before mutating the fleet
+
+        def _serving(shard_map, count):
+            shards = shard_map.shards()
+            return len(shards) == count and all(
+                s.state == ACTIVE and s.port != 0 for s in shards
+            )
+
+        started = time.perf_counter()
+        _scale_fleet(map_path, 3)
+        _await_map(map_path, lambda shard_map: _serving(shard_map, 3))
+        scale_up_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        _scale_fleet(map_path, 2)
+        _await_map(map_path, lambda shard_map: _serving(shard_map, 2))
+        drain_seconds = time.perf_counter() - started
+    finally:
+        loader.join()
+        _stop_fleet(process)
+
+    load = outcome["load"]
+    assert load.sessions > 0, "reconfiguration load completed no sessions"
+    row = {
+        "scale_up_seconds": round(scale_up_seconds, 3),
+        "drain_to_settle_seconds": round(drain_seconds, 3),
+        "shards": 2,
+        "load_clients": load_clients,
+        "sessions_during": load.sessions,
+        "errors_during": load.errors,
+    }
+    print(
+        f"    scale-up {row['scale_up_seconds']} s"
+        f"  drain-to-settle {row['drain_to_settle_seconds']} s"
+        f"  ({load.sessions} sessions, {load.errors} errors during)"
+    )
+    return row
 
 
 def main(out_dir=None, *, smoke=False):
@@ -190,6 +322,10 @@ def main(out_dir=None, *, smoke=False):
                 f"  p99 {row['latency_ms']['p99']} ms"
                 f"  ({row['sessions']} sessions, {row['errors']} errors)"
             )
+
+        report["reconfiguration"] = _measure_reconfiguration(
+            work, pack_path, smoke=smoke
+        )
 
     out_path = os.path.join(out_dir, "BENCH_service.json")
     with open(out_path, "w") as handle:

@@ -22,7 +22,11 @@
   :mod:`repro.experiments.all`)
 
 Every entry point that solves max-flow takes ``--algorithm`` with any name
-from the solver registry (:mod:`repro.flow.registry`).
+from the solver registry (:mod:`repro.flow.registry`).  Every command
+that fans work out across processes (``respond --workers``, ``serve
+--workers``, ``fleet load --processes``) rides the one execution runtime
+(:mod:`repro.runtime`): supervised pools, per-task timeouts, and crash
+containment behave identically everywhere.
 
 The save format captures everything that defines the silicon (topology,
 technology card, operating point, both variation samples), so a saved PPUF

@@ -55,6 +55,18 @@ class ServiceTimeout(ServiceError, TimeoutError):
     """
 
 
+class WorkerCrash(ServiceError):
+    """Raised when a runtime pool worker process dies mid-task.
+
+    The :class:`repro.runtime.pool.WorkerPool` restarts its executor
+    before raising, so the *next* task submitted to the pool runs on a
+    healthy worker; the task that was in flight when the worker died is
+    unrecoverable and surfaces as this error.  Service callers contain it
+    into a rejected verdict (crash-to-verdict) instead of letting it kill
+    the connection.
+    """
+
+
 class ConnectionLost(ServiceError, ConnectionError):
     """Raised when the peer closes or resets the connection mid-operation.
 

@@ -23,15 +23,19 @@ turns the loop inside out:
   bit-for-bit identical to looping
   :meth:`~repro.ppuf.device.Ppuf.response` — still skipping the
   per-challenge object churn;
-* ``workers > 1`` fans chunks out over a :class:`ProcessPoolExecutor`.
+* ``workers > 1`` fans chunks out over a supervised
+  :class:`~repro.runtime.pool.WorkerPool` (bounded in-flight window,
+  crash supervision, merged :class:`~repro.runtime.stats.RuntimeStats`).
   The device ships to workers as a :class:`~repro.ppuf.compiled.CompiledDevice`
-  placed in one :mod:`multiprocessing.shared_memory` block: each worker
-  *maps* the per-bit capacity / I–V tables (zero copies, one small manifest
-  pickle) instead of receiving a full device pickle and re-deriving the
-  caches.  Pass ``share_memory=False`` to fall back to pickling (the
-  benchmark baseline).  Chunk results are reassembled in submission order,
-  and because no arithmetic couples challenges, the response bits are
-  independent of the worker count and chunking.
+  placed in one shared-memory block by
+  :func:`repro.runtime.provision.ship_compiled`: each worker *maps* the
+  per-bit capacity / I–V tables (zero copies, one small manifest pickle)
+  instead of receiving a full device pickle and re-deriving the caches.
+  Pass ``share_memory=False`` to fall back to pickling (the benchmark
+  baseline).  Chunk results are reassembled in submission order, and
+  because no arithmetic couples challenges, the response bits are
+  independent of the worker count and chunking.  Empty and single-chunk
+  inputs short-circuit inline — no pool is ever spawned for them.
 
 Every chunk fills one :class:`~repro.flow.registry.SolveStats` (phases
 ``prepare``/``solve``/``compare`` plus the solver's operation counts);
@@ -48,7 +52,6 @@ equivalence test suite pins this.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -58,8 +61,14 @@ from repro.errors import SolverError
 from repro.flow.csr import complete_topology
 from repro.flow.registry import SolveStats, get_solver
 from repro.ppuf.challenge import Challenge
-from repro.ppuf.compiled import CompiledDevice, attach_compiled, share_compiled
+from repro.ppuf.compiled import CompiledDevice
 from repro.ppuf.engines import check_engine
+from repro.runtime.pool import WorkerPool
+from repro.runtime.provision import (
+    ShippedArtifact,
+    materialise_payload,
+    ship_compiled,
+)
 
 #: The cross-challenge vectorised solver: edge-array batched Dinic
 #: (see :mod:`repro.flow.batched_dinic`).  The dense lockstep
@@ -239,30 +248,33 @@ class BatchEvaluator:
             report.total_seconds = time.perf_counter() - started
             return np.zeros(0, dtype=np.uint8), report
 
+        runtime_stats = None
         if self.workers == 1 or len(chunks) == 1:
+            # Short-circuit: inline evaluation, no pool spawned — a lone
+            # chunk (or B=0 above) must never pay worker start-up.
             outcomes = [self._evaluate_chunk(chunk) for chunk in chunks]
             workers_used = 1
         else:
             workers_used = min(self.workers, len(chunks))
-            payload, shm = self._worker_payload()
+            shipped = self._worker_payload()
             try:
-                with ProcessPoolExecutor(
-                    max_workers=workers_used,
+                with WorkerPool(
+                    workers_used,
                     initializer=_worker_init,
                     initargs=(
-                        payload,
+                        shipped.payload,
                         self.engine,
                         self.algorithm,
                         self.chunk_size,
                     ),
                 ) as pool:
-                    # Executor.map preserves submission order, so the result
-                    # vector is deterministic regardless of completion order.
-                    outcomes = list(pool.map(_worker_chunk, chunks))
+                    # WorkerPool.map preserves submission order, so the
+                    # result vector is deterministic regardless of
+                    # completion order.
+                    outcomes = pool.map(_worker_chunk, chunks)
+                runtime_stats = pool.stats
             finally:
-                if shm is not None:
-                    shm.close()
-                    shm.unlink()
+                shipped.close()
 
         bits = np.concatenate([chunk_bits for chunk_bits, _ in outcomes])
         report = BatchReport(
@@ -274,6 +286,11 @@ class BatchEvaluator:
         )
         for _, chunk_stats in outcomes:
             report.stats.merge(chunk_stats)
+        if runtime_stats is not None:
+            # Fold the pool's telemetry into the solver counters so one
+            # report carries the whole story (tasks == chunks fanned out).
+            for name, value in runtime_stats.counters().items():
+                report.stats.count(f"runtime_{name}", value)
         # The merged per-chunk times double-count overlap under workers > 1;
         # the report's total is the end-to-end wall clock either way.
         report.total_seconds = time.perf_counter() - started
@@ -299,8 +316,8 @@ class BatchEvaluator:
             self._compiled = cached
         return cached
 
-    def _worker_payload(self):
-        """``(initializer payload, owned shm | None)`` for the pool fan-out.
+    def _worker_payload(self) -> ShippedArtifact:
+        """The :class:`ShippedArtifact` handed to the pool fan-out.
 
         Shared-memory transport ships one small manifest pickle per worker
         and maps the tables; the fallback pickles the device (the compiled
@@ -308,10 +325,9 @@ class BatchEvaluator:
         workers re-derive their caches: the legacy baseline).
         """
         if self.share_memory:
-            shm, manifest = share_compiled(self.compiled_device())
-            return ("shm", shm.name, manifest), shm
+            return ship_compiled(self.compiled_device())
         device = self._compiled if self._compiled is not None else self.ppuf
-        return ("pickle", device), None
+        return ShippedArtifact(("pickle", device))
 
     # ------------------------------------------------------------------
     # chunk evaluation (also runs inside pool workers)
@@ -475,19 +491,13 @@ class BatchEvaluator:
 # process-pool plumbing (module level so the pool can pickle it)
 # ----------------------------------------------------------------------
 _WORKER_EVALUATOR: Optional[BatchEvaluator] = None
-_WORKER_SHM = None  # keeps the worker's shared-memory mapping alive
 
 
 def _worker_init(payload, engine, algorithm, chunk_size):
-    global _WORKER_EVALUATOR, _WORKER_SHM
-    kind = payload[0]
-    if kind == "shm":
-        _, name, manifest = payload
-        device, _WORKER_SHM = attach_compiled(name, manifest)
-    elif kind == "pickle":
-        device = payload[1]
-    else:  # pragma: no cover - transport tags are internal
-        raise SolverError(f"unknown worker payload kind {kind!r}")
+    global _WORKER_EVALUATOR
+    # materialise_payload resolves every transport kind (shm, pickle …)
+    # and retains shared-memory mappings for the worker's lifetime.
+    device = materialise_payload(payload)
     _WORKER_EVALUATOR = BatchEvaluator(
         device,
         engine=engine,

@@ -26,10 +26,11 @@ evaluation spine (:mod:`repro.ppuf.engines`,
 :class:`~repro.ppuf.verification.PpufVerifier`, the batch pipeline and the
 service verification workers).
 
-For multi-process fan-out, :func:`share_compiled` /
-:func:`attach_compiled` place the tables in one
-:mod:`multiprocessing.shared_memory` block so every worker *maps* them
-(zero-copy) instead of receiving a pickled device.
+For multi-process fan-out, :func:`repro.runtime.provision.share_compiled`
+/ :func:`~repro.runtime.provision.attach_compiled` place the tables in
+one shared-memory block so every worker *maps* them (zero-copy) instead
+of receiving a pickled device; both are re-exported here for their
+historical import site.
 
 This mirrors the paper's public-model hand-off: compilation *is* the
 manufacturer publishing the simulation model; everything in the artifact
@@ -574,92 +575,24 @@ def compile_ppuf(
 
 
 # ----------------------------------------------------------------------
-# shared-memory transport (multi-process fan-out)
+# shm transport — moved to repro.runtime.provision, the one module
+# allowed to touch the shm machinery (CI greps).  Re-exported here (at
+# the bottom, once CompiledDevice exists, because provision's attach
+# path imports it back) for the historical import site.
 # ----------------------------------------------------------------------
-def share_compiled(device: CompiledDevice):
-    """Copy an artifact's arrays into one shared-memory block.
+from repro.runtime.provision import (  # noqa: E402
+    attach_compiled,
+    share_compiled,
+)
 
-    Returns ``(shm, manifest)``: the owning
-    :class:`multiprocessing.shared_memory.SharedMemory` (caller must
-    ``close()`` and ``unlink()`` it) and a small picklable manifest —
-    header plus per-array layout — that :func:`attach_compiled` turns back
-    into a :class:`CompiledDevice` whose tables *map* the block (zero
-    copies per worker).
-    """
-    from multiprocessing import shared_memory
-
-    arrays = device.to_arrays()
-    layout = []
-    offset = 0
-    for name, array in arrays.items():
-        layout.append(
-            {
-                "name": name,
-                "offset": offset,
-                "shape": list(array.shape),
-                "dtype": str(array.dtype),
-            }
-        )
-        offset += array.nbytes
-    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-    try:
-        for entry, array in zip(layout, arrays.values()):
-            view = np.ndarray(
-                array.shape,
-                dtype=array.dtype,
-                buffer=shm.buf,
-                offset=entry["offset"],
-            )
-            np.copyto(view, array)
-    except BaseException:
-        shm.close()
-        shm.unlink()
-        raise
-    manifest = {"header": device.header(), "arrays": layout}
-    return shm, manifest
-
-
-def attach_compiled(name: str, manifest: dict, *, untrack: bool = True):
-    """Map a shared artifact published by :func:`share_compiled`.
-
-    Returns ``(device, shm)``; the caller must keep ``shm`` referenced for
-    the device's lifetime and ``close()`` it when done.  The attached
-    arrays view the shared buffer directly — nothing is copied.
-
-    ``untrack`` (default) detaches the mapping from this process's
-    resource tracker so a worker's exit cannot unlink a segment the
-    sharing process still owns; pass ``False`` when attaching from the
-    owning process itself (its own registration must survive).
-    """
-    from multiprocessing import shared_memory
-
-    try:
-        shm = shared_memory.SharedMemory(name=name, track=untrack is False)
-    except TypeError:  # Python < 3.13: no track flag
-        if untrack:
-            # Attaching would register the segment with the resource
-            # tracker, which then unlinks it when a worker exits (and,
-            # under fork, is *shared* with the owning process, so even an
-            # unregister here would clobber the owner's bookkeeping).
-            # Suppress the registration instead: ownership stays with the
-            # sharing process, whose own registration is untouched.
-            from multiprocessing import resource_tracker
-
-            original = resource_tracker.register
-            resource_tracker.register = lambda *a, **k: None
-            try:
-                shm = shared_memory.SharedMemory(name=name)
-            finally:
-                resource_tracker.register = original
-        else:
-            shm = shared_memory.SharedMemory(name=name)
-    arrays = {
-        entry["name"]: np.ndarray(
-            tuple(entry["shape"]),
-            dtype=np.dtype(entry["dtype"]),
-            buffer=shm.buf,
-            offset=entry["offset"],
-        )
-        for entry in manifest["arrays"]
-    }
-    return CompiledDevice.from_arrays(manifest["header"], arrays), shm
+__all__ = [
+    "CAPACITY_KEYS",
+    "CIRCUIT_KEYS",
+    "NETWORK_INDEX",
+    "CompiledDevice",
+    "CompiledNetwork",
+    "NetworkTables",
+    "attach_compiled",
+    "compile_ppuf",
+    "share_compiled",
+]

@@ -1,0 +1,47 @@
+"""``repro.runtime`` — the one execution substrate under every fan-out.
+
+The repo's three process-parallel consumers — the batch CRP pipeline
+(:class:`~repro.ppuf.batch.BatchEvaluator`), the auth service
+(:class:`~repro.service.server.PpufAuthServer`) and the fleet load
+generator (:func:`~repro.service.fleet.loadgen.generate_load`) — all run
+on this layer instead of hand-rolling executors:
+
+* :mod:`repro.runtime.pool` — :class:`WorkerPool`: supervised
+  process/thread pool with bounded queues, per-task timeouts,
+  crash-restart supervision and graceful drain.
+* :mod:`repro.runtime.provision` — worker-side artifact provisioning:
+  shared-memory blocks, mmap'd pack slices and ``.npz``/dict fallbacks
+  behind one bounded LRU.  The only module allowed to touch
+  ``multiprocessing.shared_memory``.
+* :mod:`repro.runtime.microbatch` — :class:`MicroBatcher`: generic
+  request coalescing (claims, CRPs) with typed failure pass-through.
+* :mod:`repro.runtime.stats` — :class:`RuntimeStats`: exact, mergeable
+  pool telemetry folded into ``SolveStats`` counters and ``STATS`` wire
+  snapshots.
+"""
+
+from repro.runtime.microbatch import CrpMicroBatcher, MicroBatcher
+from repro.runtime.pool import WorkerPool
+from repro.runtime.provision import (
+    ShippedArtifact,
+    attach_compiled,
+    materialise_payload,
+    provision_device,
+    share_compiled,
+    ship_compiled,
+)
+from repro.runtime.stats import RuntimeStats, merge_runtime_snapshots
+
+__all__ = [
+    "CrpMicroBatcher",
+    "MicroBatcher",
+    "RuntimeStats",
+    "ShippedArtifact",
+    "WorkerPool",
+    "attach_compiled",
+    "materialise_payload",
+    "merge_runtime_snapshots",
+    "provision_device",
+    "share_compiled",
+    "ship_compiled",
+]

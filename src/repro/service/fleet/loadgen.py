@@ -16,16 +16,15 @@ numbers the ROADMAP's scaling trajectory is plotted in.
 
 One Python process can saturate only one core with proving (the prover's
 max-flow solve is the *expensive* side of the paper's asymmetry), so
-:func:`generate_load` fans client-driving workers out across processes —
-required to keep a multi-shard fleet verify-bound instead of
-loadgen-bound.
+:func:`generate_load` fans client-driving workers out across processes
+on a :class:`~repro.runtime.pool.WorkerPool` — required to keep a
+multi-shard fleet verify-bound instead of loadgen-bound.
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -33,6 +32,7 @@ import numpy as np
 
 from repro.errors import ServiceError
 from repro.flow.registry import DEFAULT_ALGORITHM
+from repro.runtime.pool import WorkerPool
 from repro.service.client import ServiceClient
 from repro.service.faults import FaultPlan, FaultyTransport
 from repro.service.resilience import RetryPolicy
@@ -342,7 +342,7 @@ def generate_load(
         )
         cursor += slice_clients
     merged = LoadReport(clients=0, duration_seconds=duration_seconds)
-    with ProcessPoolExecutor(max_workers=len(jobs)) as pool:
+    with WorkerPool(len(jobs)) as pool:
         for result in pool.map(_load_worker, jobs):
             merged.merge(LoadReport(**result))
     return merged

@@ -7,11 +7,14 @@ verification pool, and :class:`~repro.service.stats.ServerStats`.
 
 The verification pool matters because ``PpufVerifier.verify`` is the
 O(n²/p) residual-graph check — microseconds on toy devices but the real
-cost center at secure sizes.  Claims are therefore verified in a
-``ProcessPoolExecutor`` (``workers > 0``) or the default thread executor
-(``workers == 0``), never on the event loop, and a semaphore bounds how
-many verifications may be in flight so a claim flood degrades into
-backpressure instead of unbounded memory growth.
+cost center at secure sizes.  Claims are therefore verified off-loop in
+a supervised :class:`~repro.runtime.pool.WorkerPool` (process workers
+for ``workers > 0``, threads for ``workers == 0``), never on the event
+loop, and the pool's admission bound means a claim flood degrades into
+backpressure instead of unbounded memory growth.  A worker process dying
+mid-claim is contained the same way a worker exception is: the pool
+restarts itself and the claim gets an ``infeasible`` verdict
+(crash-to-verdict) instead of killing the connection.
 
 Claim micro-batching: concurrent claims coalesce in a
 :class:`ClaimMicroBatcher` (bounded batch size plus a small linger) and
@@ -40,14 +43,15 @@ from __future__ import annotations
 import asyncio
 import logging
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
 from typing import Optional
 
-from repro.errors import ServiceError, ServiceTimeout, VerificationError
+from repro.errors import ServiceError, ServiceTimeout, VerificationError, WorkerCrash
 from repro.flow.graph import DEFAULT_RTOL
 from repro.ppuf.delay import lin_mead_delay_bound
-from repro.ppuf.io import ppuf_from_dict
 from repro.ppuf.verification import PpufVerifier, verify_compact_claims
+from repro.runtime.microbatch import MicroBatcher
+from repro.runtime.pool import WorkerPool
+from repro.runtime.provision import provision_device
 from repro.service import wire
 from repro.service.registry import DeviceRegistry
 from repro.service.sessions import ReplayRejected, Session, SessionManager
@@ -59,63 +63,6 @@ logger = logging.getLogger(__name__)
 #: modeled time bound of :class:`repro.ppuf.protocol.AuthenticationSession`.
 PAPER_DEADLINE_SLACK = 100.0
 
-#: Bound on the per-worker device cache below.  Small on purpose: a pool
-#: worker only needs the devices it is actively verifying; a fleet of
-#: millions must not be mirrored into every worker's memory.
-WORKER_DEVICE_CACHE_SIZE = 32
-
-# Process-local LRU device cache for pool workers: re-deriving capacity
-# caches per claim would swamp the verify itself, but an unbounded dict
-# would grow with the enrolled fleet.  The cache holds
-# :class:`~repro.ppuf.compiled.CompiledDevice` artifacts on the compiled
-# path (precomputed tables, nothing to derive) or rebuilt ``Ppuf`` objects
-# on the legacy public-dict path.  Keyed by device_id (content-derived), so
-# a stale entry is impossible — a changed description is a different id.
-_WORKER_DEVICES: "OrderedDict[str, object]" = OrderedDict()
-
-# Process-local pack mappings, keyed by path.  A pool worker serving a
-# pack-backed fleet maps the file exactly once; every device it verifies
-# afterwards is an index lookup + row slice into that one mapping, and all
-# workers mapping the same pack share pages through the OS page cache —
-# the artifact bytes exist once per machine, not once per worker.
-_WORKER_PACKS: dict = {}
-
-
-def _pack_device(path: str, device_id: str):
-    from repro.ppuf.pack import ArtifactPack
-
-    pack = _WORKER_PACKS.get(path)
-    if pack is None:
-        pack = _WORKER_PACKS[path] = ArtifactPack(path)
-    return pack.device(device_id)
-
-
-def _cached_device(device_id: str, payload):
-    """Fetch-or-materialise a device, keeping at most the LRU cache bound.
-
-    ``payload`` is one of: the enrolled public description (dict — the
-    legacy path, rebuilt via :func:`ppuf_from_dict` with all the lazy
-    re-derivation that implies), a ``("pack", path)`` reference resolved
-    against the worker's own pack mapping (a row slice, nothing pickled
-    but the path), or a :class:`~repro.ppuf.compiled.CompiledDevice`
-    (already materialised; cached as-is so later claims skip even the
-    unpickling).
-    """
-    device = _WORKER_DEVICES.get(device_id)
-    if device is None:
-        if isinstance(payload, dict):
-            device = ppuf_from_dict(payload)
-        elif isinstance(payload, tuple) and payload and payload[0] == "pack":
-            device = _pack_device(payload[1], device_id)
-        else:
-            device = payload
-        _WORKER_DEVICES[device_id] = device
-        while len(_WORKER_DEVICES) > WORKER_DEVICE_CACHE_SIZE:
-            _WORKER_DEVICES.popitem(last=False)
-    else:
-        _WORKER_DEVICES.move_to_end(device_id)
-    return device
-
 
 def _verify_claim_task(
     device_id: str, payload, network: str, claim_wire: dict, rtol: float
@@ -123,7 +70,8 @@ def _verify_claim_task(
     """Verify one wire claim; runs inside a pool worker (or thread).
 
     ``payload`` is the device transport: a public dict or a compiled
-    artifact (see :func:`_cached_device`).  Returns ``(accepted, reason,
+    artifact (see :func:`repro.runtime.provision.provision_device`, the
+    worker-side LRU every transport lands behind).  Returns ``(accepted, reason,
     verify_seconds, fault)`` with ``reason`` one of ``"ok"``,
     ``"incorrect"`` (feasible but wrong), ``"infeasible"``
     (conservation/capacity violation or malformed paths).  ``fault`` is
@@ -136,7 +84,7 @@ def _verify_claim_task(
 
     start = time.perf_counter()
     try:
-        device = _cached_device(device_id, payload)
+        device = provision_device(device_id, payload)
         net = device.network_a if network == "a" else device.network_b
         verifier = PpufVerifier(net)
         claim = wire.claim_from_wire(claim_wire)
@@ -175,7 +123,7 @@ def _verify_claims_task(jobs, rtol: float) -> list:
         groups.setdefault((device_id, network), []).append(index)
     for (device_id, network), indices in groups.items():
         try:
-            device = _cached_device(device_id, jobs[indices[0]][1])
+            device = provision_device(device_id, jobs[indices[0]][1])
             net = device.network_a if network == "a" else device.network_b
         except (VerificationError, ServiceError):
             for index in indices:
@@ -216,12 +164,16 @@ def _verify_claims_task(jobs, rtol: float) -> list:
 
 
 class VerificationPool:
-    """Bounded off-loop executor for :func:`_verify_claim_task`.
+    """The service face of :class:`~repro.runtime.pool.WorkerPool` for
+    :func:`_verify_claim_task` / :func:`_verify_claims_task`.
 
     ``timeout`` cuts off any single verification: a claim that wedges a
     worker raises :class:`ServiceTimeout` to the caller instead of holding
-    its connection (and a semaphore slot) forever.  ``active`` counts
-    in-flight verifications so :meth:`PpufAuthServer.stop` can drain.
+    its connection (and an admission slot) forever.  ``active`` counts
+    in-flight verifications so :meth:`PpufAuthServer.stop` can drain.  A
+    worker process dying raises :class:`~repro.errors.WorkerCrash` (the
+    runtime pool restarts itself first); the server contains it into a
+    rejected verdict.
     """
 
     def __init__(
@@ -231,78 +183,52 @@ class VerificationPool:
         max_pending: Optional[int] = None,
         timeout: Optional[float] = None,
     ):
-        if workers < 0:
-            raise ServiceError(f"workers must be >= 0, got {workers}")
         if timeout is not None and timeout <= 0:
             raise ServiceError(f"verify timeout must be positive, got {timeout}")
         self.workers = workers
-        self.timeout = timeout
-        self.active = 0
-        self._executor = ProcessPoolExecutor(max_workers=workers) if workers else None
-        self._semaphore = asyncio.Semaphore(max_pending or max(4, 2 * workers))
+        self.runtime = WorkerPool(
+            workers,
+            max_pending=max_pending,
+            task_timeout=timeout,
+            task_name="verification",
+        )
+
+    @property
+    def timeout(self) -> Optional[float]:
+        return self.runtime.task_timeout
+
+    @property
+    def active(self) -> int:
+        return self.runtime.active
 
     async def verify(
         self, device_id: str, payload, network: str, claim_wire: dict, rtol: float
     ) -> tuple:
-        async with self._semaphore:
-            loop = asyncio.get_running_loop()
-            future = loop.run_in_executor(
-                self._executor,
-                _verify_claim_task,
-                device_id,
-                payload,
-                network,
-                claim_wire,
-                rtol,
-            )
-            self.active += 1
-            try:
-                if self.timeout is None:
-                    return await future
-                try:
-                    return await asyncio.wait_for(future, timeout=self.timeout)
-                except asyncio.TimeoutError:
-                    raise ServiceTimeout(
-                        f"verification exceeded {self.timeout:g} s"
-                    ) from None
-            finally:
-                self.active -= 1
+        # _verify_claim_task resolves as a module global at call time, so
+        # tests (and subclasses) can swap the task function.
+        return await self.runtime.run(
+            _verify_claim_task, device_id, payload, network, claim_wire, rtol
+        )
 
     async def verify_batch(self, jobs: list, rtol: float) -> list:
         """Run :func:`_verify_claims_task` off-loop for a coalesced batch.
 
-        One semaphore slot and one executor dispatch cover the whole
+        One admission slot and one executor dispatch cover the whole
         batch — that is the micro-batching win: B claims pay one pool
         round trip.  ``timeout`` bounds the batch as a unit; a blown
         deadline raises :class:`ServiceTimeout` for every claim in it.
         """
-        async with self._semaphore:
-            loop = asyncio.get_running_loop()
-            future = loop.run_in_executor(
-                self._executor, _verify_claims_task, list(jobs), rtol
-            )
-            self.active += 1
-            try:
-                if self.timeout is None:
-                    return await future
-                try:
-                    return await asyncio.wait_for(future, timeout=self.timeout)
-                except asyncio.TimeoutError:
-                    raise ServiceTimeout(
-                        f"verification exceeded {self.timeout:g} s"
-                    ) from None
-            finally:
-                self.active -= 1
+        return await self.runtime.run(_verify_claims_task, list(jobs), rtol)
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+        self.runtime.shutdown(wait=False, cancel_futures=True)
 
 
-class ClaimMicroBatcher:
+class ClaimMicroBatcher(MicroBatcher):
     """Coalesces concurrent claim verifications into pool batches.
 
-    Every claim that arrives while a batch is forming joins it; the batch
+    The service face of :class:`~repro.runtime.microbatch.MicroBatcher`:
+    every claim that arrives while a batch is forming joins it; the batch
     is dispatched when it reaches ``batch_size`` or when the oldest claim
     has lingered ``linger_seconds`` — whichever comes first.  Under load
     (many concurrent sessions) batches fill instantly and the linger never
@@ -312,7 +238,10 @@ class ClaimMicroBatcher:
 
     Verdicts are split back out per claim and are bit-identical to solo
     verification — :func:`repro.ppuf.verification.verify_compact_claims`
-    never lets one claim's arithmetic (or failure) touch another's.
+    never lets one claim's arithmetic (or failure) touch another's.  A
+    dispatch that fails fails only its own batch: :class:`ServiceTimeout`
+    and :class:`~repro.errors.WorkerCrash` reach each claim typed (the
+    claim handler contains them), anything else as :class:`ServiceError`.
     """
 
     def __init__(
@@ -324,91 +253,34 @@ class ClaimMicroBatcher:
         batch_size: int = 16,
         linger_seconds: float = 0.002,
     ):
-        if batch_size < 1:
-            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
-        if linger_seconds < 0:
-            raise ServiceError(
-                f"linger_seconds must be >= 0, got {linger_seconds}"
-            )
+        super().__init__(
+            self._verify_jobs,
+            batch_size=batch_size,
+            linger_seconds=linger_seconds,
+            on_dispatch=self._record_batch,
+        )
         self.pool = pool
         self.stats = stats
         self.rtol = rtol
-        self.batch_size = int(batch_size)
-        self.linger_seconds = float(linger_seconds)
-        self._pending: list = []
-        self._flusher: Optional[asyncio.Task] = None
-        self._tasks: set = set()
 
-    @property
-    def busy(self) -> bool:
-        """True while any claim is queued or any batch is in flight."""
-        return bool(self._pending or self._tasks)
+    async def _verify_jobs(self, jobs: list) -> list:
+        return await self.pool.verify_batch(jobs, self.rtol)
 
-    @property
-    def queued(self) -> int:
-        """Claims waiting in the forming batch (not yet dispatched)."""
-        return len(self._pending)
-
-    def flush(self) -> None:
-        """Dispatch whatever is queued now instead of waiting out the
-        linger — used by graceful drain so a stopping server still settles
-        claims that were coalescing when ``stop()`` was called."""
-        self._dispatch()
+    def _record_batch(self, size: int) -> None:
+        stats = self.stats
+        if stats is not None:
+            stats.claim_batches += 1
+            stats.claims_batched += size
+            occupancy = stats.claim_batch_occupancy
+            key = str(size)
+            occupancy[key] = occupancy.get(key, 0) + 1
 
     async def verify(
         self, device_id: str, payload, network: str, claim_wire: dict
     ) -> tuple:
         """Queue one claim; resolves to its ``(accepted, reason, seconds,
         fault)`` tuple once its batch returns."""
-        future = asyncio.get_running_loop().create_future()
-        self._pending.append(((device_id, payload, network, claim_wire), future))
-        if len(self._pending) >= self.batch_size:
-            self._dispatch()
-        elif self._flusher is None:
-            self._flusher = asyncio.create_task(self._linger())
-        return await future
-
-    async def _linger(self) -> None:
-        try:
-            await asyncio.sleep(self.linger_seconds)
-        except asyncio.CancelledError:
-            return
-        self._dispatch()
-
-    def _dispatch(self) -> None:
-        batch, self._pending = self._pending, []
-        flusher, self._flusher = self._flusher, None
-        if flusher is not None and flusher is not asyncio.current_task():
-            flusher.cancel()
-        if batch:
-            task = asyncio.create_task(self._run(batch))
-            self._tasks.add(task)
-            task.add_done_callback(self._tasks.discard)
-
-    async def _run(self, batch: list) -> None:
-        jobs = [job for job, _ in batch]
-        stats = self.stats
-        if stats is not None:
-            stats.claim_batches += 1
-            stats.claims_batched += len(jobs)
-            occupancy = stats.claim_batch_occupancy
-            key = str(len(jobs))
-            occupancy[key] = occupancy.get(key, 0) + 1
-        try:
-            results = await self.pool.verify_batch(jobs, self.rtol)
-        except ServiceTimeout as error:
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(ServiceTimeout(str(error)))
-            return
-        except Exception as error:  # noqa: BLE001 — fail the batch, not the loop
-            for _, future in batch:
-                if not future.done():
-                    future.set_exception(ServiceError(str(error)))
-            return
-        for (_, future), result in zip(batch, results):
-            if not future.done():
-                future.set_result(result)
+        return await self.submit((device_id, payload, network, claim_wire))
 
 
 class PpufAuthServer:
@@ -801,6 +673,12 @@ class PpufAuthServer:
                 self.pool.timeout,
             )
             return self._verdict(session, False, "verify_timeout", elapsed)
+        except WorkerCrash as error:
+            # Crash-to-verdict: the runtime pool already restarted its
+            # executor, so the next claim runs on a healthy worker; this
+            # claim's work is gone and is rejected like any worker fault.
+            accepted, reason, verify_seconds = False, "infeasible", 0.0
+            fault = f"{type(error).__name__}: {error}"
         if fault is not None:
             self.stats.worker_faults += 1
             logger.warning(
@@ -870,4 +748,8 @@ class PpufAuthServer:
         snapshot["verifications_in_flight"] = self.pool.active + (
             self.batcher.queued if self.batcher is not None else 0
         )
+        # The runtime substrate's own telemetry (task/crash/restart
+        # counters) rides the same snapshot; the fleet router folds the
+        # per-shard entries exactly (see ServerStats.merge_snapshot).
+        snapshot["runtime"] = self.pool.runtime.stats.snapshot()
         return {"type": wire.STATS, "stats": snapshot}

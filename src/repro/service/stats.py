@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List
 
 from repro.errors import ServiceError
 from repro.flow.registry import is_registered
+from repro.runtime.stats import merge_runtime_snapshots
 
 
 #: Upper bucket edges [s] for the verify-latency histogram — log-spaced so
@@ -235,6 +236,15 @@ class ServerStats:
                     bucket = merged.setdefault(key, {})
                     for size, count in value.items():
                         bucket[size] = bucket.get(size, 0) + count
+                elif key == "runtime":
+                    # Per-shard WorkerPool telemetry: counters sum, gauges
+                    # max — the same exact fold as RuntimeStats.merge.
+                    base = merged.get(key)
+                    merged[key] = (
+                        dict(value)
+                        if base is None
+                        else merge_runtime_snapshots(base, value)
+                    )
                 elif isinstance(value, bool) or not isinstance(value, (int, float)):
                     merged.setdefault(key, value)
                 else:

@@ -141,3 +141,48 @@ class TestValidation:
             BatchEvaluator(small_ppuf, workers=0)
         with pytest.raises(SolverError):
             BatchEvaluator(small_ppuf, chunk_size=0)
+
+
+class TestShortCircuit:
+    """B=0 / B=1 (and single-chunk) inputs must never spawn a pool.
+
+    The guard is enforced, not assumed: WorkerPool is monkeypatched to
+    explode on construction, so any short-circuit regression fails loudly
+    on both the edge-array ("batched_dinic") and dense ("batched") paths.
+    """
+
+    @pytest.fixture
+    def no_pool(self, monkeypatch):
+        from repro.ppuf import batch as batch_module
+
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError(
+                    "short-circuit path must not construct a WorkerPool"
+                )
+
+        monkeypatch.setattr(batch_module, "WorkerPool", ExplodingPool)
+
+    @pytest.mark.parametrize("algorithm", ["batched_dinic", "batched"])
+    def test_empty_batch_spawns_no_pool(self, small_ppuf, no_pool, algorithm):
+        evaluator = BatchEvaluator(small_ppuf, workers=4, algorithm=algorithm)
+        bits, report = evaluator.evaluate([])
+        assert bits.shape == (0,)
+        assert report.chunks == 0
+        assert report.workers == 4
+
+    @pytest.mark.parametrize("algorithm", ["batched_dinic", "batched"])
+    def test_single_challenge_spawns_no_pool(
+        self, small_ppuf, challenges, no_pool, algorithm
+    ):
+        evaluator = BatchEvaluator(small_ppuf, workers=4, algorithm=algorithm)
+        bits, report = evaluator.evaluate(challenges[:1])
+        assert bits.shape == (1,)
+        assert report.chunks == 1
+        assert bits[0] == small_ppuf.response(challenges[0])
+
+    def test_single_chunk_spawns_no_pool(self, small_ppuf, challenges, no_pool):
+        # B > 1 but one chunk: still inline — chunk count, not B, decides.
+        evaluator = BatchEvaluator(small_ppuf, workers=4, chunk_size=64)
+        bits, _ = evaluator.evaluate(challenges[:6])
+        assert np.array_equal(bits, small_ppuf.response_bits(challenges[:6]))

@@ -1,0 +1,237 @@
+"""Telemetry merges are exact: associative, order-independent, lossless.
+
+The fleet design leans on three folds — :meth:`RuntimeStats.merge`
+(per-pool counters), :meth:`SolveStats.merge` (solver telemetry) and
+:func:`merge_histogram_snapshots` (wire-form latency histograms) — all
+claimed to be *exact*: merging shard records in any order or grouping
+equals what one observer of the union would have recorded.  Hypothesis
+checks the claim.
+
+Float fields use dyadic rationals (multiples of 2^-10 with bounded
+magnitude), which IEEE doubles add without rounding, so sums really are
+order-independent and ``==`` is the right comparison; only the histogram
+*mean* (a division by a merged count) is compared with ``isclose``.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.flow.registry import SolveStats
+from repro.runtime.stats import RuntimeStats, merge_runtime_snapshots
+from repro.service.stats import LatencyHistogram, merge_histogram_snapshots
+
+SETTINGS = dict(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# Dyadic rationals: exactly representable, sums never round.
+dyadic = st.integers(min_value=0, max_value=2**20).map(lambda v: v / 1024.0)
+small_int = st.integers(min_value=0, max_value=1_000)
+
+runtime_records = st.lists(
+    st.builds(
+        RuntimeStats,
+        tasks_submitted=small_int,
+        tasks_completed=small_int,
+        tasks_failed=small_int,
+        task_timeouts=small_int,
+        worker_crashes=small_int,
+        pool_restarts=small_int,
+        batches_dispatched=small_int,
+        queue_high_water=small_int,
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _fold_runtime(records):
+    merged = RuntimeStats()
+    for record in records:
+        merged.merge(record)
+    return merged
+
+
+class TestRuntimeStatsMerge:
+    @given(records=runtime_records, seed=st.randoms(use_true_random=False))
+    @settings(**SETTINGS)
+    def test_order_independent(self, records, seed):
+        shuffled = list(records)
+        seed.shuffle(shuffled)
+        assert _fold_runtime(shuffled).snapshot() == _fold_runtime(records).snapshot()
+
+    @given(a=runtime_records, b=runtime_records, c=runtime_records)
+    @settings(**SETTINGS)
+    def test_associative(self, a, b, c):
+        left = _fold_runtime([_fold_runtime(a), _fold_runtime(b)])
+        left.merge(_fold_runtime(c))
+        right = _fold_runtime(a)
+        right.merge(_fold_runtime([_fold_runtime(b), _fold_runtime(c)]))
+        assert left.snapshot() == right.snapshot()
+
+    @given(records=runtime_records)
+    @settings(**SETTINGS)
+    def test_merged_equals_one_observer(self, records):
+        merged = _fold_runtime(records).snapshot()
+        for key in (
+            "tasks_submitted", "tasks_completed", "tasks_failed",
+            "task_timeouts", "worker_crashes", "pool_restarts",
+            "batches_dispatched",
+        ):
+            assert merged[key] == sum(getattr(r, key) for r in records)
+        # the gauge merges by max, not sum
+        assert merged["queue_high_water"] == max(
+            r.queue_high_water for r in records
+        )
+
+    @given(records=runtime_records, seed=st.randoms(use_true_random=False))
+    @settings(**SETTINGS)
+    def test_wire_form_matches_object_form(self, records, seed):
+        snapshots = [r.snapshot() for r in records]
+        seed.shuffle(snapshots)
+        merged = snapshots[0]
+        for snapshot in snapshots[1:]:
+            merged = merge_runtime_snapshots(merged, snapshot)
+        assert merged == _fold_runtime(records).snapshot()
+
+
+PHASES = ("prepare", "solve", "compare")
+COUNTERS = ("augmentations", "phases", "pushes", "rounds")
+
+solve_records = st.lists(
+    st.builds(
+        SolveStats,
+        algorithm=st.sampled_from(["", "dinic", "edmonds_karp", "push_relabel"]),
+        solves=small_int,
+        total_seconds=dyadic,
+        phase_seconds=st.dictionaries(
+            st.sampled_from(PHASES), dyadic, max_size=len(PHASES)
+        ),
+        counters=st.dictionaries(
+            st.sampled_from(COUNTERS), small_int, max_size=len(COUNTERS)
+        ),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _fold_solve(records):
+    merged = SolveStats()
+    for record in records:
+        merged.merge(record)
+    return merged
+
+
+def _solve_key(stats):
+    return (
+        stats.algorithm,
+        stats.solves,
+        stats.total_seconds,
+        dict(stats.phase_seconds),
+        dict(stats.counters),
+    )
+
+
+class TestSolveStatsMerge:
+    @given(records=solve_records, seed=st.randoms(use_true_random=False))
+    @settings(**SETTINGS)
+    def test_order_independent(self, records, seed):
+        shuffled = list(records)
+        seed.shuffle(shuffled)
+        assert _solve_key(_fold_solve(shuffled)) == _solve_key(
+            _fold_solve(records)
+        )
+
+    @given(a=solve_records, b=solve_records)
+    @settings(**SETTINGS)
+    def test_grouping_independent(self, a, b):
+        pairwise = _fold_solve(a)
+        pairwise.merge(_fold_solve(b))
+        flat = _fold_solve(a + b)
+        assert _solve_key(pairwise) == _solve_key(flat)
+
+    @given(records=solve_records)
+    @settings(**SETTINGS)
+    def test_merged_equals_one_observer(self, records):
+        merged = _fold_solve(records)
+        assert merged.solves == sum(r.solves for r in records)
+        assert merged.total_seconds == sum(r.total_seconds for r in records)
+        for phase in PHASES:
+            assert merged.phase_seconds.get(phase, 0.0) == sum(
+                r.phase_seconds.get(phase, 0.0) for r in records
+            )
+        for counter in COUNTERS:
+            assert merged.counters.get(counter, 0) == sum(
+                r.counters.get(counter, 0) for r in records
+            )
+
+
+latency_streams = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=16 * 1024).map(lambda v: v / 1024.0),
+        max_size=20,
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def _histogram(latencies):
+    histogram = LatencyHistogram()
+    for seconds in latencies:
+        histogram.observe(seconds)
+    return histogram
+
+
+class TestHistogramSnapshotMerge:
+    @given(streams=latency_streams, seed=st.randoms(use_true_random=False))
+    @settings(**SETTINGS)
+    def test_merged_equals_one_observer(self, streams, seed):
+        snapshots = [_histogram(stream).snapshot() for stream in streams]
+        seed.shuffle(snapshots)
+        merged = snapshots[0]
+        for snapshot in snapshots[1:]:
+            merged = merge_histogram_snapshots(merged, snapshot)
+        combined = _histogram(
+            [seconds for stream in streams for seconds in stream]
+        ).snapshot()
+        assert merged["observations"] == combined["observations"]
+        assert merged["buckets"] == combined["buckets"]
+        assert merged["max_seconds"] == combined["max_seconds"]
+        assert math.isclose(
+            merged["mean_seconds"],
+            combined["mean_seconds"],
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )
+
+    @given(streams=latency_streams)
+    @settings(**SETTINGS)
+    def test_grouping_independent(self, streams):
+        snapshots = [_histogram(stream).snapshot() for stream in streams]
+        left = snapshots[0]
+        for snapshot in snapshots[1:]:
+            left = merge_histogram_snapshots(left, snapshot)
+        right = snapshots[-1]
+        for snapshot in reversed(snapshots[:-1]):
+            right = merge_histogram_snapshots(snapshot, right)
+        assert left["observations"] == right["observations"]
+        assert left["buckets"] == right["buckets"]
+        assert left["max_seconds"] == right["max_seconds"]
+        assert math.isclose(
+            left["mean_seconds"], right["mean_seconds"],
+            rel_tol=1e-9, abs_tol=1e-12,
+        )
+
+    def test_mismatched_buckets_rejected(self):
+        from repro.errors import ServiceError
+
+        base = _histogram([0.001]).snapshot()
+        other = _histogram([0.001]).snapshot()
+        other["buckets"] = {"le_1": 1, "inf": 0}
+        with pytest.raises(ServiceError, match="different buckets"):
+            merge_histogram_snapshots(base, other)

@@ -17,6 +17,7 @@ import pytest
 from repro.errors import ServiceError
 from repro.ppuf import Ppuf
 from repro.service import PpufAuthServer, ServiceClient, VerificationPool
+from repro.runtime import provision as provision_module
 from repro.service import server as server_module
 from repro.service.sessions import SessionLimitExceeded, SessionManager
 from repro.service import wire
@@ -206,13 +207,17 @@ class TestSweeperSurvival:
 
 
 class TestWorkerDeviceCache:
-    """Regression: the per-worker device cache grew with the enrolled fleet."""
+    """Regression: the per-worker device cache grew with the enrolled fleet.
+
+    The cache now lives in :mod:`repro.runtime.provision` (one LRU for
+    every transport); the server's verify tasks go through it.
+    """
 
     def test_cache_is_bounded_and_eviction_preserves_correctness(
         self, devices, monkeypatch
     ):
-        monkeypatch.setattr(server_module, "WORKER_DEVICE_CACHE_SIZE", 2)
-        server_module._WORKER_DEVICES.clear()
+        monkeypatch.setattr(provision_module, "WORKER_DEVICE_CACHE_SIZE", 2)
+        provision_module.clear_cache()
 
         async def go():
             # workers=0 verifies in-thread, sharing this process's cache.
@@ -230,26 +235,27 @@ class TestWorkerDeviceCache:
 
         outcomes = run(go())
         assert all(outcome.accepted for outcome in outcomes)
-        assert len(server_module._WORKER_DEVICES) <= 2
+        assert provision_module.cache_size() <= 2
 
     def test_lru_order(self, monkeypatch):
-        monkeypatch.setattr(server_module, "WORKER_DEVICE_CACHE_SIZE", 2)
-        server_module._WORKER_DEVICES.clear()
+        monkeypatch.setattr(provision_module, "WORKER_DEVICE_CACHE_SIZE", 2)
+        provision_module.clear_cache()
         calls = []
 
         def fake_build(public):
             calls.append(public["id"])
             return object()
 
-        monkeypatch.setattr(server_module, "ppuf_from_dict", fake_build)
-        a = server_module._cached_device("a", {"id": "a"})
-        server_module._cached_device("b", {"id": "b"})
-        assert server_module._cached_device("a", {"id": "a"}) is a  # hit, bumps a
-        server_module._cached_device("c", {"id": "c"})  # evicts b (LRU)
-        assert list(server_module._WORKER_DEVICES) == ["a", "c"]
-        server_module._cached_device("b", {"id": "b"})  # rebuild
+        monkeypatch.setattr(provision_module, "ppuf_from_dict", fake_build)
+        a = provision_module.provision_device("a", {"id": "a"})
+        provision_module.provision_device("b", {"id": "b"})
+        # hit, bumps a
+        assert provision_module.provision_device("a", {"id": "a"}) is a
+        provision_module.provision_device("c", {"id": "c"})  # evicts b (LRU)
+        assert list(provision_module._WORKER_DEVICES) == ["a", "c"]
+        provision_module.provision_device("b", {"id": "b"})  # rebuild
         assert calls == ["a", "b", "c", "b"]
-        server_module._WORKER_DEVICES.clear()
+        provision_module.clear_cache()
 
 
 class TestConnectionLimits:
